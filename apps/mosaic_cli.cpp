@@ -1,0 +1,312 @@
+/// \file mosaic_cli.cpp
+/// The `mosaic_cli` command-line tool: run OPC on GLP layouts or built-in
+/// benchmark clips, simulate masks through the lithography model, evaluate
+/// contest metrics, check mask rules, and export the benchmark suite.
+///
+/// Subcommands:
+///   run           OPC a target layout and write the optimized mask
+///   simulate      forward-simulate a mask at a process corner
+///   evaluate      contest metrics + MRC for a mask against a target
+///   export-suite  write the built-in clips B1..B10 as GLP files
+///
+/// Examples:
+///   mosaic_cli run --case 4 --method exact --out-mask /tmp/b4_mask.glp
+///   mosaic_cli run --input clip.glp --method fast --images /tmp
+///   mosaic_cli simulate --input /tmp/b4_mask.glp --focus 25 --dose 0.98
+///   mosaic_cli evaluate --input /tmp/b4_mask.glp --target-case 4
+///   mosaic_cli export-suite --dir /tmp/suite
+
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "eval/evaluator.hpp"
+#include "eval/mrc.hpp"
+#include "geometry/bitmap_ops.hpp"
+#include "geometry/contour.hpp"
+#include "geometry/raster.hpp"
+#include "io/glp.hpp"
+#include "litho/simulator.hpp"
+#include "opc/baselines.hpp"
+#include "opc/edge_opc.hpp"
+#include "opc/levelset.hpp"
+#include "opc/mosaic.hpp"
+#include "suite/testcases.hpp"
+#include "support/cli.hpp"
+#include "support/image_io.hpp"
+#include "support/log.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using namespace mosaic;
+
+Layout loadTarget(const std::string& inputGlp, int caseIndex) {
+  if (!inputGlp.empty()) return readGlpFile(inputGlp);
+  MOSAIC_CHECK(caseIndex >= 1 && caseIndex <= kTestcaseCount,
+               "pass --input <file.glp> or --case 1..10");
+  return buildTestcase(caseIndex);
+}
+
+LithoSimulator makeSim(int pixel) {
+  OpticsConfig optics;
+  optics.pixelNm = pixel;
+  return LithoSimulator(optics);
+}
+
+void dumpImages(const LithoSimulator& sim, const RealGrid& mask,
+                const BitGrid& target, const std::string& dir,
+                const std::string& stem) {
+  const int n = sim.gridSize();
+  auto dump = [&](const std::string& tag, const RealGrid& img) {
+    const std::string path = dir + "/" + stem + "_" + tag + ".pgm";
+    writePgm(path, {img.data(), img.size()}, n, n);
+    std::printf("wrote %s\n", path.c_str());
+  };
+  dump("target", toReal(target));
+  dump("mask", mask);
+  dump("nominal", toReal(sim.print(mask, nominalCorner())));
+  const PvBandResult pvb = computePvBand(sim, mask, evaluationCorners());
+  dump("pvband", toReal(pvb.band));
+}
+
+void printEvaluation(const CaseEvaluation& ev, const MrcResult& mrc) {
+  TextTable t;
+  t.setHeader({"metric", "value"});
+  t.addRow({"EPE violations", TextTable::integer(ev.epeViolations)});
+  t.addRow({"mean |EPE| (nm)", TextTable::num(ev.meanAbsEpeNm, 2)});
+  t.addRow({"max |EPE| (nm)", TextTable::num(ev.maxAbsEpeNm, 1)});
+  t.addRow({"PV band (nm^2)", TextTable::num(ev.pvbandAreaNm2, 0)});
+  t.addRow({"shape violations", TextTable::integer(ev.shapeViolations)});
+  t.addRow({"contest score", TextTable::num(ev.score, 0)});
+  t.addRow({"mask components", TextTable::integer(mrc.components)});
+  t.addRow({"mask rectangles (shots)", TextTable::integer(mrc.rectangles)});
+  t.addRow({"mask vertices", TextTable::integer(mrc.contourVertices)});
+  t.addRow({"mask perimeter (nm)", TextTable::integer(mrc.perimeterNm)});
+  t.addRow({"MRC width viol. (px)", TextTable::integer(mrc.widthViolationPx)});
+  t.addRow({"MRC space viol. (px)", TextTable::integer(mrc.spaceViolationPx)});
+  t.addRow({"MRC tiny features", TextTable::integer(mrc.tinyFeatures)});
+  std::printf("%s", t.render().c_str());
+}
+
+int cmdRun(int argc, char** argv) {
+  std::string input;
+  int caseIndex = 0;
+  std::string method = "fast";
+  int pixel = 4;
+  int iters = 0;
+  std::string outMask;
+  std::string images;
+  std::string logLevel = "info";
+
+  double maskLow = 0.0;
+  CliParser cli("mosaic_cli run", "run OPC on a target layout");
+  cli.addString("input", &input, "target layout (GLP)");
+  cli.addInt("case", &caseIndex, "built-in testcase index (1..10)");
+  cli.addString("method", &method,
+                "fast | exact | baseline | levelset | edge | rule | none");
+  cli.addDouble("mask-low", &maskLow,
+                "background transmission (0 = binary, -0.245 = 6% PSM)");
+  cli.addInt("pixel", &pixel, "pixel size in nm");
+  cli.addInt("iters", &iters, "optimizer iterations (0 = method default)");
+  cli.addString("out-mask", &outMask, "write optimized mask as GLP");
+  cli.addString("images", &images, "directory for PGM dumps");
+  cli.addString("log", &logLevel, "log level");
+  if (!cli.parse(argc, argv)) return 0;
+  setLogLevel(parseLogLevel(logLevel));
+
+  const Layout layout = loadTarget(input, caseIndex);
+  LithoSimulator sim = makeSim(pixel);
+  const BitGrid target = rasterize(layout, pixel);
+
+  RealGrid mask;
+  double runtime = 0.0;
+  if (method == "none") {
+    mask = noOpcMask(target);
+  } else if (method == "rule") {
+    mask = ruleOpcMask(target, pixel);
+  } else if (method == "edge") {
+    WallTimer t;
+    EdgeOpcConfig cfg;
+    if (iters > 0) cfg.maxIterations = iters;
+    const EdgeOpcResult res = runEdgeOpc(sim, target, cfg);
+    mask = toReal(res.mask);
+    runtime = t.seconds();
+  } else if (method == "levelset") {
+    WallTimer t;
+    LevelSetConfig cfg;
+    if (iters > 0) cfg.maxIterations = iters;
+    const LevelSetResult res = runLevelSetIlt(sim, target, cfg);
+    mask = toReal(res.mask);
+    runtime = t.seconds();
+  } else {
+    OpcMethod m;
+    if (method == "fast") {
+      m = OpcMethod::kMosaicFast;
+    } else if (method == "exact") {
+      m = OpcMethod::kMosaicExact;
+    } else if (method == "baseline") {
+      m = OpcMethod::kIltBaseline;
+    } else {
+      throw InvalidArgument("unknown method: " + method);
+    }
+    IltConfig cfg = defaultIltConfig(m, pixel);
+    if (iters > 0) cfg.maxIterations = iters;
+    cfg.maskLow = maskLow;
+    const OpcResult res = runOpc(sim, target, m, &cfg);
+    mask = res.maskTwoLevel;
+    runtime = res.runtimeSec;
+  }
+
+  const CaseEvaluation ev = evaluateMask(sim, mask, target, runtime);
+  const MrcResult mrc = checkMask(thresholdGrid(mask, 0.5), pixel);
+  std::printf("== %s via %s ==\n", layout.name.c_str(), method.c_str());
+  printEvaluation(ev, mrc);
+
+  if (!outMask.empty()) {
+    const Layout maskLayout = rasterToLayout(thresholdGrid(mask, 0.5), pixel,
+                                             layout.name + "_mask");
+    writeGlpFile(outMask, maskLayout);
+    std::printf("wrote mask (%zu rects) to %s\n", maskLayout.rects.size(),
+                outMask.c_str());
+  }
+  if (!images.empty()) dumpImages(sim, mask, target, images, layout.name);
+  return 0;
+}
+
+int cmdSimulate(int argc, char** argv) {
+  std::string input;
+  int caseIndex = 0;
+  int pixel = 4;
+  double focus = 0.0;
+  double dose = 1.0;
+  std::string images;
+  std::string logLevel = "warn";
+
+  CliParser cli("mosaic_cli simulate",
+                "forward-simulate a mask at a process corner");
+  cli.addString("input", &input, "mask layout (GLP)");
+  cli.addInt("case", &caseIndex, "built-in testcase as the mask (1..10)");
+  cli.addInt("pixel", &pixel, "pixel size in nm");
+  cli.addDouble("focus", &focus, "defocus in nm");
+  cli.addDouble("dose", &dose, "relative exposure dose");
+  cli.addString("images", &images, "directory for PGM dumps");
+  cli.addString("log", &logLevel, "log level");
+  if (!cli.parse(argc, argv)) return 0;
+  setLogLevel(parseLogLevel(logLevel));
+
+  const Layout layout = loadTarget(input, caseIndex);
+  LithoSimulator sim = makeSim(pixel);
+  const BitGrid maskBits = rasterize(layout, pixel);
+  const RealGrid mask = toReal(maskBits);
+
+  const ProcessCorner corner{focus, dose};
+  const RealGrid aerial = sim.aerial(mask, corner);
+  const BitGrid printed = sim.printBinary(aerial);
+
+  double peak = 0.0;
+  for (double v : aerial) peak = std::max(peak, v);
+  std::printf("mask %s at focus %.0f nm, dose %.2f:\n", layout.name.c_str(),
+              focus, dose);
+  std::printf("  peak intensity   %.4f (threshold %.3f)\n", peak,
+              sim.resist().threshold);
+  std::printf("  printed pixels   %lld (mask pixels %lld)\n",
+              countSet(printed), countSet(maskBits));
+  std::printf("  printed features %d, holes %d\n", countComponents(printed),
+              countHoles(printed));
+  if (!images.empty()) {
+    const int n = sim.gridSize();
+    writePgm(images + "/" + layout.name + "_aerial.pgm",
+             {aerial.data(), aerial.size()}, n, n, 0.0, std::max(1.0, peak));
+    writePgm(images + "/" + layout.name + "_printed.pgm",
+             {toReal(printed).data(), static_cast<std::size_t>(n) * n}, n, n);
+    std::printf("wrote images to %s\n", images.c_str());
+  }
+  return 0;
+}
+
+int cmdEvaluate(int argc, char** argv) {
+  std::string input;
+  std::string targetGlp;
+  int targetCase = 0;
+  int pixel = 4;
+  std::string logLevel = "warn";
+
+  CliParser cli("mosaic_cli evaluate",
+                "contest metrics + MRC for a mask against a target");
+  cli.addString("input", &input, "mask layout (GLP)");
+  cli.addString("target", &targetGlp, "target layout (GLP)");
+  cli.addInt("target-case", &targetCase, "built-in target testcase (1..10)");
+  cli.addInt("pixel", &pixel, "pixel size in nm");
+  cli.addString("log", &logLevel, "log level");
+  if (!cli.parse(argc, argv)) return 0;
+  setLogLevel(parseLogLevel(logLevel));
+
+  MOSAIC_CHECK(!input.empty(), "--input <mask.glp> is required");
+  const Layout maskLayout = readGlpFile(input);
+  const Layout targetLayout = loadTarget(targetGlp, targetCase);
+  LithoSimulator sim = makeSim(pixel);
+  const BitGrid mask = rasterize(maskLayout, pixel);
+  const BitGrid target = rasterize(targetLayout, pixel);
+
+  const CaseEvaluation ev = evaluateMask(sim, toReal(mask), target, 0.0);
+  const MrcResult mrc = checkMask(mask, pixel);
+  std::printf("== mask %s vs target %s ==\n", maskLayout.name.c_str(),
+              targetLayout.name.c_str());
+  printEvaluation(ev, mrc);
+  return 0;
+}
+
+int cmdExportSuite(int argc, char** argv) {
+  std::string dir = ".";
+  CliParser cli("mosaic_cli export-suite",
+                "write the built-in clips B1..B10 as GLP files");
+  cli.addString("dir", &dir, "output directory");
+  if (!cli.parse(argc, argv)) return 0;
+  for (const Layout& layout : buildAllTestcases()) {
+    const std::string path = dir + "/" + layout.name + ".glp";
+    writeGlpFile(path, layout);
+    std::printf("wrote %s (%zu rects)\n", path.c_str(), layout.rects.size());
+  }
+  return 0;
+}
+
+void printUsage() {
+  std::puts(
+      "mosaic_cli -- process-window aware inverse lithography (MOSAIC)\n"
+      "\n"
+      "usage: mosaic_cli <command> [options]\n"
+      "\n"
+      "commands:\n"
+      "  run           OPC a target layout and write the optimized mask\n"
+      "  simulate      forward-simulate a mask at a process corner\n"
+      "  evaluate      contest metrics + MRC for a mask against a target\n"
+      "  export-suite  write the built-in clips B1..B10 as GLP files\n"
+      "\n"
+      "run `mosaic_cli <command> --help` for the command's options");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2 || std::strcmp(argv[1], "--help") == 0 ||
+        std::strcmp(argv[1], "-h") == 0) {
+      printUsage();
+      return argc < 2 ? 1 : 0;
+    }
+    const std::string command = argv[1];
+    if (command == "run") return cmdRun(argc - 1, argv + 1);
+    if (command == "simulate") return cmdSimulate(argc - 1, argv + 1);
+    if (command == "evaluate") return cmdEvaluate(argc - 1, argv + 1);
+    if (command == "export-suite") return cmdExportSuite(argc - 1, argv + 1);
+    std::fprintf(stderr, "unknown command: %s\n\n", command.c_str());
+    printUsage();
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mosaic_cli failed: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,82 @@
+/// \file ablation_regularization.cpp
+/// Mask-complexity study: sweep the smoothness regularizer weight and
+/// measure both contest quality and mask manufacturability (MRC metrics:
+/// rectangle/shot count, contour vertices, rule violations). The paper's
+/// introduction cites e-beam write time as the price of ILT masks; this
+/// bench shows how much complexity a small score sacrifice buys back.
+
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "eval/evaluator.hpp"
+#include "eval/mrc.hpp"
+#include "geometry/raster.hpp"
+#include "litho/simulator.hpp"
+#include "opc/mosaic.hpp"
+#include "suite/testcases.hpp"
+#include "support/cli.hpp"
+#include "support/log.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mosaic;
+  int pixel = 4;
+  int iterations = 20;
+  std::string cases = "4,10";
+  std::string logLevel = "warn";
+
+  CliParser cli("ablation_regularization",
+                "mask smoothness regularizer: quality vs complexity");
+  cli.addInt("pixel", &pixel, "pixel size in nm");
+  cli.addInt("iters", &iterations, "optimizer iterations");
+  cli.addString("cases", &cases, "comma-separated testcase indices");
+  cli.addString("log", &logLevel, "log level");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    setLogLevel(parseLogLevel(logLevel));
+
+    OpticsConfig optics;
+    optics.pixelNm = pixel;
+    LithoSimulator sim(optics);
+
+    const std::vector<double> weights = {0.0, 10.0, 40.0, 160.0};
+    TextTable table;
+    table.setHeader({"case", "reg weight", "#EPE", "score", "rects",
+                     "vertices", "MRC width px", "tiny"});
+    std::string rest = cases;
+    while (!rest.empty()) {
+      const auto comma = rest.find(',');
+      const int caseIdx = std::stoi(rest.substr(0, comma));
+      rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+      const Layout layout = buildTestcase(caseIdx);
+      const BitGrid target = rasterize(layout, pixel);
+
+      for (double w : weights) {
+        IltConfig cfg = defaultIltConfig(OpcMethod::kMosaicFast, pixel);
+        cfg.maxIterations = iterations;
+        cfg.regWeight = w;
+        const OpcResult res =
+            runOpc(sim, target, OpcMethod::kMosaicFast, &cfg);
+        const CaseEvaluation ev =
+            evaluateMask(sim, res.maskTwoLevel, target, res.runtimeSec);
+        const MrcResult mrc = checkMask(res.maskBinary, pixel);
+        table.addRow({layout.name, TextTable::num(w, 0),
+                      TextTable::integer(ev.epeViolations),
+                      TextTable::num(ev.score, 0),
+                      TextTable::integer(mrc.rectangles),
+                      TextTable::integer(mrc.contourVertices),
+                      TextTable::integer(mrc.widthViolationPx),
+                      TextTable::integer(mrc.tinyFeatures)});
+      }
+    }
+    std::printf("=== Ablation: mask smoothness regularizer (MOSAIC_fast) "
+                "===\n%s\n",
+                table.render().c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ablation_regularization failed: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,99 @@
+/// \file bm_fft.cpp
+/// Microbenchmarks of the math substrate: 1-D/2-D FFT throughput, spectrum
+/// products and full cyclic convolutions. These bound every cost in the
+/// optimizer (one ILT iteration is a fixed number of these transforms).
+
+#include <benchmark/benchmark.h>
+
+#include "math/convolution.hpp"
+#include "math/fft.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using mosaic::ComplexGrid;
+
+ComplexGrid randomGrid(int n, std::uint64_t seed) {
+  mosaic::Rng rng(seed);
+  ComplexGrid g(n, n);
+  for (auto& v : g) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  return g;
+}
+
+void BM_Fft1d(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  mosaic::FftPlan plan(n);
+  mosaic::Rng rng(1);
+  std::vector<std::complex<double>> data(n);
+  for (auto& v : data) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  for (auto _ : state) {
+    plan.forward(data.data());
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Fft1d)->Arg(256)->Arg(512)->Arg(1024)->Arg(4096);
+
+void BM_Fft2dForward(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  mosaic::Fft2d fft(n, n);
+  ComplexGrid g = randomGrid(n, 2);
+  for (auto _ : state) {
+    fft.forward(g);
+    benchmark::DoNotOptimize(g.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          n);
+}
+BENCHMARK(BM_Fft2dForward)->Arg(128)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+
+void BM_Fft2dRoundTrip(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  mosaic::Fft2d fft(n, n);
+  ComplexGrid g = randomGrid(n, 3);
+  for (auto _ : state) {
+    fft.forward(g);
+    fft.inverse(g);
+    benchmark::DoNotOptimize(g.data());
+  }
+}
+BENCHMARK(BM_Fft2dRoundTrip)->Arg(128)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+
+void BM_CyclicConvolve(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const ComplexGrid a = randomGrid(n, 4);
+  const ComplexGrid b = randomGrid(n, 5);
+  for (auto _ : state) {
+    auto out = mosaic::cyclicConvolve(a, b);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_CyclicConvolve)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_GaussianBlur(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  mosaic::Rng rng(9);
+  mosaic::RealGrid g(n, n);
+  for (auto& v : g) v = rng.uniform(0, 1);
+  for (auto _ : state) {
+    auto out = mosaic::gaussianBlur(g, 2.5);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_GaussianBlur)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+
+void BM_SpectrumProduct(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ComplexGrid a = randomGrid(n, 6);
+  const ComplexGrid b = randomGrid(n, 7);
+  for (auto _ : state) {
+    mosaic::multiplySpectraInPlace(a, b);
+    benchmark::DoNotOptimize(a.data());
+  }
+}
+BENCHMARK(BM_SpectrumProduct)->Arg(256)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+/// \file fig2_sigmoid.cpp
+/// Reproduces paper Fig. 2: the sigmoid photoresist approximation with
+/// theta_Z = 50 and th_r = 0.225. Prints the curve as (intensity, Z) rows
+/// and asserts the step-function limit behaviour.
+
+#include <cstdio>
+#include <exception>
+
+#include "litho/optics.hpp"
+#include "support/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mosaic;
+  double thetaZ = 50.0;
+  double threshold = 0.225;
+  int points = 25;
+
+  CliParser cli("fig2_sigmoid", "Reproduce paper Fig. 2 (resist sigmoid)");
+  cli.addDouble("thetaZ", &thetaZ, "sigmoid steepness");
+  cli.addDouble("threshold", &threshold, "resist threshold th_r");
+  cli.addInt("points", &points, "sample count on [0, 1]");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    ResistModel resist;
+    resist.thetaZ = thetaZ;
+    resist.threshold = threshold;
+
+    std::printf("=== Fig. 2: sigmoid resist model (theta_Z=%.0f, th_r=%.3f) "
+                "===\n",
+                thetaZ, threshold);
+    std::printf("%10s  %10s  %8s\n", "intensity", "Z=sig(I)", "prints");
+    for (int i = 0; i <= points; ++i) {
+      const double intensity = static_cast<double>(i) / points;
+      std::printf("%10.4f  %10.6f  %8s\n", intensity,
+                  resist.sigmoid(intensity),
+                  resist.prints(intensity) ? "yes" : "no");
+    }
+    std::printf("\nZ(th_r) = %.6f (curve crosses 1/2 at the threshold)\n",
+                resist.sigmoid(threshold));
+    std::printf("Z(0)    = %.6f, Z(1) = %.6f (step-function limits)\n",
+                resist.sigmoid(0.0), resist.sigmoid(1.0));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fig2_sigmoid failed: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,91 @@
+/// \file fig3_epe_samples.cpp
+/// Reproduces paper Fig. 3: EPE measurement sites. Prints the HS/VS
+/// sample-point statistics for each benchmark clip (count, per-edge
+/// distribution, window geometry) and dumps an overlay image (target in
+/// gray, sample sites marked bright) for visual inspection.
+
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "geometry/edges.hpp"
+#include "geometry/raster.hpp"
+#include "suite/testcases.hpp"
+#include "support/cli.hpp"
+#include "support/image_io.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mosaic;
+  int pixel = 4;
+  int spacingNm = 40;
+  int overlayCase = 4;
+  std::string outDir = "/tmp";
+
+  CliParser cli("fig3_epe_samples",
+                "Reproduce paper Fig. 3 (EPE sample placement)");
+  cli.addInt("pixel", &pixel, "pixel size in nm");
+  cli.addInt("spacing", &spacingNm, "sample spacing along edges (paper: 40)");
+  cli.addInt("overlay", &overlayCase, "testcase to dump as overlay image");
+  cli.addString("out", &outDir, "output directory");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+
+    TextTable table;
+    table.setHeader({"case", "edges", "HS samples", "VS samples", "total",
+                     "line-end samples"});
+    for (int caseIdx = 1; caseIdx <= kTestcaseCount; ++caseIdx) {
+      const Layout layout = buildTestcase(caseIdx);
+      const BitGrid target = rasterize(layout, pixel);
+      const auto edges = extractEdges(target);
+      const auto samples = extractSamples(target, spacingNm / pixel);
+      int hs = 0;
+      int vs = 0;
+      for (const auto& s : samples) (s.horizontal ? hs : vs) += 1;
+      // Line-end samples: midpoint samples of short runs.
+      int lineEnds = 0;
+      for (const auto& e : edges) {
+        if (e.length() >= 2 && e.length() < spacingNm / pixel) ++lineEnds;
+      }
+      table.addRow({layout.name,
+                    TextTable::integer(static_cast<long long>(edges.size())),
+                    TextTable::integer(hs), TextTable::integer(vs),
+                    TextTable::integer(hs + vs),
+                    TextTable::integer(lineEnds)});
+    }
+    std::printf("=== Fig. 3: EPE sample placement (every %d nm) ===\n%s\n",
+                spacingNm, table.render().c_str());
+
+    // Overlay image for one clip: target 0.35, sample sites 1.0.
+    const Layout layout = buildTestcase(overlayCase);
+    const BitGrid target = rasterize(layout, pixel);
+    const auto samples = extractSamples(target, spacingNm / pixel);
+    const int n = target.rows();
+    RealGrid overlay(n, n, 0.0);
+    for (int r = 0; r < n; ++r) {
+      for (int c = 0; c < n; ++c) {
+        if (target(r, c)) overlay(r, c) = 0.35;
+      }
+    }
+    for (const auto& s : samples) {
+      const int r = s.horizontal ? s.boundary : s.along;
+      const int c = s.horizontal ? s.along : s.boundary;
+      for (int dr = -1; dr <= 0; ++dr) {
+        for (int dc = -1; dc <= 0; ++dc) {
+          if (overlay.inBounds(r + dr, c + dc)) {
+            overlay(r + dr, c + dc) = 1.0;
+          }
+        }
+      }
+    }
+    const std::string path =
+        outDir + "/fig3_" + layout.name + "_samples.pgm";
+    writePgm(path, {overlay.data(), overlay.size()}, n, n);
+    std::printf("overlay written to %s (%zu samples)\n", path.c_str(),
+                samples.size());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fig3_epe_samples failed: %s\n", e.what());
+    return 1;
+  }
+}

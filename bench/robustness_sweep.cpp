@@ -1,0 +1,115 @@
+/// \file robustness_sweep.cpp
+/// Generalization check: the ten handcrafted clips could in principle be
+/// over-fit by tuning; this bench runs the full method stack on seeded
+/// *random* clips and reports the score distribution. The method ordering
+/// of Table 2 should survive on layouts nobody tuned against.
+
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "eval/evaluator.hpp"
+#include "geometry/raster.hpp"
+#include "litho/simulator.hpp"
+#include "opc/baselines.hpp"
+#include "opc/mosaic.hpp"
+#include "suite/testcases.hpp"
+#include "support/cli.hpp"
+#include "support/log.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mosaic;
+  int pixel = 4;
+  int iterations = 15;
+  int clips = 6;
+  int firstSeed = 1000;
+  std::string logLevel = "warn";
+
+  CliParser cli("robustness_sweep",
+                "method comparison on seeded random clips");
+  cli.addInt("pixel", &pixel, "pixel size in nm");
+  cli.addInt("iters", &iterations, "optimizer iterations");
+  cli.addInt("clips", &clips, "number of random clips");
+  cli.addInt("seed", &firstSeed, "first seed (clips use seed..seed+n-1)");
+  cli.addString("log", &logLevel, "log level");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    setLogLevel(parseLogLevel(logLevel));
+
+    OpticsConfig optics;
+    optics.pixelNm = pixel;
+    LithoSimulator sim(optics);
+
+    struct Agg {
+      std::string name;
+      double scoreSum = 0.0;
+      long long epeSum = 0;
+      int wins = 0;
+    };
+    std::vector<Agg> aggs = {{"no_opc"}, {"ILT_baseline"}, {"MOSAIC_fast"},
+                             {"MOSAIC_exact"}};
+
+    TextTable table;
+    table.setHeader({"clip", "rects", "no_opc", "ILT", "fast", "exact",
+                     "winner"});
+    for (int i = 0; i < clips; ++i) {
+      const Layout layout =
+          buildRandomClip(static_cast<std::uint64_t>(firstSeed + i));
+      const BitGrid target = rasterize(layout, pixel);
+
+      std::vector<double> scores;
+      {
+        const CaseEvaluation ev =
+            evaluateMask(sim, noOpcMask(target), target, 0.0);
+        scores.push_back(ev.score);
+        aggs[0].scoreSum += ev.score;
+        aggs[0].epeSum += ev.epeViolations;
+      }
+      std::size_t m = 1;
+      for (OpcMethod method : {OpcMethod::kIltBaseline,
+                               OpcMethod::kMosaicFast,
+                               OpcMethod::kMosaicExact}) {
+        IltConfig cfg = defaultIltConfig(method, pixel);
+        cfg.maxIterations = (method == OpcMethod::kMosaicExact)
+                                ? iterations + 10
+                                : iterations;
+        const OpcResult res = runOpc(sim, target, method, &cfg);
+        const CaseEvaluation ev =
+            evaluateMask(sim, res.maskTwoLevel, target, res.runtimeSec);
+        scores.push_back(ev.score);
+        aggs[m].scoreSum += ev.score;
+        aggs[m].epeSum += ev.epeViolations;
+        ++m;
+      }
+      const std::size_t winner = static_cast<std::size_t>(
+          std::min_element(scores.begin() + 1, scores.end()) -
+          scores.begin());
+      ++aggs[winner].wins;
+      table.addRow({layout.name,
+                    TextTable::integer(static_cast<long long>(
+                        layout.rects.size())),
+                    TextTable::num(scores[0], 0), TextTable::num(scores[1], 0),
+                    TextTable::num(scores[2], 0), TextTable::num(scores[3], 0),
+                    aggs[winner].name});
+    }
+
+    std::vector<std::string> totals = {"TOTAL", "-"};
+    for (const auto& agg : aggs) totals.push_back(TextTable::num(agg.scoreSum, 0));
+    totals.push_back("-");
+    table.addRow(totals);
+
+    std::printf("=== Robustness: random clips (seeds %d..%d) ===\n%s\n",
+                firstSeed, firstSeed + clips - 1, table.render().c_str());
+    std::printf("EPE totals: no_opc %lld, ILT %lld, fast %lld, exact %lld; "
+                "wins: ILT %d, fast %d, exact %d\n",
+                aggs[0].epeSum, aggs[1].epeSum, aggs[2].epeSum,
+                aggs[3].epeSum, aggs[1].wins, aggs[2].wins, aggs[3].wins);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "robustness_sweep failed: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,83 @@
+/// \file window_comparison.cpp
+/// Process-window comparison across OPC methods: sweeps the full
+/// focus-exposure matrix for the uncorrected mask, the conventional ILT
+/// baseline and both MOSAIC modes, and reports DOF / exposure latitude /
+/// in-spec window fraction. This quantifies the paper's motivation: the
+/// F_pvb term should buy a *wider usable window*, not just a smaller PV
+/// band surrogate.
+
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "eval/process_window.hpp"
+#include "geometry/raster.hpp"
+#include "litho/simulator.hpp"
+#include "opc/baselines.hpp"
+#include "opc/mosaic.hpp"
+#include "suite/testcases.hpp"
+#include "support/cli.hpp"
+#include "support/log.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mosaic;
+  int pixel = 4;
+  int iterations = 20;
+  std::string cases = "2,4";
+  std::string logLevel = "warn";
+
+  CliParser cli("window_comparison",
+                "focus-exposure window per OPC method");
+  cli.addInt("pixel", &pixel, "pixel size in nm");
+  cli.addInt("iters", &iterations, "optimizer iterations");
+  cli.addString("cases", &cases, "comma-separated testcase indices");
+  cli.addString("log", &logLevel, "log level");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    setLogLevel(parseLogLevel(logLevel));
+
+    OpticsConfig optics;
+    optics.pixelNm = pixel;
+    LithoSimulator sim(optics);
+
+    TextTable table;
+    table.setHeader({"case", "method", "DOF (nm)", "EL (%)",
+                     "window (%)"});
+    std::string rest = cases;
+    while (!rest.empty()) {
+      const auto comma = rest.find(',');
+      const int caseIdx = std::stoi(rest.substr(0, comma));
+      rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+      const Layout layout = buildTestcase(caseIdx);
+      const BitGrid target = rasterize(layout, pixel);
+
+      auto report = [&](const std::string& name, const RealGrid& mask) {
+        const ProcessWindowResult w =
+            measureProcessWindow(sim, mask, target);
+        table.addRow({layout.name, name, TextTable::num(w.dofNm, 0),
+                      TextTable::num(w.exposureLatitudePct, 1),
+                      TextTable::num(100.0 * w.windowFraction, 1)});
+      };
+
+      report("no_opc", noOpcMask(target));
+      for (OpcMethod m : {OpcMethod::kIltBaseline, OpcMethod::kMosaicFast,
+                          OpcMethod::kMosaicExact}) {
+        IltConfig cfg = defaultIltConfig(m, pixel);
+        cfg.maxIterations =
+            (m == OpcMethod::kMosaicExact) ? iterations + 10 : iterations;
+        const OpcResult res = runOpc(sim, target, m, &cfg);
+        report(res.method, res.maskTwoLevel);
+      }
+    }
+    std::printf("=== Process window (focus 0..60 nm x dose +-10%%) ===\n%s\n",
+                table.render().c_str());
+    std::printf("DOF at nominal dose; EL at nominal focus; window = in-spec "
+                "fraction of the swept matrix (zero EPE violations, no "
+                "shape defects)\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "window_comparison failed: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,89 @@
+/// \file custom_layout_opc.cpp
+/// Shows how a downstream user brings their own layout: build a Layout
+/// from rectangles (here: an SRAM-like cell fragment), run both MOSAIC
+/// modes, and compare against the uncorrected mask and conventional ILT.
+///
+/// Run:  ./custom_layout_opc --pixel 4
+
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "eval/evaluator.hpp"
+#include "geometry/raster.hpp"
+#include "litho/simulator.hpp"
+#include "opc/baselines.hpp"
+#include "opc/mosaic.hpp"
+#include "support/cli.hpp"
+#include "support/log.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+/// A hand-drawn M1-style routing fragment: two rails, a jogged connection
+/// and a landing pad.
+mosaic::Layout makeCustomLayout() {
+  mosaic::Layout layout;
+  layout.name = "custom_sram_frag";
+  layout.sizeNm = 1024;
+  layout.addRect(224, 640, 800, 704);  // upper rail
+  layout.addRect(224, 320, 800, 384);  // lower rail
+  layout.addRect(480, 384, 544, 640);  // vertical connector
+  layout.addRect(640, 448, 752, 560);  // landing pad
+  layout.addRect(256, 448, 368, 560);  // second pad
+  return layout;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mosaic;
+  int pixel = 4;
+  int iterations = 20;
+  std::string logLevel = "warn";
+
+  CliParser cli("custom_layout_opc", "OPC on a user-provided layout");
+  cli.addInt("pixel", &pixel, "pixel size in nm");
+  cli.addInt("iters", &iterations, "optimizer iterations");
+  cli.addString("log", &logLevel, "log level");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    setLogLevel(parseLogLevel(logLevel));
+
+    const Layout layout = makeCustomLayout();
+    const BitGrid target = rasterize(layout, pixel);
+
+    OpticsConfig optics;
+    optics.pixelNm = pixel;
+    LithoSimulator sim(optics);
+
+    TextTable table;
+    table.setHeader({"method", "#EPE", "PVB (nm^2)", "shape", "score",
+                     "runtime (s)"});
+    auto report = [&](const std::string& name, const RealGrid& mask,
+                      double runtime) {
+      const CaseEvaluation ev = evaluateMask(sim, mask, target, runtime);
+      table.addRow({name, TextTable::integer(ev.epeViolations),
+                    TextTable::num(ev.pvbandAreaNm2, 0),
+                    TextTable::integer(ev.shapeViolations),
+                    TextTable::num(ev.score, 0), TextTable::num(runtime, 1)});
+    };
+
+    report("no_opc", noOpcMask(target), 0.0);
+    report("rule_opc", ruleOpcMask(target, pixel), 0.0);
+
+    for (OpcMethod method : {OpcMethod::kIltBaseline, OpcMethod::kMosaicFast,
+                             OpcMethod::kMosaicExact}) {
+      IltConfig cfg = defaultIltConfig(method, pixel);
+      cfg.maxIterations = iterations;
+      const OpcResult res = runOpc(sim, target, method, &cfg);
+      report(res.method, toReal(res.maskBinary), res.runtimeSec);
+    }
+
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "custom_layout_opc failed: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,94 @@
+/// \file quickstart.cpp
+/// Minimal end-to-end tour of the MOSAIC library:
+///   1. build a benchmark clip,
+///   2. simulate how it would print with no correction,
+///   3. run MOSAIC_fast mask optimization,
+///   4. evaluate both masks with the contest metrics,
+///   5. dump images for inspection.
+///
+/// Run:  ./quickstart --case 4 --pixel 4 --out /tmp
+
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "eval/evaluator.hpp"
+#include "geometry/raster.hpp"
+#include "litho/simulator.hpp"
+#include "opc/baselines.hpp"
+#include "opc/mosaic.hpp"
+#include "suite/testcases.hpp"
+#include "support/cli.hpp"
+#include "support/image_io.hpp"
+#include "support/log.hpp"
+#include "support/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mosaic;
+  int caseIndex = 4;
+  int pixel = 4;
+  int iterations = 20;
+  std::string outDir = "/tmp";
+  std::string logLevel = "info";
+
+  CliParser cli("quickstart", "MOSAIC end-to-end quickstart");
+  cli.addInt("case", &caseIndex, "testcase index (1..10)");
+  cli.addInt("pixel", &pixel, "pixel size in nm (1/2/4/8)");
+  cli.addInt("iters", &iterations, "optimizer iterations");
+  cli.addString("out", &outDir, "output directory for PGM dumps");
+  cli.addString("log", &logLevel, "log level (debug/info/warn/error)");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    setLogLevel(parseLogLevel(logLevel));
+
+    // 1. A benchmark clip (1024 x 1024 nm of 32 nm-node style M1 shapes).
+    const Layout layout = buildTestcase(caseIndex);
+    const BitGrid target = rasterize(layout, pixel);
+    std::printf("clip %s: %zu rects, pattern area %lld nm^2\n",
+                layout.name.c_str(), layout.rects.size(),
+                layout.patternArea());
+
+    // 2. Forward simulation of the uncorrected target.
+    OpticsConfig optics;
+    optics.pixelNm = pixel;
+    LithoSimulator sim(optics);
+    const RealGrid plainMask = noOpcMask(target);
+    const CaseEvaluation before = evaluateMask(sim, plainMask, target, 0.0);
+    std::printf("no OPC    : EPE violations %d, PV band %.0f nm^2, score %.0f\n",
+                before.epeViolations, before.pvbandAreaNm2, before.score);
+
+    // 3. MOSAIC_fast inverse lithography.
+    IltConfig cfg = defaultIltConfig(OpcMethod::kMosaicFast, pixel);
+    cfg.maxIterations = iterations;
+    WallTimer timer;
+    const OpcResult opc =
+        runOpc(sim, target, OpcMethod::kMosaicFast, &cfg);
+
+    // 4. Contest-style evaluation of the optimized (binarized) mask.
+    const CaseEvaluation after = evaluateMask(
+        sim, toReal(opc.maskBinary), target, opc.runtimeSec);
+    std::printf("MOSAIC_fast: EPE violations %d, PV band %.0f nm^2, score %.0f"
+                " (%.1f s)\n",
+                after.epeViolations, after.pvbandAreaNm2, after.score,
+                timer.seconds());
+
+    // 5. Dump target / mask / nominal print / PV band as PGM images.
+    const int n = sim.gridSize();
+    auto dump = [&](const std::string& name, const RealGrid& img) {
+      const std::string path = outDir + "/" + layout.name + "_" + name + ".pgm";
+      writePgm(path, {img.data(), img.size()}, n, n);
+      std::printf("wrote %s\n", path.c_str());
+    };
+    dump("target", toReal(target));
+    dump("mask", toReal(opc.maskBinary));
+    dump("nominal",
+         toReal(sim.print(toReal(opc.maskBinary), nominalCorner())));
+    const PvBandResult pvb =
+        computePvBand(sim, toReal(opc.maskBinary), evaluationCorners());
+    dump("pvband", toReal(pvb.band));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "quickstart failed: %s\n", e.what());
+    return 1;
+  }
+}

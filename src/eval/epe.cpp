@@ -1,0 +1,163 @@
+#include "eval/epe.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace mosaic {
+namespace {
+
+/// Reads the pattern value at (row, col) treating out-of-grid as empty.
+bool cellValue(const BitGrid& grid, int r, int c) {
+  return grid.inBounds(r, c) && grid(r, c) != 0;
+}
+
+/// True if boundary position b along the sample's perpendicular axis is a
+/// printed edge with the sample's polarity (inside on the low-index side
+/// iff insideLow).
+bool isPrintedEdge(const BitGrid& printed, const SamplePoint& s, int b) {
+  bool lowVal;
+  bool highVal;
+  if (s.horizontal) {
+    lowVal = cellValue(printed, b - 1, s.along);
+    highVal = cellValue(printed, b, s.along);
+  } else {
+    lowVal = cellValue(printed, s.along, b - 1);
+    highVal = cellValue(printed, s.along, b);
+  }
+  if (s.insideLow) return lowVal && !highVal;
+  return !lowVal && highVal;
+}
+
+}  // namespace
+
+EpeResult measureEpe(const BitGrid& printed, const BitGrid& target,
+                     const std::vector<SamplePoint>& samples, int pixelNm,
+                     double thresholdNm, double searchRangeNm) {
+  MOSAIC_CHECK(printed.sameShape(target), "printed/target shape mismatch");
+  MOSAIC_CHECK(pixelNm > 0, "pixel size must be positive");
+  MOSAIC_CHECK(thresholdNm > 0, "EPE threshold must be positive");
+  if (searchRangeNm <= 0.0) searchRangeNm = 4.0 * thresholdNm;
+  const int searchPx =
+      std::max(1, static_cast<int>(std::lround(searchRangeNm / pixelNm)));
+
+  EpeResult result;
+  result.perSample.reserve(samples.size());
+  double absSum = 0.0;
+
+  for (const auto& s : samples) {
+    EpeSampleResult sr;
+    sr.sample = s;
+    // Walk outward from the target boundary; the nearest printed edge with
+    // matching polarity defines the EPE.
+    int found = -1;
+    for (int d = 0; d <= searchPx && found < 0; ++d) {
+      if (isPrintedEdge(printed, s, s.boundary + d)) {
+        found = d;
+        // displacement +d moves the edge toward higher indices; that is
+        // outward when the inside is on the low side.
+        sr.epeNm = (s.insideLow ? d : -d) * pixelNm;
+      } else if (d > 0 && isPrintedEdge(printed, s, s.boundary - d)) {
+        found = d;
+        sr.epeNm = (s.insideLow ? -d : d) * pixelNm;
+      }
+    }
+    sr.edgeFound = found >= 0;
+    if (!sr.edgeFound) {
+      // Feature lost (or bloated beyond the search range) at this sample.
+      const bool insideNow =
+          s.horizontal
+              ? cellValue(printed, s.insideLow ? s.boundary - 1 : s.boundary,
+                          s.along)
+              : cellValue(printed, s.along,
+                          s.insideLow ? s.boundary - 1 : s.boundary);
+      // If the inside pixel still prints the feature has bloated outward
+      // (positive); otherwise it has vanished (negative).
+      sr.epeNm = (insideNow ? 1.0 : -1.0) * (searchRangeNm + pixelNm);
+    }
+    sr.violation = std::fabs(sr.epeNm) > thresholdNm ||
+                   !sr.edgeFound;
+    if (sr.violation) ++result.violations;
+    absSum += std::fabs(sr.epeNm);
+    result.maxAbsEpeNm = std::max(result.maxAbsEpeNm, std::fabs(sr.epeNm));
+    result.perSample.push_back(sr);
+  }
+  result.meanAbsEpeNm =
+      samples.empty() ? 0.0 : absSum / static_cast<double>(samples.size());
+  return result;
+}
+
+EpeResult measureEpeAerial(const RealGrid& aerial, double threshold,
+                           const BitGrid& target,
+                           const std::vector<SamplePoint>& samples,
+                           int pixelNm, double thresholdNm,
+                           double searchRangeNm) {
+  MOSAIC_CHECK(aerial.rows() == target.rows() &&
+                   aerial.cols() == target.cols(),
+               "aerial/target shape mismatch");
+  MOSAIC_CHECK(pixelNm > 0 && thresholdNm > 0, "bad EPE parameters");
+  if (searchRangeNm <= 0.0) searchRangeNm = 4.0 * thresholdNm;
+  const int searchPx =
+      std::max(1, static_cast<int>(std::lround(searchRangeNm / pixelNm)));
+
+  EpeResult result;
+  result.perSample.reserve(samples.size());
+  double absSum = 0.0;
+
+  for (const auto& s : samples) {
+    // Intensity profile reader along the perpendicular (pixel index t).
+    auto intensityAt = [&](int t) -> double {
+      const int r = s.horizontal ? t : s.along;
+      const int c = s.horizontal ? s.along : t;
+      if (!aerial.inBounds(r, c)) return 0.0;
+      return aerial(r, c);
+    };
+
+    EpeSampleResult sr;
+    sr.sample = s;
+    // Search pixel-center pairs (t, t+1) for threshold crossings with the
+    // correct polarity: intensity above threshold on the inside.
+    double bestPos = 0.0;
+    double bestDist = 1e100;
+    bool found = false;
+    const int lo = s.boundary - searchPx - 1;
+    const int hi = s.boundary + searchPx;
+    for (int t = lo; t < hi; ++t) {
+      const double a = intensityAt(t);      // center at t + 0.5
+      const double b = intensityAt(t + 1);  // center at t + 1.5
+      const bool crossesDown = a > threshold && b <= threshold;
+      const bool crossesUp = a <= threshold && b > threshold;
+      const bool wantDown = s.insideLow;  // inside at lower indices
+      if (!(wantDown ? crossesDown : crossesUp)) continue;
+      const double frac = (threshold - a) / (b - a);
+      const double pos = (t + 0.5) + frac;  // boundary-coordinate units
+      const double dist =
+          std::fabs(pos - static_cast<double>(s.boundary));
+      if (dist < bestDist) {
+        bestDist = dist;
+        bestPos = pos;
+        found = true;
+      }
+    }
+    sr.edgeFound = found && bestDist <= searchPx;
+    if (sr.edgeFound) {
+      const double delta = bestPos - static_cast<double>(s.boundary);
+      sr.epeNm = (s.insideLow ? delta : -delta) * pixelNm;
+    } else {
+      const double inside = intensityAt(
+          s.insideLow ? s.boundary - 1 : s.boundary);
+      sr.epeNm = (inside > threshold ? 1.0 : -1.0) *
+                 (searchRangeNm + pixelNm);
+    }
+    sr.violation = !sr.edgeFound || std::fabs(sr.epeNm) > thresholdNm;
+    if (sr.violation) ++result.violations;
+    absSum += std::fabs(sr.epeNm);
+    result.maxAbsEpeNm = std::max(result.maxAbsEpeNm, std::fabs(sr.epeNm));
+    result.perSample.push_back(sr);
+  }
+  result.meanAbsEpeNm =
+      samples.empty() ? 0.0 : absSum / static_cast<double>(samples.size());
+  return result;
+}
+
+}  // namespace mosaic

@@ -1,0 +1,54 @@
+#pragma once
+/// \file epe.hpp
+/// Edge placement error measurement (paper Fig. 3). For every sample point
+/// on the target boundary, the printed edge is located along the direction
+/// perpendicular to the edge and the displacement is compared against the
+/// EPE constraint th_epe.
+
+#include <vector>
+
+#include "geometry/edges.hpp"
+#include "math/grid.hpp"
+
+namespace mosaic {
+
+/// EPE at a single sample point.
+struct EpeSampleResult {
+  SamplePoint sample;
+  /// Signed displacement in nm; positive means the printed edge lies
+  /// outside the target (over-print). Set to +-(searchRange + pixel) when
+  /// no printed edge was found within the search range.
+  double epeNm = 0.0;
+  bool edgeFound = false;
+  bool violation = false;
+};
+
+struct EpeResult {
+  std::vector<EpeSampleResult> perSample;
+  int violations = 0;
+  double maxAbsEpeNm = 0.0;
+  double meanAbsEpeNm = 0.0;
+};
+
+/// Measure EPE of a printed binary image against the target.
+/// \param samples sample points from extractSamples(target, ...)
+/// \param pixelNm raster pitch
+/// \param thresholdNm th_epe (paper: 15 nm)
+/// \param searchRangeNm how far to look for the printed edge before
+///        declaring it lost (counts as a violation); default 4x threshold.
+EpeResult measureEpe(const BitGrid& printed, const BitGrid& target,
+                     const std::vector<SamplePoint>& samples, int pixelNm,
+                     double thresholdNm, double searchRangeNm = 0.0);
+
+/// Sub-pixel EPE from the aerial image: the printed edge position is the
+/// linear interpolation of the threshold crossing between pixel centers
+/// along the perpendicular, which removes the raster quantization of
+/// measureEpe (useful at coarse pitches). Semantics otherwise match
+/// measureEpe.
+EpeResult measureEpeAerial(const RealGrid& aerial, double threshold,
+                           const BitGrid& target,
+                           const std::vector<SamplePoint>& samples,
+                           int pixelNm, double thresholdNm,
+                           double searchRangeNm = 0.0);
+
+}  // namespace mosaic

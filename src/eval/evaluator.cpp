@@ -1,0 +1,42 @@
+#include "eval/evaluator.hpp"
+
+#include "geometry/edges.hpp"
+#include "support/error.hpp"
+
+namespace mosaic {
+
+CaseEvaluation evaluateMask(const LithoSimulator& sim, const RealGrid& mask,
+                            const BitGrid& target, double runtimeSec,
+                            const EvalConfig& config) {
+  const int pixelNm = sim.optics().pixelNm;
+  MOSAIC_CHECK(config.sampleSpacingNm >= pixelNm,
+               "sample spacing below pixel pitch");
+
+  CaseEvaluation eval;
+  eval.runtimeSec = runtimeSec;
+
+  // Nominal print: EPE + shape.
+  const BitGrid nominalPrint = sim.print(mask, nominalCorner());
+  const auto samples = extractSamples(target, config.sampleSpacingNm / pixelNm);
+  const EpeResult epe = measureEpe(nominalPrint, target, samples, pixelNm,
+                                   config.epeThresholdNm);
+  eval.epeViolations = epe.violations;
+  eval.meanAbsEpeNm = epe.meanAbsEpeNm;
+  eval.maxAbsEpeNm = epe.maxAbsEpeNm;
+
+  const ShapeResult shape = analyzeShape(nominalPrint, target);
+  eval.shapeViolations = shape.violations();
+  eval.holes = shape.holes;
+  eval.missingFeatures = shape.missingFeatures;
+
+  // PV band across the full corner set.
+  const PvBandResult pvb = computePvBand(sim, mask, config.corners);
+  eval.pvbandAreaNm2 = pvb.bandAreaNm2;
+
+  eval.score = contestScore(runtimeSec, eval.pvbandAreaNm2,
+                            eval.epeViolations, eval.shapeViolations,
+                            config.weights);
+  return eval;
+}
+
+}  // namespace mosaic

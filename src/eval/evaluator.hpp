@@ -1,0 +1,44 @@
+#pragma once
+/// \file evaluator.hpp
+/// One-call mask quality evaluation: nominal print -> EPE, all corners ->
+/// PV band, shape check, contest score. This is the metric column set of
+/// the paper's Table 2.
+
+#include <vector>
+
+#include "eval/epe.hpp"
+#include "eval/pvband.hpp"
+#include "eval/score.hpp"
+#include "eval/shape.hpp"
+#include "litho/simulator.hpp"
+
+namespace mosaic {
+
+struct EvalConfig {
+  double epeThresholdNm = 15.0;             ///< th_epe (paper Sec. 4)
+  int sampleSpacingNm = 40;                 ///< EPE sample pitch
+  std::vector<ProcessCorner> corners = evaluationCorners();
+  ScoreWeights weights = {};
+};
+
+/// Full quality report for one mask on one testcase.
+struct CaseEvaluation {
+  int epeViolations = 0;
+  double meanAbsEpeNm = 0.0;
+  double maxAbsEpeNm = 0.0;
+  double pvbandAreaNm2 = 0.0;
+  int shapeViolations = 0;
+  int holes = 0;
+  int missingFeatures = 0;
+  double runtimeSec = 0.0;
+  double score = 0.0;
+};
+
+/// Evaluate a (continuous or binary) mask against a target raster.
+/// The mask is used as-is: pass the binarized mask for contest-style
+/// numbers. `runtimeSec` is folded into the score (Eq. 22).
+CaseEvaluation evaluateMask(const LithoSimulator& sim, const RealGrid& mask,
+                            const BitGrid& target, double runtimeSec,
+                            const EvalConfig& config = {});
+
+}  // namespace mosaic

@@ -1,0 +1,76 @@
+#include "eval/mrc.hpp"
+
+#include <vector>
+
+#include "geometry/bitmap_ops.hpp"
+#include "geometry/contour.hpp"
+#include "support/error.hpp"
+
+namespace mosaic {
+namespace {
+
+/// Pixels of `mask` that vanish under a morphological opening with the
+/// given radius: the loci where the local width is below 2*radius+1 px.
+BitGrid openingResidue(const BitGrid& mask, int radius) {
+  const BitGrid opened = dilateSquare(erodeSquare(mask, radius), radius);
+  return bitSub(mask, opened);
+}
+
+}  // namespace
+
+MrcResult checkMask(const BitGrid& mask, int pixelNm, const MrcConfig& config) {
+  MOSAIC_CHECK(pixelNm > 0, "pixel size must be positive");
+  MOSAIC_CHECK(config.minWidthNm > 0 && config.minSpaceNm > 0,
+               "MRC rules must be positive");
+
+  MrcResult result;
+  result.featurePx = countSet(mask);
+
+  // Width: opening residue at radius floor((minWidth/px - 1) / 2).
+  const int widthRadius = (config.minWidthNm / pixelNm - 1) / 2;
+  if (widthRadius >= 1) {
+    result.widthViolationPx = countSet(openingResidue(mask, widthRadius));
+  }
+
+  // Space: same check on the background, restricted to the neighborhood of
+  // features (gaps to the clip border are not spaces).
+  const int spaceRadius = (config.minSpaceNm / pixelNm - 1) / 2;
+  if (spaceRadius >= 1) {
+    const BitGrid background = bitNot(mask);
+    const BitGrid residue = openingResidue(background, spaceRadius);
+    // Only count residue pixels sandwiched between features: within the
+    // dilation of the mask by the space rule.
+    const BitGrid nearMask =
+        dilateSquare(mask, config.minSpaceNm / pixelNm);
+    result.spaceViolationPx = countSet(bitAnd(residue, nearMask));
+  }
+
+  // Tiny isolated features.
+  int componentCount = 0;
+  const Grid<int> labels =
+      labelComponents(mask, /*eightConnected=*/false, &componentCount);
+  result.components = componentCount;
+  std::vector<long long> areas(static_cast<std::size_t>(componentCount) + 1,
+                               0);
+  for (int r = 0; r < labels.rows(); ++r) {
+    for (int c = 0; c < labels.cols(); ++c) {
+      if (labels(r, c)) ++areas[static_cast<std::size_t>(labels(r, c))];
+    }
+  }
+  const long long minAreaPx =
+      (config.minAreaNm2 + pixelNm * pixelNm - 1) / (pixelNm * pixelNm);
+  for (int label = 1; label <= componentCount; ++label) {
+    if (areas[static_cast<std::size_t>(label)] < minAreaPx) {
+      ++result.tinyFeatures;
+    }
+  }
+
+  // Complexity metrics.
+  result.contourVertices = totalVertices(mask);
+  result.perimeterNm = totalPerimeter(mask) * pixelNm;
+  result.rectangles =
+      static_cast<long long>(rasterToRects(mask, pixelNm).size());
+  return result;
+}
+
+}  // namespace mosaic

@@ -1,0 +1,42 @@
+#pragma once
+/// \file mrc.hpp
+/// Mask rule checking and mask complexity metrics. ILT-generated masks are
+/// notoriously hard to write (the paper's introduction cites e-beam write
+/// time for ILT masks); this module quantifies that: minimum feature
+/// width / spacing violations, tiny-feature count, and complexity proxies
+/// (contour vertices, rectangle/shot count).
+
+#include "math/grid.hpp"
+
+namespace mosaic {
+
+struct MrcConfig {
+  int minWidthNm = 24;   ///< narrowest manufacturable mask feature
+  int minSpaceNm = 24;   ///< narrowest manufacturable gap
+  int minAreaNm2 = 864;  ///< smallest writable isolated feature
+};
+
+struct MrcResult {
+  long long widthViolationPx = 0;  ///< pixels inside too-narrow features
+  long long spaceViolationPx = 0;  ///< pixels inside too-narrow gaps
+  int tinyFeatures = 0;            ///< components below the area floor
+  long long featurePx = 0;         ///< total mask pixels
+
+  // Complexity metrics.
+  long long contourVertices = 0;   ///< total polygon corners
+  long long perimeterNm = 0;       ///< total boundary length
+  long long rectangles = 0;        ///< decomposed rect count (VSB shots)
+  int components = 0;              ///< connected feature count
+
+  [[nodiscard]] bool clean() const {
+    return widthViolationPx == 0 && spaceViolationPx == 0 &&
+           tinyFeatures == 0;
+  }
+};
+
+/// Check a binary mask against mask manufacturing rules and compute its
+/// complexity statistics.
+MrcResult checkMask(const BitGrid& mask, int pixelNm,
+                    const MrcConfig& config = {});
+
+}  // namespace mosaic

@@ -1,0 +1,57 @@
+#pragma once
+/// \file process_window.hpp
+/// Focus-exposure process window measurement. The paper optimizes a PV
+/// band surrogate; this module measures the window it actually buys: the
+/// set of (focus, dose) conditions under which the mask prints in spec
+/// (EPE within tolerance everywhere, no shape violations), plus the
+/// classic summary metrics -- depth of focus (DOF) at nominal dose and
+/// exposure latitude (EL) at nominal focus.
+
+#include <vector>
+
+#include "litho/simulator.hpp"
+#include "math/grid.hpp"
+
+namespace mosaic {
+
+struct ProcessWindowConfig {
+  double maxFocusNm = 60.0;    ///< sweep focus in [0, maxFocus]
+  int focusSteps = 7;          ///< inclusive sample count along focus
+  double doseSpan = 0.10;      ///< sweep dose in [1 - span, 1 + span]
+  int doseSteps = 11;          ///< inclusive sample count along dose
+  double epeToleranceNm = 15.0;  ///< in-spec means zero violations at this
+  int sampleSpacingNm = 40;
+};
+
+struct FocusExposurePoint {
+  double focusNm = 0.0;
+  double dose = 1.0;
+  int epeViolations = 0;
+  int shapeViolations = 0;
+  bool inSpec = false;
+};
+
+struct ProcessWindowResult {
+  std::vector<FocusExposurePoint> matrix;  ///< row-major focus x dose
+  int focusSteps = 0;
+  int doseSteps = 0;
+  /// Largest focus offset (nm) that stays in spec at nominal dose; 0 when
+  /// even the nominal condition is out of spec.
+  double dofNm = 0.0;
+  /// Total in-spec dose latitude at nominal focus, in percent.
+  double exposureLatitudePct = 0.0;
+  /// Fraction of the swept (focus, dose) grid that is in spec.
+  double windowFraction = 0.0;
+
+  [[nodiscard]] const FocusExposurePoint& at(int focusIdx,
+                                             int doseIdx) const {
+    return matrix[static_cast<std::size_t>(focusIdx) * doseSteps + doseIdx];
+  }
+};
+
+/// Sweep the focus-exposure matrix for a mask against a target raster.
+ProcessWindowResult measureProcessWindow(
+    const LithoSimulator& sim, const RealGrid& mask, const BitGrid& target,
+    const ProcessWindowConfig& config = {});
+
+}  // namespace mosaic

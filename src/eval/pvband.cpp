@@ -1,0 +1,33 @@
+#include "eval/pvband.hpp"
+
+#include "geometry/bitmap_ops.hpp"
+
+namespace mosaic {
+
+PvBandResult computePvBand(const LithoSimulator& sim, const RealGrid& mask,
+                           const std::vector<ProcessCorner>& corners) {
+  MOSAIC_CHECK(!corners.empty(), "PV band needs at least one corner");
+  const ComplexGrid spectrum = sim.maskSpectrum(mask);
+  PvBandResult result;
+  bool first = true;
+  for (const auto& corner : corners) {
+    const BitGrid print =
+        sim.printBinary(sim.aerialFromSpectrum(spectrum, corner));
+    if (first) {
+      result.outer = print;
+      result.inner = print;
+      first = false;
+    } else {
+      result.outer = bitOr(result.outer, print);
+      result.inner = bitAnd(result.inner, print);
+    }
+  }
+  result.band = bitSub(result.outer, result.inner);
+  result.bandPixels = countSet(result.band);
+  const double pixelArea = static_cast<double>(sim.optics().pixelNm) *
+                           static_cast<double>(sim.optics().pixelNm);
+  result.bandAreaNm2 = static_cast<double>(result.bandPixels) * pixelArea;
+  return result;
+}
+
+}  // namespace mosaic

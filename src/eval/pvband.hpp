@@ -1,0 +1,27 @@
+#pragma once
+/// \file pvband.hpp
+/// Process variability band (paper Fig. 4): the area between the outermost
+/// and innermost printed contour over all process corners, computed with
+/// boolean raster operations.
+
+#include <vector>
+
+#include "litho/simulator.hpp"
+#include "math/grid.hpp"
+
+namespace mosaic {
+
+struct PvBandResult {
+  BitGrid outer;        ///< union of all corner prints
+  BitGrid inner;        ///< intersection of all corner prints
+  BitGrid band;         ///< outer AND NOT inner
+  long long bandPixels = 0;
+  double bandAreaNm2 = 0.0;
+};
+
+/// Print the mask at every corner and assemble the PV band. The mask
+/// spectrum is computed once and shared across corners.
+PvBandResult computePvBand(const LithoSimulator& sim, const RealGrid& mask,
+                           const std::vector<ProcessCorner>& corners);
+
+}  // namespace mosaic

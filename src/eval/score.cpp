@@ -1,0 +1,17 @@
+#include "eval/score.hpp"
+
+#include "support/error.hpp"
+
+namespace mosaic {
+
+double contestScore(double runtimeSec, double pvbandAreaNm2,
+                    int epeViolations, int shapeViolations,
+                    const ScoreWeights& weights) {
+  MOSAIC_CHECK(runtimeSec >= 0 && pvbandAreaNm2 >= 0 && epeViolations >= 0 &&
+                   shapeViolations >= 0,
+               "score ingredients must be non-negative");
+  return weights.runtime * runtimeSec + weights.pvband * pvbandAreaNm2 +
+         weights.epe * epeViolations + weights.shape * shapeViolations;
+}
+
+}  // namespace mosaic

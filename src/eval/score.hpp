@@ -1,0 +1,22 @@
+#pragma once
+/// \file score.hpp
+/// ICCAD 2013 contest scoring (paper Eq. 22):
+///   Score = w_rt * Runtime + 4 * PVBand + 5000 * #EPE + w_sv * ShapeViol.
+/// PVBand is an area in nm^2; #EPE a count. The paper notes runtime is a
+/// small fraction of the score (0.12 % / 0.75 % for fast / exact).
+
+namespace mosaic {
+
+struct ScoreWeights {
+  double runtime = 1.0;    ///< per second
+  double pvband = 4.0;     ///< per nm^2
+  double epe = 5000.0;     ///< per violation
+  double shape = 10000.0;  ///< per shape violation (contest: prohibitive)
+};
+
+/// Compose the contest score from its ingredients.
+double contestScore(double runtimeSec, double pvbandAreaNm2,
+                    int epeViolations, int shapeViolations,
+                    const ScoreWeights& weights = {});
+
+}  // namespace mosaic

@@ -1,0 +1,45 @@
+#include "eval/shape.hpp"
+
+#include <vector>
+
+#include "geometry/bitmap_ops.hpp"
+#include "support/error.hpp"
+
+namespace mosaic {
+
+ShapeResult analyzeShape(const BitGrid& printed, const BitGrid& target) {
+  MOSAIC_CHECK(printed.sameShape(target), "printed/target shape mismatch");
+  ShapeResult result;
+  result.holes = countHoles(printed);
+
+  int targetCount = 0;
+  const Grid<int> targetLabels =
+      labelComponents(target, /*eightConnected=*/false, &targetCount);
+  int printedCount = 0;
+  const Grid<int> printedLabels =
+      labelComponents(printed, /*eightConnected=*/false, &printedCount);
+
+  std::vector<bool> targetHit(static_cast<std::size_t>(targetCount) + 1,
+                              false);
+  std::vector<bool> printedHit(static_cast<std::size_t>(printedCount) + 1,
+                               false);
+  for (int r = 0; r < target.rows(); ++r) {
+    for (int c = 0; c < target.cols(); ++c) {
+      const int tl = targetLabels(r, c);
+      const int pl = printedLabels(r, c);
+      if (tl && pl) {
+        targetHit[static_cast<std::size_t>(tl)] = true;
+        printedHit[static_cast<std::size_t>(pl)] = true;
+      }
+    }
+  }
+  for (int label = 1; label <= targetCount; ++label) {
+    if (!targetHit[static_cast<std::size_t>(label)]) ++result.missingFeatures;
+  }
+  for (int label = 1; label <= printedCount; ++label) {
+    if (!printedHit[static_cast<std::size_t>(label)]) ++result.extraFeatures;
+  }
+  return result;
+}
+
+}  // namespace mosaic

@@ -1,0 +1,22 @@
+#pragma once
+/// \file shape.hpp
+/// Shape violation detection (paper Eq. 22: "based on the existence of
+/// holes in the final contour"). We additionally report broken and missing
+/// features since a vanished line is at least as fatal as a pinhole.
+
+#include "math/grid.hpp"
+
+namespace mosaic {
+
+struct ShapeResult {
+  int holes = 0;            ///< background islands inside printed features
+  int missingFeatures = 0;  ///< target components with no printed overlap
+  int extraFeatures = 0;    ///< printed components touching no target shape
+
+  [[nodiscard]] int violations() const { return holes + missingFeatures; }
+};
+
+/// Analyze the nominal printed image against the target raster.
+ShapeResult analyzeShape(const BitGrid& printed, const BitGrid& target);
+
+}  // namespace mosaic

@@ -1,0 +1,228 @@
+#include "geometry/bitmap_ops.hpp"
+
+#include <array>
+#include <queue>
+
+#include "support/error.hpp"
+
+namespace mosaic {
+namespace {
+
+void checkSameShape(const BitGrid& a, const BitGrid& b) {
+  MOSAIC_CHECK(a.sameShape(b), "bitmap shape mismatch: "
+                                   << a.rows() << "x" << a.cols() << " vs "
+                                   << b.rows() << "x" << b.cols());
+}
+
+/// 1-D sliding-window max over each row (for separable square dilation).
+void rowWindowMax(const BitGrid& in, int radius, BitGrid& out) {
+  const int rows = in.rows();
+  const int cols = in.cols();
+  for (int r = 0; r < rows; ++r) {
+    // Binary data: output is 1 iff any 1 within the window. Track the most
+    // recent set column to make this O(cols).
+    int lastSet = -(radius + 1);
+    for (int c = 0; c < cols; ++c) {
+      if (in(r, c)) lastSet = c;
+      // ahead: need to know if a set pixel exists in (c, c+radius];
+      out(r, c) = (c - lastSet <= radius) ? 1u : 0u;
+    }
+    int nextSet = cols + radius + 1;
+    for (int c = cols - 1; c >= 0; --c) {
+      if (in(r, c)) nextSet = c;
+      if (nextSet - c <= radius) out(r, c) = 1u;
+    }
+  }
+}
+
+/// 1-D sliding-window max over each column.
+void colWindowMax(const BitGrid& in, int radius, BitGrid& out) {
+  const int rows = in.rows();
+  const int cols = in.cols();
+  for (int c = 0; c < cols; ++c) {
+    int lastSet = -(radius + 1);
+    for (int r = 0; r < rows; ++r) {
+      if (in(r, c)) lastSet = r;
+      out(r, c) = (r - lastSet <= radius) ? 1u : 0u;
+    }
+    int nextSet = rows + radius + 1;
+    for (int r = rows - 1; r >= 0; --r) {
+      if (in(r, c)) nextSet = r;
+      if (nextSet - r <= radius) out(r, c) = 1u;
+    }
+  }
+}
+
+}  // namespace
+
+BitGrid bitAnd(const BitGrid& a, const BitGrid& b) {
+  checkSameShape(a, b);
+  BitGrid out(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out.data()[i] = (a.data()[i] && b.data()[i]) ? 1u : 0u;
+  }
+  return out;
+}
+
+BitGrid bitOr(const BitGrid& a, const BitGrid& b) {
+  checkSameShape(a, b);
+  BitGrid out(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out.data()[i] = (a.data()[i] || b.data()[i]) ? 1u : 0u;
+  }
+  return out;
+}
+
+BitGrid bitXor(const BitGrid& a, const BitGrid& b) {
+  checkSameShape(a, b);
+  BitGrid out(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out.data()[i] = ((a.data()[i] != 0) != (b.data()[i] != 0)) ? 1u : 0u;
+  }
+  return out;
+}
+
+BitGrid bitNot(const BitGrid& a) {
+  BitGrid out(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out.data()[i] = a.data()[i] ? 0u : 1u;
+  }
+  return out;
+}
+
+BitGrid bitSub(const BitGrid& a, const BitGrid& b) {
+  checkSameShape(a, b);
+  BitGrid out(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out.data()[i] = (a.data()[i] && !b.data()[i]) ? 1u : 0u;
+  }
+  return out;
+}
+
+long long countSet(const BitGrid& a) {
+  long long n = 0;
+  for (unsigned char v : a) n += (v != 0);
+  return n;
+}
+
+BitGrid dilateSquare(const BitGrid& a, int radius) {
+  MOSAIC_CHECK(radius >= 0, "dilation radius must be >= 0");
+  if (radius == 0) return a;
+  BitGrid tmp(a.rows(), a.cols());
+  BitGrid out(a.rows(), a.cols());
+  rowWindowMax(a, radius, tmp);
+  colWindowMax(tmp, radius, out);
+  return out;
+}
+
+BitGrid erodeSquare(const BitGrid& a, int radius) {
+  MOSAIC_CHECK(radius >= 0, "erosion radius must be >= 0");
+  if (radius == 0) return a;
+  return bitNot(dilateSquare(bitNot(a), radius));
+}
+
+Grid<int> manhattanDistance(const BitGrid& a) {
+  const int rows = a.rows();
+  const int cols = a.cols();
+  const int inf = rows + cols;
+  Grid<int> dist(rows, cols, inf);
+  std::queue<std::pair<int, int>> frontier;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (a(r, c)) {
+        dist(r, c) = 0;
+        frontier.emplace(r, c);
+      }
+    }
+  }
+  static constexpr std::array<std::array<int, 2>, 4> kSteps{
+      {{1, 0}, {-1, 0}, {0, 1}, {0, -1}}};
+  while (!frontier.empty()) {
+    const auto [r, c] = frontier.front();
+    frontier.pop();
+    for (const auto& s : kSteps) {
+      const int nr = r + s[0];
+      const int nc = c + s[1];
+      if (nr < 0 || nr >= rows || nc < 0 || nc >= cols) continue;
+      if (dist(nr, nc) > dist(r, c) + 1) {
+        dist(nr, nc) = dist(r, c) + 1;
+        frontier.emplace(nr, nc);
+      }
+    }
+  }
+  return dist;
+}
+
+Grid<int> labelComponents(const BitGrid& a, bool eightConnected,
+                          int* componentCount) {
+  const int rows = a.rows();
+  const int cols = a.cols();
+  Grid<int> labels(rows, cols, 0);
+  int next = 0;
+  std::vector<std::pair<int, int>> stack;
+  const int steps4[4][2] = {{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+  const int steps8[8][2] = {{1, 0},  {-1, 0}, {0, 1},  {0, -1},
+                            {1, 1},  {1, -1}, {-1, 1}, {-1, -1}};
+  const auto* steps = eightConnected ? steps8 : steps4;
+  const int stepCount = eightConnected ? 8 : 4;
+
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (!a(r, c) || labels(r, c) != 0) continue;
+      ++next;
+      labels(r, c) = next;
+      stack.emplace_back(r, c);
+      while (!stack.empty()) {
+        const auto [cr, cc] = stack.back();
+        stack.pop_back();
+        for (int s = 0; s < stepCount; ++s) {
+          const int nr = cr + steps[s][0];
+          const int nc = cc + steps[s][1];
+          if (nr < 0 || nr >= rows || nc < 0 || nc >= cols) continue;
+          if (a(nr, nc) && labels(nr, nc) == 0) {
+            labels(nr, nc) = next;
+            stack.emplace_back(nr, nc);
+          }
+        }
+      }
+    }
+  }
+  if (componentCount != nullptr) *componentCount = next;
+  return labels;
+}
+
+int countComponents(const BitGrid& a, bool eightConnected) {
+  int count = 0;
+  labelComponents(a, eightConnected, &count);
+  return count;
+}
+
+int countHoles(const BitGrid& a) {
+  const BitGrid background = bitNot(a);
+  int count = 0;
+  Grid<int> labels = labelComponents(background, /*eightConnected=*/false,
+                                     &count);
+  if (count == 0) return 0;
+  std::vector<bool> touchesBorder(static_cast<std::size_t>(count) + 1, false);
+  const int rows = a.rows();
+  const int cols = a.cols();
+  for (int c = 0; c < cols; ++c) {
+    if (labels(0, c)) touchesBorder[static_cast<std::size_t>(labels(0, c))] = true;
+    if (labels(rows - 1, c)) {
+      touchesBorder[static_cast<std::size_t>(labels(rows - 1, c))] = true;
+    }
+  }
+  for (int r = 0; r < rows; ++r) {
+    if (labels(r, 0)) touchesBorder[static_cast<std::size_t>(labels(r, 0))] = true;
+    if (labels(r, cols - 1)) {
+      touchesBorder[static_cast<std::size_t>(labels(r, cols - 1))] = true;
+    }
+  }
+  int holes = 0;
+  for (int label = 1; label <= count; ++label) {
+    if (!touchesBorder[static_cast<std::size_t>(label)]) ++holes;
+  }
+  return holes;
+}
+
+}  // namespace mosaic

@@ -1,0 +1,50 @@
+#pragma once
+/// \file bitmap_ops.hpp
+/// Boolean and morphological operations on binary rasters: the building
+/// blocks for PV-band area (union minus intersection of corner prints,
+/// paper Fig. 4), shape-violation detection (holes / broken features), and
+/// rule-based SRAF / OPC bias generation.
+
+#include <vector>
+
+#include "math/grid.hpp"
+
+namespace mosaic {
+
+/// Element-wise boolean ops (shapes must match).
+BitGrid bitAnd(const BitGrid& a, const BitGrid& b);
+BitGrid bitOr(const BitGrid& a, const BitGrid& b);
+BitGrid bitXor(const BitGrid& a, const BitGrid& b);
+BitGrid bitNot(const BitGrid& a);
+BitGrid bitSub(const BitGrid& a, const BitGrid& b);  ///< a AND NOT b
+
+/// Count of set pixels.
+long long countSet(const BitGrid& a);
+
+/// Morphological dilation by a Chebyshev (square) ball of the radius, in
+/// pixels: output pixel set iff any input pixel within L-inf distance
+/// `radius` is set. radius 0 returns the input.
+BitGrid dilateSquare(const BitGrid& a, int radius);
+
+/// Morphological erosion by the same structuring element.
+BitGrid erodeSquare(const BitGrid& a, int radius);
+
+/// Multi-source Manhattan (L1) distance to the nearest set pixel, via BFS.
+/// Unreachable cells (no set pixel at all) get a distance of rows+cols.
+Grid<int> manhattanDistance(const BitGrid& a);
+
+/// Connected-component labelling. Returns label grid (0 = background,
+/// labels start at 1) and sets componentCount.
+/// \param eightConnected use 8-connectivity (else 4-connectivity).
+Grid<int> labelComponents(const BitGrid& a, bool eightConnected,
+                          int* componentCount);
+
+/// Number of connected foreground components (4-connected by default, the
+/// convention for features).
+int countComponents(const BitGrid& a, bool eightConnected = false);
+
+/// Number of holes: background components (4-connected) that do not touch
+/// the raster border.
+int countHoles(const BitGrid& a);
+
+}  // namespace mosaic

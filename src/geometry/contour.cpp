@@ -1,0 +1,209 @@
+#include "geometry/contour.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+#include "support/error.hpp"
+
+namespace mosaic {
+namespace {
+
+/// Directed boundary edge between pixel corners, interior on the left.
+struct DirEdge {
+  PointNm from;
+  PointNm to;
+};
+
+bool lessPoint(const PointNm& a, const PointNm& b) {
+  return a.y != b.y ? a.y < b.y : a.x < b.x;
+}
+
+}  // namespace
+
+bool Contour::isHole() const {
+  long long twice = 0;
+  const std::size_t n = points.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const PointNm& a = points[i];
+    const PointNm& b = points[(i + 1) % n];
+    twice += static_cast<long long>(a.x) * b.y -
+             static_cast<long long>(b.x) * a.y;
+  }
+  return twice < 0;  // clockwise
+}
+
+long long Contour::perimeter() const {
+  long long length = 0;
+  const std::size_t n = points.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const PointNm& a = points[i];
+    const PointNm& b = points[(i + 1) % n];
+    length += std::abs(a.x - b.x) + std::abs(a.y - b.y);
+  }
+  return length;
+}
+
+std::vector<Contour> traceContours(const BitGrid& grid) {
+  const int rows = grid.rows();
+  const int cols = grid.cols();
+  auto set = [&](int r, int c) {
+    return r >= 0 && r < rows && c >= 0 && c < cols && grid(r, c) != 0;
+  };
+
+  // Collect unit boundary edges with the interior on the left.
+  std::vector<DirEdge> edges;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (!set(r, c)) continue;
+      if (!set(r - 1, c)) edges.push_back({{c, r}, {c + 1, r}});          // bottom, +x
+      if (!set(r, c + 1)) edges.push_back({{c + 1, r}, {c + 1, r + 1}});  // right, +y
+      if (!set(r + 1, c)) edges.push_back({{c + 1, r + 1}, {c, r + 1}});  // top, -x
+      if (!set(r, c - 1)) edges.push_back({{c, r + 1}, {c, r}});          // left, -y
+    }
+  }
+
+  // Index edges by start point. A corner where two pixels touch
+  // diagonally has two outgoing edges; prefer the left turn relative to
+  // the incoming direction so loops stay simple.
+  std::multimap<std::pair<int, int>, std::size_t> byStart;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    byStart.emplace(std::make_pair(edges[i].from.x, edges[i].from.y), i);
+  }
+  std::vector<bool> used(edges.size(), false);
+
+  auto pickNext = [&](const DirEdge& incoming,
+                      std::size_t startEdge) -> std::size_t {
+    const auto range = byStart.equal_range(
+        std::make_pair(incoming.to.x, incoming.to.y));
+    std::size_t best = edges.size();
+    int bestTurn = -10;
+    const int dxIn = incoming.to.x - incoming.from.x;
+    const int dyIn = incoming.to.y - incoming.from.y;
+    for (auto it = range.first; it != range.second; ++it) {
+      // The start edge is a legal continuation (it closes the loop).
+      if (used[it->second] && it->second != startEdge) continue;
+      const DirEdge& cand = edges[it->second];
+      const int dxOut = cand.to.x - cand.from.x;
+      const int dyOut = cand.to.y - cand.from.y;
+      // Cross product z: +1 = left turn, 0 = straight, -1 = right turn.
+      const int cross = dxIn * dyOut - dyIn * dxOut;
+      if (cross > bestTurn) {
+        bestTurn = cross;
+        best = it->second;
+      }
+    }
+    return best;
+  };
+
+  std::vector<Contour> contours;
+  for (std::size_t start = 0; start < edges.size(); ++start) {
+    if (used[start]) continue;
+    // Walk the loop.
+    std::vector<PointNm> path;
+    std::size_t current = start;
+    do {
+      used[current] = true;
+      path.push_back(edges[current].from);
+      const std::size_t next = pickNext(edges[current], start);
+      MOSAIC_ASSERT(next < edges.size(), "open boundary chain");
+      current = next;
+    } while (current != start);
+    // Merge collinear runs into maximal segments.
+    Contour contour;
+    const std::size_t n = path.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const PointNm& prev = path[(i + n - 1) % n];
+      const PointNm& here = path[i];
+      const PointNm& next = path[(i + 1) % n];
+      const int dx1 = here.x - prev.x;
+      const int dy1 = here.y - prev.y;
+      const int dx2 = next.x - here.x;
+      const int dy2 = next.y - here.y;
+      if (dx1 * dy2 - dy1 * dx2 != 0) contour.points.push_back(here);
+    }
+    MOSAIC_ASSERT(contour.points.size() >= 4, "degenerate contour");
+    contours.push_back(std::move(contour));
+  }
+
+  // Deterministic order: by smallest vertex.
+  std::sort(contours.begin(), contours.end(),
+            [](const Contour& a, const Contour& b) {
+              PointNm ma = a.points.front();
+              for (const auto& p : a.points) {
+                if (lessPoint(p, ma)) ma = p;
+              }
+              PointNm mb = b.points.front();
+              for (const auto& p : b.points) {
+                if (lessPoint(p, mb)) mb = p;
+              }
+              return lessPoint(ma, mb);
+            });
+  return contours;
+}
+
+long long totalPerimeter(const BitGrid& grid) {
+  long long total = 0;
+  for (const auto& contour : traceContours(grid)) {
+    total += contour.perimeter();
+  }
+  return total;
+}
+
+long long totalVertices(const BitGrid& grid) {
+  long long total = 0;
+  for (const auto& contour : traceContours(grid)) {
+    total += static_cast<long long>(contour.vertexCount());
+  }
+  return total;
+}
+
+std::vector<RectNm> rasterToRects(const BitGrid& grid, int pixelNm) {
+  MOSAIC_CHECK(pixelNm > 0, "pixel size must be positive");
+  const int rows = grid.rows();
+  const int cols = grid.cols();
+  std::vector<RectNm> result;
+  // Open rectangles keyed by column run [c0, c1).
+  std::map<std::pair<int, int>, RectNm> open;
+  for (int r = 0; r < rows; ++r) {
+    std::map<std::pair<int, int>, RectNm> next;
+    int c = 0;
+    while (c < cols) {
+      if (!grid(r, c)) {
+        ++c;
+        continue;
+      }
+      const int c0 = c;
+      while (c < cols && grid(r, c)) ++c;
+      const std::pair<int, int> key{c0, c};
+      auto it = open.find(key);
+      if (it != open.end() && it->second.y1 == r * pixelNm) {
+        RectNm extended = it->second;
+        extended.y1 = (r + 1) * pixelNm;
+        next.emplace(key, extended);
+        open.erase(it);
+      } else {
+        next.emplace(key, RectNm{c0 * pixelNm, r * pixelNm, c * pixelNm,
+                                 (r + 1) * pixelNm});
+      }
+    }
+    for (auto& [key, rect] : open) result.push_back(rect);
+    open = std::move(next);
+  }
+  for (auto& [key, rect] : open) result.push_back(rect);
+  return result;
+}
+
+Layout rasterToLayout(const BitGrid& grid, int pixelNm,
+                      const std::string& name) {
+  Layout layout;
+  layout.name = name;
+  layout.sizeNm = grid.cols() * pixelNm;
+  MOSAIC_CHECK(grid.rows() == grid.cols(), "raster must be square");
+  for (const auto& rect : rasterToRects(grid, pixelNm)) {
+    layout.addRect(rect.x0, rect.y0, rect.x1, rect.y1);
+  }
+  return layout;
+}
+
+}  // namespace mosaic

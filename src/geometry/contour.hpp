@@ -1,0 +1,47 @@
+#pragma once
+/// \file contour.hpp
+/// Binary-raster boundary extraction: closed rectilinear contours (for
+/// perimeter / vertex statistics and mask complexity metrics) and raster ->
+/// rectangle decomposition (for exporting optimized masks as geometry).
+
+#include <vector>
+
+#include "geometry/layout.hpp"
+#include "geometry/polygon.hpp"
+#include "math/grid.hpp"
+
+namespace mosaic {
+
+/// One closed boundary loop in pixel-corner coordinates. Outer boundaries
+/// wind counter-clockwise, hole boundaries clockwise (interior always on
+/// the left of the walking direction).
+struct Contour {
+  std::vector<PointNm> points;  ///< corner vertices, implicitly closed
+
+  [[nodiscard]] std::size_t vertexCount() const { return points.size(); }
+  [[nodiscard]] bool isHole() const;  ///< true if clockwise
+  /// Perimeter length in pixel units.
+  [[nodiscard]] long long perimeter() const;
+};
+
+/// Trace all boundary loops of a binary raster. Vertices are in pixel
+/// corners (multiply by the pixel pitch for nm).
+std::vector<Contour> traceContours(const BitGrid& grid);
+
+/// Total boundary length of a raster in pixels.
+long long totalPerimeter(const BitGrid& grid);
+
+/// Total number of contour vertices (mask complexity / e-beam shot proxy).
+long long totalVertices(const BitGrid& grid);
+
+/// Decompose a raster into disjoint rectangles (in pixel units, scaled by
+/// pixelNm), greedily merging identical row runs vertically. The result's
+/// union reproduces the raster exactly.
+std::vector<RectNm> rasterToRects(const BitGrid& grid, int pixelNm);
+
+/// Convenience: wrap rasterToRects into a Layout (name + clip size taken
+/// from arguments).
+Layout rasterToLayout(const BitGrid& grid, int pixelNm,
+                      const std::string& name);
+
+}  // namespace mosaic

@@ -1,0 +1,102 @@
+#include "geometry/edges.hpp"
+
+#include "support/error.hpp"
+
+namespace mosaic {
+namespace {
+
+/// Emits maximal runs for one family of boundaries.
+/// valueAt(b, t): pattern value at boundary b, track t, on the lower-index
+/// side (b-1) and the higher-index side (b).
+template <typename Lower, typename Upper>
+void scanBoundaries(int boundaryCount, int trackCount, Lower lower,
+                    Upper upper, bool horizontal,
+                    std::vector<EdgeSegment>& out) {
+  for (int b = 0; b < boundaryCount; ++b) {
+    int runStart = -1;
+    bool runInsideLow = false;
+    auto flush = [&](int end) {
+      if (runStart >= 0) {
+        out.push_back(EdgeSegment{horizontal, b, runStart, end - 1,
+                                  runInsideLow});
+        runStart = -1;
+      }
+    };
+    for (int t = 0; t < trackCount; ++t) {
+      const bool lowVal = lower(b, t);
+      const bool highVal = upper(b, t);
+      const bool isEdge = lowVal != highVal;
+      const bool insideLow = lowVal;
+      if (isEdge && runStart >= 0 && insideLow != runInsideLow) {
+        flush(t);
+      }
+      if (isEdge && runStart < 0) {
+        runStart = t;
+        runInsideLow = insideLow;
+      } else if (!isEdge) {
+        flush(t);
+      }
+    }
+    flush(trackCount);
+  }
+}
+
+}  // namespace
+
+std::vector<EdgeSegment> extractEdges(const BitGrid& target) {
+  std::vector<EdgeSegment> edges;
+  const int rows = target.rows();
+  const int cols = target.cols();
+
+  auto rowValue = [&](int r, int c) -> bool {
+    return r >= 0 && r < rows && target(r, c) != 0;
+  };
+  auto colValue = [&](int r, int c) -> bool {
+    return c >= 0 && c < cols && target(r, c) != 0;
+  };
+
+  // Horizontal edges: boundary b between rows b-1 and b, tracks = columns.
+  scanBoundaries(
+      rows + 1, cols, [&](int b, int c) { return rowValue(b - 1, c); },
+      [&](int b, int c) { return rowValue(b, c); }, /*horizontal=*/true,
+      edges);
+  // Vertical edges: boundary b between cols b-1 and b, tracks = rows.
+  scanBoundaries(
+      cols + 1, rows, [&](int b, int r) { return colValue(r, b - 1); },
+      [&](int b, int r) { return colValue(r, b); }, /*horizontal=*/false,
+      edges);
+  return edges;
+}
+
+std::vector<SamplePoint> placeSamples(const std::vector<EdgeSegment>& edges,
+                                      int spacingPx, int minRunPx) {
+  MOSAIC_CHECK(spacingPx > 0, "sample spacing must be positive");
+  MOSAIC_CHECK(minRunPx > 0, "minimum run length must be positive");
+  std::vector<SamplePoint> samples;
+  for (const auto& edge : edges) {
+    const int len = edge.length();
+    if (len < minRunPx) continue;
+    if (len < spacingPx) {
+      samples.push_back(SamplePoint{edge.horizontal, edge.boundary,
+                                    edge.lo + len / 2, edge.insideLow});
+      continue;
+    }
+    // Distribute samples centered in the run: k samples with spacing
+    // `spacingPx`, offset so leftover margin splits evenly at the ends.
+    const int k = len / spacingPx;
+    const int margin = (len - (k - 1) * spacingPx - 1) / 2;
+    for (int i = 0; i < k; ++i) {
+      samples.push_back(SamplePoint{edge.horizontal, edge.boundary,
+                                    edge.lo + margin + i * spacingPx,
+                                    edge.insideLow});
+    }
+  }
+  return samples;
+}
+
+std::vector<SamplePoint> extractSamples(const BitGrid& target, int spacingPx,
+                                        int minRunPx) {
+  return placeSamples(extractEdges(target), spacingPx, minRunPx);
+}
+
+}  // namespace mosaic

@@ -1,0 +1,53 @@
+#pragma once
+/// \file edges.hpp
+/// Boundary edge extraction and EPE sample-point placement (paper Fig. 3:
+/// the sets HS / VS of samples on horizontal / vertical edges, spaced every
+/// `spacing` nm along the target boundary).
+
+#include <vector>
+
+#include "math/grid.hpp"
+
+namespace mosaic {
+
+/// A maximal straight boundary run of the target raster.
+///
+/// Horizontal edges separate two vertically adjacent pixel rows: `boundary`
+/// is the index b such that the edge lies between rows b-1 and b; the run
+/// spans columns [lo, hi]. Vertical edges are symmetric (boundary between
+/// columns b-1 and b, run over rows [lo, hi]).
+struct EdgeSegment {
+  bool horizontal = true;
+  int boundary = 0;   ///< in [1, n-1] for interior edges
+  int lo = 0;         ///< first pixel index along the edge (inclusive)
+  int hi = 0;         ///< last pixel index along the edge (inclusive)
+  bool insideLow = false;  ///< true if the pattern is on the lower-index side
+
+  [[nodiscard]] int length() const { return hi - lo + 1; }
+};
+
+/// An EPE measurement site on the target boundary.
+struct SamplePoint {
+  bool horizontal = true;  ///< orientation of the *edge* it sits on
+  int boundary = 0;        ///< see EdgeSegment::boundary
+  int along = 0;           ///< pixel index along the edge
+  bool insideLow = false;  ///< pattern on the lower-index side
+};
+
+/// Extract all maximal boundary runs of a binary target raster. Pixels
+/// outside the grid are treated as background, so pattern touching the clip
+/// border produces edges at boundary 0 / n -- the suite generator keeps a
+/// margin so this does not occur in practice.
+std::vector<EdgeSegment> extractEdges(const BitGrid& target);
+
+/// Place EPE sample points every `spacingPx` pixels along each edge run.
+/// Runs shorter than `spacingPx` but at least `minRunPx` long receive one
+/// midpoint sample (line ends matter for EPE); shorter runs are skipped.
+std::vector<SamplePoint> placeSamples(const std::vector<EdgeSegment>& edges,
+                                      int spacingPx, int minRunPx = 2);
+
+/// Convenience: extractEdges + placeSamples.
+std::vector<SamplePoint> extractSamples(const BitGrid& target, int spacingPx,
+                                        int minRunPx = 2);
+
+}  // namespace mosaic

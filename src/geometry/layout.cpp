@@ -1,0 +1,22 @@
+#include "geometry/layout.hpp"
+
+namespace mosaic {
+
+long long Layout::patternArea() const {
+  validateDisjoint();
+  long long area = 0;
+  for (const auto& r : rects) area += r.area();
+  return area;
+}
+
+void Layout::validateDisjoint() const {
+  for (std::size_t i = 0; i < rects.size(); ++i) {
+    for (std::size_t j = i + 1; j < rects.size(); ++j) {
+      MOSAIC_CHECK(!rects[i].intersects(rects[j]),
+                   "layout " << name << ": rects " << i << " and " << j
+                             << " overlap");
+    }
+  }
+}
+
+}  // namespace mosaic

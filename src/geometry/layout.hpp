@@ -1,0 +1,72 @@
+#pragma once
+/// \file layout.hpp
+/// Layout clip model: a named union of axis-aligned rectangles in nanometer
+/// coordinates. This matches how the ICCAD 2013 contest clips are consumed
+/// (rectilinear M1 shapes inside a 1024 x 1024 nm window).
+
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace mosaic {
+
+/// Axis-aligned rectangle in nm, half-open: [x0, x1) x [y0, y1).
+struct RectNm {
+  int x0 = 0;
+  int y0 = 0;
+  int x1 = 0;
+  int y1 = 0;
+
+  [[nodiscard]] int width() const { return x1 - x0; }
+  [[nodiscard]] int height() const { return y1 - y0; }
+  [[nodiscard]] long long area() const {
+    return static_cast<long long>(width()) * height();
+  }
+  [[nodiscard]] bool valid() const { return x1 > x0 && y1 > y0; }
+
+  [[nodiscard]] bool contains(double x, double y) const {
+    return x >= x0 && x < x1 && y >= y0 && y < y1;
+  }
+
+  [[nodiscard]] bool intersects(const RectNm& o) const {
+    return x0 < o.x1 && o.x0 < x1 && y0 < o.y1 && o.y0 < y1;
+  }
+
+  bool operator==(const RectNm&) const = default;
+};
+
+/// A layout clip: union of rectangles inside a square window of nm size.
+struct Layout {
+  std::string name;
+  int sizeNm = 0;            ///< clip is [0, sizeNm) x [0, sizeNm)
+  std::vector<RectNm> rects;
+
+  void addRect(int x0, int y0, int x1, int y1) {
+    RectNm r{x0, y0, x1, y1};
+    MOSAIC_CHECK(r.valid(), "degenerate rect in layout " << name);
+    MOSAIC_CHECK(x0 >= 0 && y0 >= 0 && x1 <= sizeNm && y1 <= sizeNm,
+                 "rect [" << x0 << "," << y0 << "," << x1 << "," << y1
+                          << "] outside clip of layout " << name);
+    rects.push_back(r);
+  }
+
+  /// True if (x, y) in nm lies inside the pattern union.
+  [[nodiscard]] bool covers(double x, double y) const {
+    for (const auto& r : rects) {
+      if (r.contains(x, y)) return true;
+    }
+    return false;
+  }
+
+  /// Union area in nm^2 (computed exactly via rasterization-free sweep is
+  /// overkill here; rect sets in this library are non-overlapping by
+  /// construction, which this method validates).
+  [[nodiscard]] long long patternArea() const;
+
+  /// Throws if any two rectangles overlap (the suite generator keeps rect
+  /// unions disjoint so that area bookkeeping is exact).
+  void validateDisjoint() const;
+};
+
+}  // namespace mosaic

@@ -1,0 +1,122 @@
+#include "geometry/polygon.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/error.hpp"
+
+namespace mosaic {
+
+long long PolygonNm::signedArea() const {
+  const std::size_t n = vertices.size();
+  long long twice = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const PointNm& a = vertices[i];
+    const PointNm& b = vertices[(i + 1) % n];
+    twice += static_cast<long long>(a.x) * b.y -
+             static_cast<long long>(b.x) * a.y;
+  }
+  return twice / 2;
+}
+
+long long PolygonNm::area() const {
+  const long long s = signedArea();
+  return s < 0 ? -s : s;
+}
+
+void PolygonNm::validate() const {
+  MOSAIC_CHECK(vertices.size() >= 4,
+               "rectilinear polygon needs >= 4 vertices, got "
+                   << vertices.size());
+  MOSAIC_CHECK(vertices.size() % 2 == 0,
+               "rectilinear polygon needs an even vertex count");
+  const std::size_t n = vertices.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const PointNm& a = vertices[i];
+    const PointNm& b = vertices[(i + 1) % n];
+    const bool horizontal = a.y == b.y && a.x != b.x;
+    const bool vertical = a.x == b.x && a.y != b.y;
+    MOSAIC_CHECK(horizontal || vertical,
+                 "edge " << i << " is not axis-parallel or is degenerate");
+  }
+  MOSAIC_CHECK(area() > 0, "polygon has zero area");
+}
+
+std::vector<RectNm> decomposeRectilinear(const PolygonNm& polygon) {
+  polygon.validate();
+  const std::size_t n = polygon.vertices.size();
+
+  // Vertical edges as (x, yLow, yHigh).
+  struct VEdge {
+    int x, y0, y1;
+  };
+  std::vector<VEdge> vedges;
+  std::vector<int> ys;
+  for (std::size_t i = 0; i < n; ++i) {
+    const PointNm& a = polygon.vertices[i];
+    const PointNm& b = polygon.vertices[(i + 1) % n];
+    ys.push_back(a.y);
+    if (a.x == b.x) {
+      vedges.push_back({a.x, std::min(a.y, b.y), std::max(a.y, b.y)});
+    }
+  }
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+
+  // One slab per adjacent y pair; parity scan over crossing vertical edges.
+  // Slab rectangles are then merged vertically when their x-interval
+  // repeats in the next slab (produces maximal-height rects).
+  std::vector<RectNm> result;
+  // Open rectangles from previous slabs keyed by x-interval.
+  std::map<std::pair<int, int>, RectNm> open;
+  for (std::size_t s = 0; s + 1 < ys.size(); ++s) {
+    const int y0 = ys[s];
+    const int y1 = ys[s + 1];
+    std::vector<int> xs;
+    for (const auto& e : vedges) {
+      if (e.y0 <= y0 && e.y1 >= y1) xs.push_back(e.x);
+    }
+    std::sort(xs.begin(), xs.end());
+    MOSAIC_CHECK(xs.size() % 2 == 0,
+                 "odd crossing count in slab [" << y0 << "," << y1
+                                                << "): non-simple polygon?");
+    std::map<std::pair<int, int>, RectNm> next;
+    for (std::size_t i = 0; i + 1 < xs.size(); i += 2) {
+      const std::pair<int, int> key{xs[i], xs[i + 1]};
+      auto it = open.find(key);
+      if (it != open.end() && it->second.y1 == y0) {
+        // Extend the open rectangle through this slab.
+        RectNm extended = it->second;
+        extended.y1 = y1;
+        next.emplace(key, extended);
+        open.erase(it);
+      } else {
+        next.emplace(key, RectNm{key.first, y0, key.second, y1});
+      }
+    }
+    // Anything left open cannot be extended; emit it.
+    for (auto& [key, rect] : open) result.push_back(rect);
+    open = std::move(next);
+  }
+  for (auto& [key, rect] : open) result.push_back(rect);
+
+  // Sanity: decomposed area equals polygon area.
+  long long total = 0;
+  for (const auto& r : result) total += r.area();
+  MOSAIC_ASSERT(total == polygon.area(),
+                "decomposition area " << total << " != polygon area "
+                                      << polygon.area());
+  return result;
+}
+
+PolygonNm toPolygon(const RectNm& rect) {
+  MOSAIC_CHECK(rect.valid(), "invalid rectangle");
+  PolygonNm poly;
+  poly.vertices = {{rect.x0, rect.y0},
+                   {rect.x1, rect.y0},
+                   {rect.x1, rect.y1},
+                   {rect.x0, rect.y1}};
+  return poly;
+}
+
+}  // namespace mosaic

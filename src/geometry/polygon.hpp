@@ -1,0 +1,47 @@
+#pragma once
+/// \file polygon.hpp
+/// Rectilinear polygons and their decomposition into rectangles. The ICCAD
+/// 2013 contest distributes clips as rectilinear polygons (GLP format);
+/// the rasterizer and suite work on rectangle unions, so polygons are
+/// decomposed on import with a horizontal sweep.
+
+#include <vector>
+
+#include "geometry/layout.hpp"
+
+namespace mosaic {
+
+/// A point in nm coordinates.
+struct PointNm {
+  int x = 0;
+  int y = 0;
+  bool operator==(const PointNm&) const = default;
+};
+
+/// A simple rectilinear polygon (implicitly closed, vertices in order,
+/// alternating horizontal/vertical edges).
+struct PolygonNm {
+  std::vector<PointNm> vertices;
+
+  [[nodiscard]] std::size_t vertexCount() const { return vertices.size(); }
+
+  /// Signed area (positive for counter-clockwise orientation).
+  [[nodiscard]] long long signedArea() const;
+
+  /// |signedArea|.
+  [[nodiscard]] long long area() const;
+
+  /// Validates rectilinearity: every edge must be axis-parallel and
+  /// non-degenerate, and the polygon needs at least 4 vertices.
+  void validate() const;
+};
+
+/// Decompose a rectilinear polygon into disjoint axis-aligned rectangles
+/// (horizontal slab sweep: one rectangle per maximal y-interval x covered
+/// x-range). The union of the result equals the polygon's interior.
+std::vector<RectNm> decomposeRectilinear(const PolygonNm& polygon);
+
+/// Convert a rectangle to its 4-vertex polygon (counter-clockwise).
+PolygonNm toPolygon(const RectNm& rect);
+
+}  // namespace mosaic

@@ -1,0 +1,70 @@
+#include "geometry/raster.hpp"
+
+namespace mosaic {
+
+int gridSizeFor(const Layout& layout, int pixelNm) {
+  MOSAIC_CHECK(pixelNm > 0, "pixel size must be positive");
+  MOSAIC_CHECK(layout.sizeNm > 0, "layout has no size");
+  MOSAIC_CHECK(layout.sizeNm % pixelNm == 0,
+               "pixel size " << pixelNm << " nm does not divide clip size "
+                             << layout.sizeNm << " nm");
+  return layout.sizeNm / pixelNm;
+}
+
+RealGrid rasterizeGray(const Layout& layout, int pixelNm) {
+  const int n = gridSizeFor(layout, pixelNm);
+  layout.validateDisjoint();
+  RealGrid grid(n, n, 0.0);
+  const double px = pixelNm;
+  // Coverage is separable per axis for axis-aligned rects.
+  auto axisCoverage = [&](int lo, int hi, int index) {
+    const double a = std::max<double>(lo, index * px);
+    const double b = std::min<double>(hi, (index + 1) * px);
+    return std::max(0.0, b - a) / px;
+  };
+  for (const auto& rect : layout.rects) {
+    const int c0 = std::max(0, rect.x0 / pixelNm);
+    const int c1 = std::min(n - 1, (rect.x1 - 1) / pixelNm);
+    const int r0 = std::max(0, rect.y0 / pixelNm);
+    const int r1 = std::min(n - 1, (rect.y1 - 1) / pixelNm);
+    for (int r = r0; r <= r1; ++r) {
+      const double cy = axisCoverage(rect.y0, rect.y1, r);
+      for (int c = c0; c <= c1; ++c) {
+        grid(r, c) += cy * axisCoverage(rect.x0, rect.x1, c);
+      }
+    }
+  }
+  // Disjoint rects can still abut; numerical sums stay within [0, 1].
+  for (auto& v : grid) v = std::min(v, 1.0);
+  return grid;
+}
+
+BitGrid rasterize(const Layout& layout, int pixelNm) {
+  const int n = gridSizeFor(layout, pixelNm);
+  BitGrid grid(n, n, 0);
+  // Fill per rectangle: convert nm bounds to pixel index ranges covering
+  // the pixels whose centers fall inside the rect.
+  for (const auto& rect : layout.rects) {
+    // Pixel c center = (c + 0.5) * px; inside iff x0 <= center < x1.
+    auto firstIndex = [&](int lo) {
+      // smallest c with (c + 0.5) * px >= lo  ->  c >= lo/px - 0.5
+      const int c = (2 * lo + pixelNm - 1) / (2 * pixelNm);
+      return std::max(0, c);
+    };
+    auto lastIndex = [&](int hi) {
+      // largest c with (c + 0.5) * px < hi  ->  c < hi/px - 0.5
+      const int c = (2 * hi - pixelNm - 1) / (2 * pixelNm);
+      return std::min(n - 1, c);
+    };
+    const int c0 = firstIndex(rect.x0);
+    const int c1 = lastIndex(rect.x1);
+    const int r0 = firstIndex(rect.y0);
+    const int r1 = lastIndex(rect.y1);
+    for (int r = r0; r <= r1; ++r) {
+      for (int c = c0; c <= c1; ++c) grid(r, c) = 1u;
+    }
+  }
+  return grid;
+}
+
+}  // namespace mosaic

@@ -1,0 +1,26 @@
+#pragma once
+/// \file raster.hpp
+/// Layout -> pixel grid rasterization. Row r / column c of the raster maps
+/// to the pixel whose nm-space center is ((c + 0.5) * pixelNm,
+/// (r + 0.5) * pixelNm); i.e. row 0 is the bottom edge of the clip.
+
+#include "geometry/layout.hpp"
+#include "math/grid.hpp"
+
+namespace mosaic {
+
+/// Rasterize a layout clip at the given pixel pitch (center sampling).
+/// The raster is exact when all rect coordinates are multiples of pixelNm.
+/// \throws InvalidArgument if pixelNm does not divide the clip size.
+BitGrid rasterize(const Layout& layout, int pixelNm);
+
+/// Grid side length for a layout at a pixel pitch.
+int gridSizeFor(const Layout& layout, int pixelNm);
+
+/// Area-coverage (anti-aliased) rasterization: each pixel holds the exact
+/// fraction of its area covered by the (disjoint) rect union, so layouts
+/// whose coordinates are NOT multiples of the pitch keep their area. The
+/// result equals toReal(rasterize(...)) for aligned layouts.
+RealGrid rasterizeGray(const Layout& layout, int pixelNm);
+
+}  // namespace mosaic

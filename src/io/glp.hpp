@@ -1,0 +1,43 @@
+#pragma once
+/// \file glp.hpp
+/// Reader/writer for the GLP layout format used by the ICCAD 2013 CAD
+/// contest (problem C) to distribute the M1 clips. With this module a
+/// user who has the original contest files can feed them directly to the
+/// library; the suite's synthetic clips can likewise be exported.
+///
+/// Supported records (tolerant, keyword-driven token stream):
+///   BEGIN / ENDMSG                 -- ignored framing
+///   EQUIV / CNAME / LEVEL / CELL   -- ignored header metadata
+///   RECT <dir> <layer> x0 y0 x1 y1
+///   PGON <dir> <layer> x1 y1 x2 y2 ... (rectilinear, until next keyword)
+///
+/// Polygons are decomposed into disjoint rectangles on import.
+
+#include <iosfwd>
+#include <string>
+
+#include "geometry/layout.hpp"
+
+namespace mosaic {
+
+struct GlpReadOptions {
+  int clipSizeNm = 1024;  ///< size of the square clip window
+  /// Translate the pattern's bounding box to the clip center (the contest
+  /// clips use absolute die coordinates).
+  bool recenter = true;
+};
+
+/// Parse a GLP stream into a Layout. Throws InvalidArgument on malformed
+/// records or if the (re-centered) pattern does not fit the clip.
+Layout readGlp(std::istream& in, const std::string& name,
+               const GlpReadOptions& options = {});
+
+/// Parse a GLP file (name defaults to the file stem).
+Layout readGlpFile(const std::string& path,
+                   const GlpReadOptions& options = {});
+
+/// Serialize a layout as GLP RECT records.
+void writeGlp(std::ostream& out, const Layout& layout);
+void writeGlpFile(const std::string& path, const Layout& layout);
+
+}  // namespace mosaic

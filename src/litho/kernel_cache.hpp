@@ -1,0 +1,26 @@
+#pragma once
+/// \file kernel_cache.hpp
+/// Binary serialization of SOCS kernel sets. The TCC eigendecomposition
+/// costs ~1 s per focus condition; persisting the result makes repeated
+/// CLI invocations and CI runs start instantly. The format is a
+/// little-endian private binary with a magic/version header; files are
+/// validated on load and rejected on any mismatch.
+
+#include <string>
+
+#include "litho/kernels.hpp"
+
+namespace mosaic {
+
+/// Write a kernel set to a binary file.
+void saveKernelSet(const std::string& path, const KernelSet& set);
+
+/// Read a kernel set back. Throws InvalidArgument on malformed files or
+/// version mismatch.
+KernelSet loadKernelSet(const std::string& path);
+
+/// Deterministic cache filename for an optics/focus combination, e.g.
+/// "kernels_g256_f25.bin" (grid size + focus in tenths of nm).
+std::string kernelCacheName(int gridSize, double focusNm);
+
+}  // namespace mosaic

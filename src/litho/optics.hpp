@@ -1,0 +1,130 @@
+#pragma once
+/// \file optics.hpp
+/// Optical system and resist model configuration. Defaults reproduce the
+/// MOSAIC paper's setup: 193 nm immersion lithography for 32 nm M1, SOCS
+/// approximation with h = 24 kernels (Eq. 2), sigmoid resist with
+/// theta_Z = 50 and th_r = 0.225 (Fig. 2), defocus range +-25 nm and dose
+/// range +-2 % (Sec. 4).
+
+#include <cmath>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace mosaic {
+
+/// Low-order Zernike aberrations of the projection lens, in waves
+/// (multiples of the wavelength) over the normalized pupil radius.
+/// All-zero = the paper's ideal lens; nonzero values model real scanner
+/// signatures (see bench/ablation_aberrations).
+struct ZernikeAberrations {
+  double astigmatism0 = 0.0;   ///< Z5:  rho^2 cos 2theta
+  double astigmatism45 = 0.0;  ///< Z6:  rho^2 sin 2theta
+  double comaX = 0.0;          ///< Z7:  (3 rho^3 - 2 rho) cos theta
+  double comaY = 0.0;          ///< Z8:  (3 rho^3 - 2 rho) sin theta
+  double spherical = 0.0;      ///< Z9:  6 rho^4 - 6 rho^2 + 1
+
+  [[nodiscard]] bool any() const {
+    return astigmatism0 != 0.0 || astigmatism45 != 0.0 || comaX != 0.0 ||
+           comaY != 0.0 || spherical != 0.0;
+  }
+};
+
+/// Partially coherent projection system parameters.
+struct OpticsConfig {
+  double wavelengthNm = 193.0;   ///< ArF excimer laser
+  double na = 1.35;              ///< immersion numerical aperture
+  double sigmaInner = 0.6;       ///< annular source inner partial coherence
+  double sigmaOuter = 0.9;       ///< annular source outer partial coherence
+  double immersionIndex = 1.44;  ///< water at 193 nm
+  int clipSizeNm = 1024;         ///< square clip edge (contest format)
+  int pixelNm = 2;               ///< raster pitch (paper: 1 nm)
+  int kernelCount = 24;          ///< SOCS truncation order h (Eq. 2)
+  int sourceOversample = 4;      ///< source lattice refinement vs pupil lattice
+  ZernikeAberrations aberrations = {};  ///< lens aberration signature
+
+  /// Pupil cutoff spatial frequency NA / lambda in cycles per nm.
+  [[nodiscard]] double cutoffFreq() const { return na / wavelengthNm; }
+
+  /// Raster grid side (power of two for the FFT engine).
+  [[nodiscard]] int gridSize() const {
+    MOSAIC_CHECK(pixelNm > 0 && clipSizeNm > 0, "bad optics dimensions");
+    MOSAIC_CHECK(clipSizeNm % pixelNm == 0,
+                 "pixel " << pixelNm << " nm does not divide clip "
+                          << clipSizeNm << " nm");
+    const int n = clipSizeNm / pixelNm;
+    MOSAIC_CHECK((n & (n - 1)) == 0,
+                 "grid size " << n << " must be a power of two");
+    return n;
+  }
+
+  /// Frequency lattice spacing 1 / clipSize in cycles per nm.
+  [[nodiscard]] double freqStep() const { return 1.0 / clipSizeNm; }
+
+  void validate() const {
+    MOSAIC_CHECK(wavelengthNm > 0, "wavelength must be positive");
+    MOSAIC_CHECK(na > 0 && na < immersionIndex,
+                 "NA must be in (0, immersion index)");
+    MOSAIC_CHECK(sigmaInner >= 0 && sigmaInner < sigmaOuter &&
+                     sigmaOuter <= 1.0,
+                 "annular source needs 0 <= sigmaInner < sigmaOuter <= 1");
+    MOSAIC_CHECK(kernelCount > 0, "kernel count must be positive");
+    MOSAIC_CHECK(sourceOversample >= 1, "source oversample must be >= 1");
+    (void)gridSize();
+  }
+};
+
+/// Constant-threshold resist with the paper's sigmoid relaxation (Eq. 3-4).
+struct ResistModel {
+  double threshold = 0.225;  ///< th_r, relative to open-frame intensity 1
+  double thetaZ = 50.0;      ///< sigmoid steepness
+  /// Acid diffusion length (nm): the aerial image is blurred with a
+  /// Gaussian of this sigma before the threshold step. 0 disables it
+  /// (the paper's constant-threshold model).
+  double diffusionSigmaNm = 0.0;
+
+  /// Continuous printed value Z = sig(I) (Eq. 4).
+  [[nodiscard]] double sigmoid(double intensity) const {
+    return 1.0 / (1.0 + std::exp(-thetaZ * (intensity - threshold)));
+  }
+
+  /// d sig / d I = thetaZ * Z * (1 - Z).
+  [[nodiscard]] double sigmoidDerivative(double intensity) const {
+    const double z = sigmoid(intensity);
+    return thetaZ * z * (1.0 - z);
+  }
+
+  /// Hard-threshold print decision (Eq. 3).
+  [[nodiscard]] bool prints(double intensity) const {
+    return intensity > threshold;
+  }
+};
+
+/// One lithography process condition (paper Sec. 3.4): a focus offset and a
+/// relative exposure dose.
+struct ProcessCorner {
+  double focusNm = 0.0;
+  double dose = 1.0;
+
+  bool operator==(const ProcessCorner&) const = default;
+};
+
+/// The nominal condition.
+inline ProcessCorner nominalCorner() { return {0.0, 1.0}; }
+
+/// Full evaluation corner set: the cross product of {nominal focus,
+/// defocus} x {dose-, nominal, dose+} (6 corners, nominal first). The PV
+/// band is measured across all of these (paper Fig. 4 "all possible
+/// printed images"). Positive and negative defocus produce identical
+/// aerial images for a real mask (scalar through-focus symmetry), so only
+/// the positive offset is enumerated.
+std::vector<ProcessCorner> evaluationCorners(double defocusNm = 25.0,
+                                             double doseDelta = 0.02);
+
+/// Reduced in-loop corner set used by the F_pvb gradient term (Eq. 18):
+/// the two extreme conditions (defocus with min dose -> innermost edges,
+/// nominal focus with max dose -> outermost edges).
+std::vector<ProcessCorner> optimizationCorners(double defocusNm = 25.0,
+                                               double doseDelta = 0.02);
+
+}  // namespace mosaic

@@ -1,0 +1,74 @@
+#include "litho/pupil.hpp"
+
+namespace mosaic {
+
+namespace {
+constexpr double kTwoPi = 2.0 * 3.14159265358979323846;
+}
+
+Pupil::Pupil(const OpticsConfig& optics, double focusNm)
+    : cutoff_(optics.cutoffFreq()),
+      focusNm_(focusNm),
+      kMax_(optics.immersionIndex / optics.wavelengthNm),
+      aberrations_(optics.aberrations) {}
+
+std::complex<double> Pupil::value(double fx, double fy) const {
+  const double f2 = fx * fx + fy * fy;
+  if (f2 > cutoff_ * cutoff_) return {0.0, 0.0};
+
+  double phase = 0.0;
+  if (focusNm_ != 0.0) {
+    // Defocus phase: propagation over z in the immersion medium. k_z(f) =
+    // sqrt((n/lambda)^2 - |f|^2); referencing to the on-axis ray keeps the
+    // phase bounded.
+    const double kz = std::sqrt(std::max(0.0, kMax_ * kMax_ - f2));
+    phase += kTwoPi * focusNm_ * (kz - kMax_);
+  }
+  if (aberrations_.any()) {
+    // Normalized pupil coordinates.
+    const double rho2 = f2 / (cutoff_ * cutoff_);
+    const double rho = std::sqrt(rho2);
+    const double cx = rho > 0 ? fx / (rho * cutoff_) : 0.0;  // cos theta
+    const double sy = rho > 0 ? fy / (rho * cutoff_) : 0.0;  // sin theta
+    const double cos2t = cx * cx - sy * sy;
+    const double sin2t = 2.0 * cx * sy;
+    double waves = 0.0;
+    waves += aberrations_.astigmatism0 * rho2 * cos2t;
+    waves += aberrations_.astigmatism45 * rho2 * sin2t;
+    const double comaRadial = 3.0 * rho2 * rho - 2.0 * rho;
+    waves += aberrations_.comaX * comaRadial * cx;
+    waves += aberrations_.comaY * comaRadial * sy;
+    waves += aberrations_.spherical * (6.0 * rho2 * rho2 - 6.0 * rho2 + 1.0);
+    phase += kTwoPi * waves;
+  }
+  if (phase == 0.0) return {1.0, 0.0};
+  return {std::cos(phase), std::sin(phase)};
+}
+
+std::vector<ProcessCorner> evaluationCorners(double defocusNm,
+                                             double doseDelta) {
+  return {
+      {0.0, 1.0},
+      {0.0, 1.0 - doseDelta},
+      {0.0, 1.0 + doseDelta},
+      {defocusNm, 1.0 - doseDelta},
+      {defocusNm, 1.0},
+      {defocusNm, 1.0 + doseDelta},
+  };
+}
+
+std::vector<ProcessCorner> optimizationCorners(double defocusNm,
+                                               double doseDelta) {
+  // The two extreme conditions (innermost / outermost edges) plus the
+  // nominal condition: Eq. 18 sums over "possible process conditions",
+  // and keeping the nominal in the sum gives the process-window term a
+  // dense pull toward the target everywhere (important for MOSAIC_exact,
+  // whose F_epe gradient lives only on the EPE sample windows).
+  return {
+      {defocusNm, 1.0 - doseDelta},
+      {0.0, 1.0},
+      {0.0, 1.0 + doseDelta},
+  };
+}
+
+}  // namespace mosaic

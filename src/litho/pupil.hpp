@@ -1,0 +1,31 @@
+#pragma once
+/// \file pupil.hpp
+/// Scalar pupil function of the projection lens, including the defocus
+/// aberration used to model the paper's +-25 nm focus corners.
+
+#include <complex>
+
+#include "litho/optics.hpp"
+
+namespace mosaic {
+
+/// Evaluates the (possibly defocused) pupil at a spatial frequency.
+class Pupil {
+ public:
+  Pupil(const OpticsConfig& optics, double focusNm);
+
+  /// P(fx, fy) for spatial frequency in cycles/nm: circ(|f| <= NA/lambda)
+  /// times the defocus phase exp(i 2 pi z (k_z(f) - k_z(0))) times the
+  /// Zernike aberration phase (waves over the normalized pupil radius).
+  [[nodiscard]] std::complex<double> value(double fx, double fy) const;
+
+  [[nodiscard]] double focusNm() const { return focusNm_; }
+
+ private:
+  double cutoff_;          ///< NA / lambda
+  double focusNm_;         ///< defocus z
+  double kMax_;            ///< n / lambda (immersion medium wave number / 2pi)
+  ZernikeAberrations aberrations_;
+};
+
+}  // namespace mosaic

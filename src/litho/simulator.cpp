@@ -1,0 +1,119 @@
+#include "litho/simulator.hpp"
+
+#include "litho/kernel_cache.hpp"
+#include "litho/tcc.hpp"
+#include "math/convolution.hpp"
+#include "support/log.hpp"
+#include "support/timer.hpp"
+
+namespace mosaic {
+
+LithoSimulator::LithoSimulator(OpticsConfig optics, ResistModel resist)
+    : optics_(optics), resist_(resist) {
+  optics_.validate();
+  MOSAIC_CHECK(resist_.threshold > 0.0 && resist_.threshold < 1.0,
+               "resist threshold must be inside (0, 1)");
+}
+
+const KernelSet& LithoSimulator::kernels(double focusNm) const {
+  auto it = kernelCache_.find(focusNm);
+  if (it == kernelCache_.end()) {
+    std::unique_ptr<KernelSet> set;
+    const std::string cachePath =
+        cacheDir_.empty()
+            ? std::string()
+            : cacheDir_ + "/" + kernelCacheName(optics_.gridSize(), focusNm);
+    if (!cachePath.empty()) {
+      try {
+        set = std::make_unique<KernelSet>(loadKernelSet(cachePath));
+        LOG_INFO("loaded kernel cache " << cachePath);
+      } catch (const Error&) {
+        set.reset();  // miss or stale file -- recompute below
+      }
+    }
+    if (!set) {
+      WallTimer timer;
+      set = std::make_unique<KernelSet>(computeKernelSet(optics_, focusNm));
+      LOG_INFO("computed " << set->kernels.size()
+                           << " SOCS kernels for focus " << focusNm
+                           << " nm in " << timer.seconds() << " s");
+      if (!cachePath.empty()) {
+        try {
+          saveKernelSet(cachePath, *set);
+        } catch (const Error& e) {
+          LOG_WARN("could not persist kernel cache: " << e.what());
+        }
+      }
+    }
+    it = kernelCache_.emplace(focusNm, std::move(set)).first;
+  }
+  return *it->second;
+}
+
+ComplexGrid LithoSimulator::maskSpectrum(const RealGrid& mask) const {
+  const int n = gridSize();
+  MOSAIC_CHECK(mask.rows() == n && mask.cols() == n,
+               "mask is " << mask.rows() << "x" << mask.cols()
+                          << ", expected " << n << "x" << n);
+  return fft2dFor(n, n).forwardReal(mask);
+}
+
+RealGrid LithoSimulator::aerial(const RealGrid& mask,
+                                const ProcessCorner& corner,
+                                int maxKernels) const {
+  return aerialFromSpectrum(maskSpectrum(mask), corner, maxKernels);
+}
+
+RealGrid LithoSimulator::aerialFromSpectrum(const ComplexGrid& spectrum,
+                                            const ProcessCorner& corner,
+                                            int maxKernels) const {
+  const int n = gridSize();
+  MOSAIC_CHECK(spectrum.rows() == n && spectrum.cols() == n,
+               "spectrum grid mismatch");
+  const KernelSet& set = kernels(corner.focusNm);
+  const int count = (maxKernels <= 0)
+                        ? set.kernelCount()
+                        : std::min(maxKernels, set.kernelCount());
+  const Fft2d& fft = fft2dFor(n, n);
+  RealGrid intensity(n, n, 0.0);
+  ComplexGrid field(n, n);
+  for (int k = 0; k < count; ++k) {
+    set.kernels[static_cast<std::size_t>(k)].multiplyInto(spectrum, field);
+    fft.inverse(field);
+    const double w = set.weights[static_cast<std::size_t>(k)];
+    for (std::size_t i = 0; i < intensity.size(); ++i) {
+      intensity.data()[i] += w * std::norm(field.data()[i]);
+    }
+  }
+  if (corner.dose != 1.0) {
+    for (auto& v : intensity) v *= corner.dose;
+  }
+  if (resist_.diffusionSigmaNm > 0.0) {
+    intensity = gaussianBlur(
+        intensity, resist_.diffusionSigmaNm / optics_.pixelNm);
+  }
+  return intensity;
+}
+
+RealGrid LithoSimulator::printContinuous(const RealGrid& aerialImage) const {
+  RealGrid out(aerialImage.rows(), aerialImage.cols());
+  for (std::size_t i = 0; i < aerialImage.size(); ++i) {
+    out.data()[i] = resist_.sigmoid(aerialImage.data()[i]);
+  }
+  return out;
+}
+
+BitGrid LithoSimulator::printBinary(const RealGrid& aerialImage) const {
+  BitGrid out(aerialImage.rows(), aerialImage.cols());
+  for (std::size_t i = 0; i < aerialImage.size(); ++i) {
+    out.data()[i] = resist_.prints(aerialImage.data()[i]) ? 1u : 0u;
+  }
+  return out;
+}
+
+BitGrid LithoSimulator::print(const RealGrid& mask,
+                              const ProcessCorner& corner) const {
+  return printBinary(aerial(mask, corner));
+}
+
+}  // namespace mosaic

@@ -1,0 +1,72 @@
+#pragma once
+/// \file simulator.hpp
+/// Forward lithography engine (paper Sec. 2, Fig. 1): mask -> aerial image
+/// (SOCS) -> printed image (resist model), for any process corner. Kernel
+/// sets are computed lazily per focus value and cached.
+
+#include <map>
+#include <memory>
+
+#include "litho/kernels.hpp"
+#include "litho/optics.hpp"
+#include "math/fft.hpp"
+#include "math/grid.hpp"
+
+namespace mosaic {
+
+/// Forward lithography simulator.
+///
+/// The expensive part of a simulation is the per-kernel inverse FFT; when
+/// evaluating several corners of the same mask, compute the mask spectrum
+/// once via maskSpectrum() and reuse it.
+class LithoSimulator {
+ public:
+  explicit LithoSimulator(OpticsConfig optics, ResistModel resist = {});
+
+  [[nodiscard]] const OpticsConfig& optics() const { return optics_; }
+  [[nodiscard]] const ResistModel& resist() const { return resist_; }
+  [[nodiscard]] int gridSize() const { return optics_.gridSize(); }
+
+  /// Directory for on-disk kernel caching (io/kernel_cache format). When
+  /// set, kernels(focus) first tries to load the cached decomposition and
+  /// persists freshly computed ones. Empty (default) disables it. Note:
+  /// the cache key covers grid size and focus only -- wipe the directory
+  /// when changing source/NA/aberrations.
+  void setKernelCacheDir(std::string dir) { cacheDir_ = std::move(dir); }
+
+  /// Kernel set for a focus offset (computed on first use, then cached).
+  const KernelSet& kernels(double focusNm) const;
+
+  /// Forward FFT of a real mask.
+  [[nodiscard]] ComplexGrid maskSpectrum(const RealGrid& mask) const;
+
+  /// Aerial image I = dose * sum_k w_k |M (x) h_k|^2 (Eq. 2).
+  /// \param maxKernels 0 = use all kernels; otherwise truncate the SOCS sum
+  ///        (used by the optimizer's cheaper in-loop model).
+  [[nodiscard]] RealGrid aerial(const RealGrid& mask,
+                                const ProcessCorner& corner,
+                                int maxKernels = 0) const;
+
+  /// Same, starting from a precomputed mask spectrum.
+  [[nodiscard]] RealGrid aerialFromSpectrum(const ComplexGrid& spectrum,
+                                            const ProcessCorner& corner,
+                                            int maxKernels = 0) const;
+
+  /// Continuous printed image Z = sig(I) (Eq. 4).
+  [[nodiscard]] RealGrid printContinuous(const RealGrid& aerialImage) const;
+
+  /// Binary printed image via the hard threshold (Eq. 3).
+  [[nodiscard]] BitGrid printBinary(const RealGrid& aerialImage) const;
+
+  /// Convenience: mask -> binary print at a corner with the full kernel set.
+  [[nodiscard]] BitGrid print(const RealGrid& mask,
+                              const ProcessCorner& corner) const;
+
+ private:
+  OpticsConfig optics_;
+  ResistModel resist_;
+  std::string cacheDir_;
+  mutable std::map<double, std::unique_ptr<KernelSet>> kernelCache_;
+};
+
+}  // namespace mosaic

@@ -1,0 +1,186 @@
+#include "math/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace mosaic {
+namespace {
+
+double offDiagonalNorm(const Matrix& a) {
+  double acc = 0.0;
+  for (int r = 0; r < a.rows(); ++r) {
+    for (int c = 0; c < a.cols(); ++c) {
+      if (r != c) acc += a(r, c) * a(r, c);
+    }
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace
+
+SymmetricEigenResult jacobiEigenSymmetric(const Matrix& input, int maxSweeps) {
+  MOSAIC_CHECK(input.isSquare(), "eigendecomposition needs a square matrix");
+  const int n = input.rows();
+
+  double scale = 0.0;
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      scale = std::max(scale, std::fabs(input(r, c)));
+      MOSAIC_CHECK(std::fabs(input(r, c) - input(c, r)) <=
+                       1e-9 * std::max(1.0, scale),
+                   "matrix is not symmetric at (" << r << "," << c << ")");
+    }
+  }
+
+  Matrix a = input;
+  Matrix v = Matrix::identity(n);
+  const double tol = 1e-14 * std::max(1.0, scale) * n;
+
+  for (int sweep = 0; sweep < maxSweeps; ++sweep) {
+    if (offDiagonalNorm(a) <= tol) break;
+    for (int p = 0; p < n - 1; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::fabs(apq) <= tol / n) continue;
+        const double app = a(p, p);
+        const double aqq = a(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        // Classic stable rotation: t = sign(theta) / (|theta| + sqrt(1+theta^2)).
+        double t;
+        if (std::fabs(theta) > 1e150) {
+          t = 1.0 / (2.0 * theta);
+        } else {
+          t = ((theta >= 0) ? 1.0 : -1.0) /
+              (std::fabs(theta) + std::sqrt(1.0 + theta * theta));
+        }
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+
+        for (int k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (int k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (int k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  MOSAIC_CHECK(offDiagonalNorm(a) <= std::sqrt(tol) * std::max(1.0, scale) + tol * 1e3,
+               "Jacobi eigensolver did not converge in " << maxSweeps
+                                                         << " sweeps");
+
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int x, int y) { return a(x, x) > a(y, y); });
+
+  SymmetricEigenResult result;
+  result.eigenvalues.reserve(static_cast<std::size_t>(n));
+  result.eigenvectors.reserve(static_cast<std::size_t>(n));
+  for (int idx : order) {
+    result.eigenvalues.push_back(a(idx, idx));
+    std::vector<double> vec(static_cast<std::size_t>(n));
+    for (int k = 0; k < n; ++k) vec[static_cast<std::size_t>(k)] = v(k, idx);
+    result.eigenvectors.push_back(std::move(vec));
+  }
+  return result;
+}
+
+HermitianEigenResult jacobiEigenHermitian(
+    const std::vector<std::complex<double>>& h, int n, int maxSweeps) {
+  MOSAIC_CHECK(n > 0, "matrix dimension must be positive");
+  MOSAIC_CHECK(h.size() == static_cast<std::size_t>(n) * n,
+               "matrix storage size mismatch");
+
+  auto at = [&](int r, int c) -> const std::complex<double>& {
+    return h[static_cast<std::size_t>(r) * n + c];
+  };
+  for (int r = 0; r < n; ++r) {
+    for (int c = r; c < n; ++c) {
+      MOSAIC_CHECK(std::abs(at(r, c) - std::conj(at(c, r))) <= 1e-9,
+                   "matrix is not Hermitian at (" << r << "," << c << ")");
+    }
+  }
+
+  // Real embedding E = [[Re, -Im], [Im, Re]]; E is symmetric when H is
+  // Hermitian. Each eigenvalue of H appears twice in E; the real
+  // eigenvector (x; y) maps to the complex eigenvector x + i y.
+  Matrix e(2 * n, 2 * n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      const std::complex<double> val = at(r, c);
+      e(r, c) = val.real();
+      e(r, c + n) = -val.imag();
+      e(r + n, c) = val.imag();
+      e(r + n, c + n) = val.real();
+    }
+  }
+
+  SymmetricEigenResult real = jacobiEigenSymmetric(e, maxSweeps);
+
+  HermitianEigenResult result;
+  result.eigenvalues.reserve(static_cast<std::size_t>(n));
+  result.eigenvectors.reserve(static_cast<std::size_t>(n));
+
+  // Walk the doubled spectrum; keep one complex vector per true eigenpair
+  // by Gram-Schmidt projection against already accepted vectors of nearby
+  // eigenvalues (v and i*v collapse to the same complex direction).
+  const double span =
+      std::max({1.0, std::fabs(real.eigenvalues.front()),
+                std::fabs(real.eigenvalues.back())});
+  for (std::size_t idx = 0;
+       idx < real.eigenvalues.size() &&
+       result.eigenvalues.size() < static_cast<std::size_t>(n);
+       ++idx) {
+    std::vector<std::complex<double>> vec(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      vec[static_cast<std::size_t>(i)] = {
+          real.eigenvectors[idx][static_cast<std::size_t>(i)],
+          real.eigenvectors[idx][static_cast<std::size_t>(i + n)]};
+    }
+    // Project out previously accepted vectors within the eigenvalue cluster.
+    for (std::size_t k = 0; k < result.eigenvalues.size(); ++k) {
+      if (std::fabs(result.eigenvalues[k] - real.eigenvalues[idx]) >
+          1e-7 * span) {
+        continue;
+      }
+      std::complex<double> dot{0.0, 0.0};
+      for (int i = 0; i < n; ++i) {
+        dot += std::conj(result.eigenvectors[k][static_cast<std::size_t>(i)]) *
+               vec[static_cast<std::size_t>(i)];
+      }
+      for (int i = 0; i < n; ++i) {
+        vec[static_cast<std::size_t>(i)] -=
+            dot * result.eigenvectors[k][static_cast<std::size_t>(i)];
+      }
+    }
+    double norm = 0.0;
+    for (const auto& z : vec) norm += std::norm(z);
+    norm = std::sqrt(norm);
+    if (norm < 1e-6) continue;  // duplicate direction (the i*v copy)
+    for (auto& z : vec) z /= norm;
+    result.eigenvalues.push_back(real.eigenvalues[idx]);
+    result.eigenvectors.push_back(std::move(vec));
+  }
+
+  MOSAIC_CHECK(result.eigenvalues.size() == static_cast<std::size_t>(n),
+               "Hermitian eigensolver recovered "
+                   << result.eigenvalues.size() << " of " << n
+                   << " eigenpairs");
+  return result;
+}
+
+}  // namespace mosaic

@@ -1,0 +1,78 @@
+#pragma once
+/// \file eigen.hpp
+/// Dense symmetric / Hermitian eigensolvers (cyclic Jacobi). Used to
+/// decompose the Hopkins TCC operator into SOCS kernels (paper Eq. 1-2):
+/// the kernels h_k are the top eigenvectors and the weights w_k the
+/// eigenvalues.
+
+#include <complex>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace mosaic {
+
+/// Dense row-major real matrix, just enough surface for the eigensolvers.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols, double init = 0.0)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows) * cols, init) {
+    MOSAIC_CHECK(rows > 0 && cols > 0, "matrix dimensions must be positive");
+  }
+
+  static Matrix identity(int n) {
+    Matrix m(n, n);
+    for (int i = 0; i < n; ++i) m(i, i) = 1.0;
+    return m;
+  }
+
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int cols() const { return cols_; }
+
+  double& operator()(int r, int c) {
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+  double operator()(int r, int c) const {
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+
+  [[nodiscard]] bool isSquare() const { return rows_ == cols_; }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Result of a symmetric eigendecomposition A = V diag(w) V^T with
+/// eigenvalues sorted in descending order; eigenvectors are the columns
+/// of V (stored per-eigenpair as vectors here).
+struct SymmetricEigenResult {
+  std::vector<double> eigenvalues;
+  std::vector<std::vector<double>> eigenvectors;  ///< [k][i]
+};
+
+/// Cyclic Jacobi eigensolver for a real symmetric matrix.
+/// \param a symmetric square matrix (symmetry is validated to tolerance).
+/// \param maxSweeps maximum full sweeps before giving up (throws if the
+///        off-diagonal norm has not converged by then).
+SymmetricEigenResult jacobiEigenSymmetric(const Matrix& a, int maxSweeps = 64);
+
+/// Result of a Hermitian eigendecomposition H = sum_k w_k v_k v_k^H with
+/// real eigenvalues sorted descending and orthonormal complex eigenvectors.
+struct HermitianEigenResult {
+  std::vector<double> eigenvalues;
+  std::vector<std::vector<std::complex<double>>> eigenvectors;  ///< [k][i]
+};
+
+/// Hermitian eigensolver via the real 2n x 2n embedding
+/// [[Re(H), -Im(H)], [Im(H), Re(H)]]. Each complex eigenpair appears twice
+/// in the embedding; the implementation deduplicates by complex
+/// Gram-Schmidt within eigenvalue clusters.
+/// \param h row-major n x n Hermitian matrix.
+HermitianEigenResult jacobiEigenHermitian(
+    const std::vector<std::complex<double>>& h, int n, int maxSweeps = 64);
+
+}  // namespace mosaic

@@ -1,0 +1,137 @@
+#include "math/fft.hpp"
+
+#include <map>
+#include <mutex>
+
+namespace mosaic {
+
+FftPlan::FftPlan(std::size_t n) : n_(n) {
+  MOSAIC_CHECK(isPowerOfTwo(n), "FFT size must be a power of two, got " << n);
+  logN_ = 0;
+  while ((std::size_t{1} << logN_) < n_) ++logN_;
+
+  bitrev_.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    std::size_t rev = 0;
+    for (int b = 0; b < logN_; ++b) {
+      rev = (rev << 1) | ((i >> b) & 1u);
+    }
+    bitrev_[i] = rev;
+  }
+
+  // Stage-packed twiddles: for half-length h the factors
+  // exp(-i pi j / h), j in [0, h) are stored at twiddle_[h + j].
+  twiddle_.assign(n_ == 1 ? 1 : n_, {1.0, 0.0});
+  for (std::size_t h = 1; h < n_; h <<= 1) {
+    const double theta = -3.14159265358979323846 / static_cast<double>(h);
+    for (std::size_t j = 0; j < h; ++j) {
+      const double a = theta * static_cast<double>(j);
+      twiddle_[h + j] = {std::cos(a), std::sin(a)};
+    }
+  }
+}
+
+void FftPlan::transform(std::complex<double>* data, bool invert) const {
+  // Bit-reversal permutation.
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t j = bitrev_[i];
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  // Butterflies. Inverse uses the conjugated twiddle.
+  for (std::size_t h = 1; h < n_; h <<= 1) {
+    const std::size_t len = h << 1;
+    for (std::size_t base = 0; base < n_; base += len) {
+      const std::complex<double>* tw = &twiddle_[h];
+      std::complex<double>* lo = data + base;
+      std::complex<double>* hi = lo + h;
+      for (std::size_t j = 0; j < h; ++j) {
+        const std::complex<double> w =
+            invert ? std::conj(tw[j]) : tw[j];
+        const std::complex<double> t = hi[j] * w;
+        hi[j] = lo[j] - t;
+        lo[j] += t;
+      }
+    }
+  }
+  if (invert) {
+    const double scale = 1.0 / static_cast<double>(n_);
+    for (std::size_t i = 0; i < n_; ++i) data[i] *= scale;
+  }
+}
+
+void FftPlan::forward(std::complex<double>* data) const {
+  transform(data, /*invert=*/false);
+}
+
+void FftPlan::inverse(std::complex<double>* data) const {
+  transform(data, /*invert=*/true);
+}
+
+Fft2d::Fft2d(int rows, int cols)
+    : rows_(rows),
+      cols_(cols),
+      rowPlan_(static_cast<std::size_t>(cols)),
+      colPlan_(static_cast<std::size_t>(rows)),
+      scratch_(static_cast<std::size_t>(rows)) {
+  MOSAIC_CHECK(rows > 0 && cols > 0, "FFT grid must be non-empty");
+}
+
+void Fft2d::transformRows(ComplexGrid& grid, bool invert) const {
+  for (int r = 0; r < rows_; ++r) {
+    std::complex<double>* row = grid.rowPtr(r);
+    if (invert) {
+      rowPlan_.inverse(row);
+    } else {
+      rowPlan_.forward(row);
+    }
+  }
+}
+
+void Fft2d::transformCols(ComplexGrid& grid, bool invert) const {
+  auto& col = scratch_;
+  for (int c = 0; c < cols_; ++c) {
+    for (int r = 0; r < rows_; ++r) col[static_cast<std::size_t>(r)] = grid(r, c);
+    if (invert) {
+      colPlan_.inverse(col.data());
+    } else {
+      colPlan_.forward(col.data());
+    }
+    for (int r = 0; r < rows_; ++r) grid(r, c) = col[static_cast<std::size_t>(r)];
+  }
+}
+
+void Fft2d::forward(ComplexGrid& grid) const {
+  MOSAIC_CHECK(grid.rows() == rows_ && grid.cols() == cols_,
+               "grid shape " << grid.rows() << "x" << grid.cols()
+                             << " does not match plan " << rows_ << "x"
+                             << cols_);
+  transformRows(grid, false);
+  transformCols(grid, false);
+}
+
+void Fft2d::inverse(ComplexGrid& grid) const {
+  MOSAIC_CHECK(grid.rows() == rows_ && grid.cols() == cols_,
+               "grid shape mismatch in inverse FFT");
+  transformRows(grid, true);
+  transformCols(grid, true);
+}
+
+ComplexGrid Fft2d::forwardReal(const RealGrid& grid) const {
+  ComplexGrid out = toComplex(grid);
+  forward(out);
+  return out;
+}
+
+const Fft2d& fft2dFor(int rows, int cols) {
+  static std::map<std::pair<int, int>, std::unique_ptr<Fft2d>> cache;
+  static std::mutex mutex;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto key = std::make_pair(rows, cols);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, std::make_unique<Fft2d>(rows, cols)).first;
+  }
+  return *it->second;
+}
+
+}  // namespace mosaic

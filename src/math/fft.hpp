@@ -1,0 +1,81 @@
+#pragma once
+/// \file fft.hpp
+/// From-scratch FFT. Provides cached 1-D radix-2 plans and a 2-D transform
+/// over ComplexGrid. This is the computational core of the lithography
+/// simulator: every aerial image and every gradient term is a handful of
+/// these transforms (paper Sec. 3.5).
+
+#include <complex>
+#include <memory>
+#include <vector>
+
+#include "math/grid.hpp"
+
+namespace mosaic {
+
+/// Iterative radix-2 decimation-in-time FFT plan for a fixed power-of-two
+/// size. Precomputes the bit-reversal permutation and twiddle factors so
+/// repeated transforms only pay the butterfly cost.
+class FftPlan {
+ public:
+  /// \param n transform length; must be a power of two >= 1.
+  explicit FftPlan(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  /// In-place forward DFT: X[k] = sum_j x[j] exp(-2 pi i jk / n).
+  void forward(std::complex<double>* data) const;
+
+  /// In-place inverse DFT including the 1/n normalization.
+  void inverse(std::complex<double>* data) const;
+
+  [[nodiscard]] static bool isPowerOfTwo(std::size_t n) {
+    return n != 0 && (n & (n - 1)) == 0;
+  }
+
+ private:
+  void transform(std::complex<double>* data, bool invert) const;
+
+  std::size_t n_;
+  int logN_;
+  std::vector<std::size_t> bitrev_;
+  /// Twiddles for the forward transform, stage-packed: the factors for the
+  /// stage with half-length h live at [h, 2h).
+  std::vector<std::complex<double>> twiddle_;
+};
+
+/// 2-D FFT over a ComplexGrid (rows then columns). Both dimensions must be
+/// powers of two. Plans and scratch are cached per instance, so reuse one
+/// Fft2d per grid shape in hot loops.
+class Fft2d {
+ public:
+  Fft2d(int rows, int cols);
+
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int cols() const { return cols_; }
+
+  /// In-place forward 2-D DFT.
+  void forward(ComplexGrid& grid) const;
+  /// In-place inverse 2-D DFT (normalized by 1/(rows*cols)).
+  void inverse(ComplexGrid& grid) const;
+
+  /// Convenience: forward transform of a real grid.
+  [[nodiscard]] ComplexGrid forwardReal(const RealGrid& grid) const;
+
+ private:
+  void transformRows(ComplexGrid& grid, bool invert) const;
+  void transformCols(ComplexGrid& grid, bool invert) const;
+
+  int rows_;
+  int cols_;
+  FftPlan rowPlan_;
+  FftPlan colPlan_;
+  mutable std::vector<std::complex<double>> scratch_;
+};
+
+/// Shared plan cache: returns an Fft2d for (rows, cols), constructing it on
+/// first use. Not thread-safe with respect to concurrent first-use of the
+/// same shape; call once per shape up-front in threaded code.
+const Fft2d& fft2dFor(int rows, int cols);
+
+}  // namespace mosaic

@@ -1,0 +1,131 @@
+#pragma once
+/// \file grid.hpp
+/// Dense row-major 2-D array. This is the pixel container for masks, aerial
+/// images, printed images and gradients throughout the library.
+
+#include <complex>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace mosaic {
+
+/// Dense row-major 2-D array of T with value semantics.
+///
+/// Indexing is (row, col). Rows map to the layout's y axis (row 0 = bottom
+/// edge by the rasterizer's convention) and columns to x.
+template <typename T>
+class Grid {
+ public:
+  Grid() = default;
+
+  Grid(int rows, int cols, T init = T{}) : rows_(rows), cols_(cols) {
+    MOSAIC_CHECK(rows > 0 && cols > 0,
+                 "grid dimensions must be positive, got " << rows << "x"
+                                                          << cols);
+    data_.assign(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+                 init);
+  }
+
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  [[nodiscard]] bool sameShape(const Grid& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  T& operator()(int r, int c) {
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+  const T& operator()(int r, int c) const {
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+
+  /// Bounds-checked access (throws); use in non-hot paths.
+  T& at(int r, int c) {
+    MOSAIC_CHECK(inBounds(r, c), "grid index (" << r << "," << c
+                                                << ") out of " << rows_ << "x"
+                                                << cols_);
+    return (*this)(r, c);
+  }
+  const T& at(int r, int c) const {
+    MOSAIC_CHECK(inBounds(r, c), "grid index (" << r << "," << c
+                                                << ") out of " << rows_ << "x"
+                                                << cols_);
+    return (*this)(r, c);
+  }
+
+  [[nodiscard]] bool inBounds(int r, int c) const {
+    return r >= 0 && r < rows_ && c >= 0 && c < cols_;
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  T* rowPtr(int r) { return data_.data() + static_cast<std::size_t>(r) * cols_; }
+  const T* rowPtr(int r) const {
+    return data_.data() + static_cast<std::size_t>(r) * cols_;
+  }
+
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  bool operator==(const Grid& other) const = default;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<T> data_;
+};
+
+using RealGrid = Grid<double>;
+using ComplexGrid = Grid<std::complex<double>>;
+using BitGrid = Grid<unsigned char>;  ///< binary raster (0 or 1)
+
+/// Promote a real grid to complex (imaginary part zero).
+inline ComplexGrid toComplex(const RealGrid& g) {
+  ComplexGrid out(g.rows(), g.cols());
+  for (std::size_t i = 0; i < g.size(); ++i) out.data()[i] = g.data()[i];
+  return out;
+}
+
+/// Extract the real part of a complex grid.
+inline RealGrid realPart(const ComplexGrid& g) {
+  RealGrid out(g.rows(), g.cols());
+  for (std::size_t i = 0; i < g.size(); ++i) out.data()[i] = g.data()[i].real();
+  return out;
+}
+
+/// Squared magnitude |g|^2 per pixel.
+inline RealGrid squaredMagnitude(const ComplexGrid& g) {
+  RealGrid out(g.rows(), g.cols());
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    out.data()[i] = std::norm(g.data()[i]);
+  }
+  return out;
+}
+
+/// Convert a binary raster to doubles {0.0, 1.0}.
+inline RealGrid toReal(const BitGrid& g) {
+  RealGrid out(g.rows(), g.cols());
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    out.data()[i] = g.data()[i] ? 1.0 : 0.0;
+  }
+  return out;
+}
+
+/// Threshold a real grid into a binary raster: 1 where value > threshold.
+inline BitGrid thresholdGrid(const RealGrid& g, double threshold) {
+  BitGrid out(g.rows(), g.cols());
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    out.data()[i] = g.data()[i] > threshold ? 1u : 0u;
+  }
+  return out;
+}
+
+}  // namespace mosaic

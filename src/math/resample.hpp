@@ -1,0 +1,53 @@
+#pragma once
+/// \file resample.hpp
+/// Grid resampling helpers for the coarse-to-fine (multiresolution) ILT
+/// flow: block-average / majority downsampling and nearest-neighbour
+/// upsampling.
+
+#include "math/grid.hpp"
+
+namespace mosaic {
+
+/// Block-average downsampling by an integer factor (dimensions must be
+/// divisible by the factor).
+inline RealGrid downsampleMean(const RealGrid& fine, int factor) {
+  MOSAIC_CHECK(factor >= 1, "factor must be >= 1");
+  MOSAIC_CHECK(fine.rows() % factor == 0 && fine.cols() % factor == 0,
+               "grid dimensions must be divisible by the factor");
+  const int rows = fine.rows() / factor;
+  const int cols = fine.cols() / factor;
+  RealGrid coarse(rows, cols, 0.0);
+  const double norm = 1.0 / (factor * factor);
+  for (int r = 0; r < fine.rows(); ++r) {
+    for (int c = 0; c < fine.cols(); ++c) {
+      coarse(r / factor, c / factor) += fine(r, c) * norm;
+    }
+  }
+  return coarse;
+}
+
+/// Majority downsampling of a binary raster: a coarse pixel is set when
+/// at least half of its fine pixels are set.
+inline BitGrid downsampleMajority(const BitGrid& fine, int factor) {
+  const RealGrid mean = downsampleMean(toReal(fine), factor);
+  BitGrid coarse(mean.rows(), mean.cols());
+  for (std::size_t i = 0; i < mean.size(); ++i) {
+    coarse.data()[i] = mean.data()[i] >= 0.5 ? 1u : 0u;
+  }
+  return coarse;
+}
+
+/// Nearest-neighbour (pixel replication) upsampling by an integer factor.
+template <typename T>
+Grid<T> upsampleNearest(const Grid<T>& coarse, int factor) {
+  MOSAIC_CHECK(factor >= 1, "factor must be >= 1");
+  Grid<T> fine(coarse.rows() * factor, coarse.cols() * factor);
+  for (int r = 0; r < fine.rows(); ++r) {
+    for (int c = 0; c < fine.cols(); ++c) {
+      fine(r, c) = coarse(r / factor, c / factor);
+    }
+  }
+  return fine;
+}
+
+}  // namespace mosaic

@@ -1,0 +1,41 @@
+#pragma once
+/// \file stats.hpp
+/// Small numeric reductions over grids and vectors (RMS for the optimizer's
+/// stopping rule, sums for objective values).
+
+#include <cmath>
+#include <cstddef>
+
+#include "math/grid.hpp"
+
+namespace mosaic {
+
+/// Root-mean-square of all elements (paper Alg. 1 line 8 stop criterion).
+inline double rms(const RealGrid& g) {
+  double acc = 0.0;
+  for (double v : g) acc += v * v;
+  return std::sqrt(acc / static_cast<double>(g.size()));
+}
+
+/// Sum of all elements.
+inline double sum(const RealGrid& g) {
+  double acc = 0.0;
+  for (double v : g) acc += v;
+  return acc;
+}
+
+/// Maximum absolute element.
+inline double maxAbs(const RealGrid& g) {
+  double best = 0.0;
+  for (double v : g) best = std::max(best, std::fabs(v));
+  return best;
+}
+
+/// Count of nonzero entries in a binary raster.
+inline long long popcount(const BitGrid& g) {
+  long long n = 0;
+  for (unsigned char v : g) n += (v != 0);
+  return n;
+}
+
+}  // namespace mosaic

@@ -1,0 +1,82 @@
+#include "opc/baselines.hpp"
+
+#include <cstdlib>
+
+#include "geometry/bitmap_ops.hpp"
+#include "geometry/edges.hpp"
+#include "support/error.hpp"
+
+namespace mosaic {
+
+RealGrid noOpcMask(const BitGrid& target) { return toReal(target); }
+
+namespace {
+
+/// Stamp hammerhead serifs onto every line end: a short boundary run is
+/// treated as a line end and the mask is extended outward over it.
+void addLineEndSerifs(BitGrid& mask, const BitGrid& target, int pixelNm,
+                      const RuleOpcConfig& cfg) {
+  const int maxEndPx = cfg.serifMaxEndNm / pixelNm;
+  const int extendPx = std::max(1, cfg.serifExtendNm / pixelNm);
+  const int overPx = cfg.serifOverhangNm / pixelNm;
+  const int rows = mask.rows();
+  const int cols = mask.cols();
+  const int clearPx = std::max(1, cfg.serifClearanceNm / pixelNm);
+  auto targetAt = [&](int r, int c) {
+    return r >= 0 && r < rows && c >= 0 && c < cols && target(r, c) != 0;
+  };
+  for (const auto& edge : extractEdges(target)) {
+    if (edge.length() > maxEndPx) continue;
+    // Line-end test: the probe zone beyond and beside the run must be
+    // clear of geometry, else this is a notch between features.
+    const int probe0 = edge.insideLow ? edge.boundary
+                                      : edge.boundary - extendPx - clearPx;
+    const int probe1 = edge.insideLow ? edge.boundary + extendPx + clearPx
+                                      : edge.boundary;
+    bool clear = true;
+    for (int p = probe0; p < probe1 && clear; ++p) {
+      for (int t = edge.lo - clearPx; t <= edge.hi + clearPx && clear; ++t) {
+        if (edge.horizontal ? targetAt(p, t) : targetAt(t, p)) clear = false;
+      }
+    }
+    if (!clear) continue;
+    // Outward span perpendicular to the edge.
+    const int out0 = edge.insideLow ? edge.boundary
+                                    : edge.boundary - extendPx;
+    const int out1 = edge.insideLow ? edge.boundary + extendPx
+                                    : edge.boundary;
+    const int lo = edge.lo - overPx;
+    const int hi = edge.hi + overPx;
+    for (int p = out0; p < out1; ++p) {
+      for (int t = lo; t <= hi; ++t) {
+        const int r = edge.horizontal ? p : t;
+        const int c = edge.horizontal ? t : p;
+        if (r >= 0 && r < rows && c >= 0 && c < cols) mask(r, c) = 1u;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+RealGrid ruleOpcMask(const BitGrid& target, int pixelNm,
+                     const RuleOpcConfig& config) {
+  MOSAIC_CHECK(pixelNm > 0, "pixel size must be positive");
+  const int biasPx = std::abs(config.biasNm) / pixelNm;
+  BitGrid mask = config.biasNm >= 0 ? dilateSquare(target, biasPx)
+                                    : erodeSquare(target, biasPx);
+  if (config.serifs) addLineEndSerifs(mask, target, pixelNm, config);
+  mask = insertSraf(mask, pixelNm, config.sraf);
+  return toReal(mask);
+}
+
+RealGrid ruleOpcMask(const BitGrid& target, int pixelNm, int biasNm,
+                     const SrafConfig& sraf) {
+  RuleOpcConfig config;
+  config.biasNm = biasNm;
+  config.serifs = false;  // this overload is bias + SRAF only
+  config.sraf = sraf;
+  return ruleOpcMask(target, pixelNm, config);
+}
+
+}  // namespace mosaic

@@ -1,0 +1,45 @@
+#pragma once
+/// \file baselines.hpp
+/// Comparison methods for the Table 2 / Table 3 reproduction. The contest
+/// winners' binaries are not available; these stand-ins cover the method
+/// classes the paper compares against (see DESIGN.md section 3):
+///   * no-OPC: the target itself as the mask (sanity floor),
+///   * rule-based OPC: uniform edge bias plus rule-based SRAFs,
+///   * conventional ILT: quadratic image-difference objective (gamma = 2)
+///     without the process-window term -- the formulation the paper cites
+///     as "used in previous ILT studies" (Sec. 3.3).
+
+#include "litho/simulator.hpp"
+#include "math/grid.hpp"
+#include "opc/sraf.hpp"
+
+namespace mosaic {
+
+/// The target raster used directly as a mask.
+RealGrid noOpcMask(const BitGrid& target);
+
+/// Knobs of the rule-based OPC baseline.
+struct RuleOpcConfig {
+  int biasNm = 0;          ///< uniform edge bias (+ dilate / - shrink)
+  bool serifs = true;      ///< hammerheads on line ends
+  int serifMaxEndNm = 96;  ///< edges at most this long count as line ends
+  int serifExtendNm = 12;  ///< how far the hammerhead sticks out
+  int serifOverhangNm = 0; ///< lateral overhang past the end's corners
+  /// A short edge only gets a serif when the region beyond it and beside
+  /// it is clear of other geometry by this much -- otherwise it is a notch
+  /// between features (e.g. comb-tooth gaps), not a line end.
+  int serifClearanceNm = 32;
+  SrafConfig sraf = {};
+};
+
+/// Rule-based OPC: uniform edge bias, line-end hammerhead serifs and
+/// rule-based SRAFs -- the classic pre-ILT correction recipe the paper
+/// cites as breaking down at 32 nm.
+RealGrid ruleOpcMask(const BitGrid& target, int pixelNm,
+                     const RuleOpcConfig& config = {});
+
+/// Back-compat convenience overload: bias + SRAF config only.
+RealGrid ruleOpcMask(const BitGrid& target, int pixelNm, int biasNm,
+                     const SrafConfig& sraf);
+
+}  // namespace mosaic

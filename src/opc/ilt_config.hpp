@@ -1,0 +1,95 @@
+#pragma once
+/// \file ilt_config.hpp
+/// Configuration of the inverse lithography optimization (paper Sec. 3).
+
+#include <vector>
+
+#include "litho/optics.hpp"
+
+namespace mosaic {
+
+/// Which design-target objective drives the optimization (paper Eq. 19-20).
+enum class TargetTerm {
+  kEpe,        ///< F_epe: sigmoid EPE-violation count (MOSAIC_exact, Sec. 3.2)
+  kImageDiff,  ///< F_id: gamma-power image difference (MOSAIC_fast, Sec. 3.3)
+};
+
+/// How gradient convolutions are evaluated (paper Sec. 3.5).
+enum class GradientMode {
+  kCombinedKernel,  ///< one convolution with sum_k w_k h_k (Eq. 21 speedup)
+  kPerKernel,       ///< exact SOCS gradient, one pair per kernel
+};
+
+/// Descent update rule. The paper uses plain gradient descent with the
+/// jump technique; momentum and Adam are provided for the optimizer
+/// ablation (bench/ablation_optimizer).
+enum class DescentVariant {
+  kPlain,     ///< Alg. 1: P -= step * g / rms(g)
+  kMomentum,  ///< heavy-ball: v = mu v + g / rms(g); P -= step * v
+  kAdam,      ///< element-wise adaptive moments
+};
+
+/// Knobs of the ILT engine. Defaults follow the paper where it states a
+/// value; see DESIGN.md section 6 for the mapping.
+struct IltConfig {
+  TargetTerm targetTerm = TargetTerm::kImageDiff;
+  GradientMode gradientMode = GradientMode::kCombinedKernel;
+
+  double alpha = 1.0;  ///< weight of the design-target term (Eq. 7)
+  double beta = 1.0;   ///< weight of the process-window term (Eq. 7)
+  double gamma = 4.0;  ///< image-difference exponent (Sec. 3.3: gamma = 4)
+  /// Weight of the quadratic mask-smoothness regularizer
+  /// F_reg = sum |grad M|^2 (0 = off, the paper's setting). Penalizing
+  /// mask gradients suppresses isolated pixels and ragged edges, trading
+  /// a little score for much simpler (writable) masks -- see
+  /// bench/ablation_regularization.
+  double regWeight = 0.0;
+
+  double thetaM = 4.0;      ///< mask sigmoid steepness (Eq. 8)
+  /// Mask transmission range. [0, 1] = binary mask (the paper's setting);
+  /// [-0.245, 1] approximates a 6 % attenuated PSM, [-1, 1] a strong PSM
+  /// (the generalized-ILT extension of ref. [10]).
+  double maskLow = 0.0;
+  double maskHigh = 1.0;
+  double thetaEpe = 3.0;    ///< EPE-violation sigmoid steepness (Eq. 11)
+  double epeThresholdNm = 15.0;  ///< th_epe
+  int sampleSpacingNm = 40;      ///< EPE sample pitch along edges
+
+  /// SOCS truncation inside the optimization loop (evaluation always uses
+  /// the full kernel set). 0 = all kernels.
+  int inLoopKernels = 9;
+
+  /// Process corners driving F_pvb (Eq. 18).
+  std::vector<ProcessCorner> pvbCorners = optimizationCorners();
+
+  // ---- optimizer (paper Alg. 1 + the jump technique of [12]) ----
+  int maxIterations = 20;        ///< th_iter
+  double stepSize = 0.35;        ///< step in P-space (gradient RMS-normalized)
+  double stepGrowth = 1.1;       ///< step multiplier after an improving step
+  double stepShrink = 0.5;       ///< step multiplier after a worsening step
+  double tolRmsGradient = 1e-5;  ///< th_g stop rule on RMS of the P-gradient
+  int jumpPeriod = 6;            ///< iterations without improvement -> jump
+  double jumpFactor = 8.0;       ///< step blow-up applied at a jump
+
+  DescentVariant descentVariant = DescentVariant::kPlain;
+  double momentum = 0.8;         ///< heavy-ball coefficient
+  double adamBeta1 = 0.9;        ///< Adam first-moment decay
+  double adamBeta2 = 0.999;      ///< Adam second-moment decay
+  double adamEpsilon = 1e-8;
+
+  void validate() const {
+    MOSAIC_CHECK(alpha >= 0 && beta >= 0 && regWeight >= 0,
+                 "objective weights must be >= 0");
+    MOSAIC_CHECK(gamma >= 1.0, "gamma must be >= 1");
+    MOSAIC_CHECK(thetaM > 0 && thetaEpe > 0, "sigmoid steepness must be > 0");
+    MOSAIC_CHECK(epeThresholdNm > 0, "EPE threshold must be positive");
+    MOSAIC_CHECK(sampleSpacingNm > 0, "sample spacing must be positive");
+    MOSAIC_CHECK(maxIterations >= 1, "need at least one iteration");
+    MOSAIC_CHECK(stepSize > 0, "step size must be positive");
+    MOSAIC_CHECK(inLoopKernels >= 0, "in-loop kernel count must be >= 0");
+    MOSAIC_CHECK(maskHigh > maskLow && maskHigh > 0,
+                 "mask transmission range is invalid");
+  }
+};
+
+}  // namespace mosaic

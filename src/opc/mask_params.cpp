@@ -1,0 +1,72 @@
+#include "opc/mask_params.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mosaic {
+
+MaskTransform::MaskTransform(double thetaM, double low, double high)
+    : thetaM_(thetaM), low_(low), high_(high) {
+  MOSAIC_CHECK(thetaM > 0, "theta_M must be positive");
+  MOSAIC_CHECK(high > low, "mask transmission range must be non-empty");
+  MOSAIC_CHECK(high > 0, "the clear transmission must be positive");
+}
+
+RealGrid MaskTransform::toMask(const RealGrid& params) const {
+  RealGrid mask(params.rows(), params.cols());
+  const double span = high_ - low_;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const double s = 1.0 / (1.0 + std::exp(-thetaM_ * params.data()[i]));
+    mask.data()[i] = low_ + span * s;
+  }
+  return mask;
+}
+
+RealGrid MaskTransform::toParams(const RealGrid& mask, double clampEps) const {
+  MOSAIC_CHECK(clampEps > 0 && clampEps < 0.5, "clampEps must be in (0, 0.5)");
+  RealGrid params(mask.rows(), mask.cols());
+  const double span = high_ - low_;
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    const double s = std::clamp((mask.data()[i] - low_) / span, clampEps,
+                                1.0 - clampEps);
+    params.data()[i] = std::log(s / (1.0 - s)) / thetaM_;
+  }
+  return params;
+}
+
+void MaskTransform::chainRule(const RealGrid& mask, RealGrid& gradInOut) const {
+  MOSAIC_CHECK(mask.sameShape(gradInOut), "mask/gradient shape mismatch");
+  const double span = high_ - low_;
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    // dM/dP = theta_M * span * s * (1 - s) with s the sigmoid value.
+    const double s = (mask.data()[i] - low_) / span;
+    gradInOut.data()[i] *= thetaM_ * span * s * (1.0 - s);
+  }
+}
+
+BitGrid MaskTransform::quantizeFeatures(const RealGrid& mask) const {
+  const double mid = 0.5 * (low_ + high_);
+  BitGrid out(mask.rows(), mask.cols());
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    out.data()[i] = mask.data()[i] > mid ? 1u : 0u;
+  }
+  return out;
+}
+
+RealGrid MaskTransform::materialize(const BitGrid& features) const {
+  RealGrid out(features.rows(), features.cols());
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    out.data()[i] = features.data()[i] ? high_ : low_;
+  }
+  return out;
+}
+
+BitGrid MaskTransform::binarize(const RealGrid& mask) {
+  BitGrid out(mask.rows(), mask.cols());
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    out.data()[i] = mask.data()[i] > 0.5 ? 1u : 0u;
+  }
+  return out;
+}
+
+}  // namespace mosaic

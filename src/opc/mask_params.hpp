@@ -1,0 +1,58 @@
+#pragma once
+/// \file mask_params.hpp
+/// Sigmoid relaxation of the binary mask constraint (paper Eq. 8):
+/// M = sig(theta_M * P) maps the unconstrained pixel variables P to mask
+/// transmissions in (0, 1); the optimizer walks in P-space.
+
+#include "math/grid.hpp"
+
+namespace mosaic {
+
+/// The P <-> M variable transformation.
+///
+/// The default range [0, 1] models a binary (chrome-on-glass) mask. A
+/// nonzero lower transmission generalizes the parameterization to
+/// phase-shifting masks in the sense of the generalized ILT of Ma & Arce
+/// (paper ref. [10]): lo = -0.245 approximates a 6 % attenuated PSM
+/// (amplitude -sqrt(0.06)), lo = -1 a strong (alternating) PSM.
+class MaskTransform {
+ public:
+  explicit MaskTransform(double thetaM = 4.0, double low = 0.0,
+                         double high = 1.0);
+
+  [[nodiscard]] double thetaM() const { return thetaM_; }
+  [[nodiscard]] double low() const { return low_; }
+  [[nodiscard]] double high() const { return high_; }
+
+  /// M = low + (high - low) * sig(theta_M * P) element-wise.
+  [[nodiscard]] RealGrid toMask(const RealGrid& params) const;
+
+  /// Inverse transform with clamping: mask values are pulled into
+  /// [clampEps, 1 - clampEps] before the logit. Used to initialize P from
+  /// a binary (target + SRAF) mask.
+  [[nodiscard]] RealGrid toParams(const RealGrid& mask,
+                                  double clampEps = 0.05) const;
+
+  /// Chain-rule factor dM/dP = theta_M * M * (1 - M) element-wise; converts
+  /// a gradient w.r.t. M into a gradient w.r.t. P (in place).
+  void chainRule(const RealGrid& mask, RealGrid& gradInOut) const;
+
+  /// Threshold a continuous mask at the mid transmission (P = 0): returns
+  /// the feature raster (1 where the mask is in the upper half).
+  [[nodiscard]] BitGrid quantizeFeatures(const RealGrid& mask) const;
+
+  /// Map a feature raster back to the two-level transmission mask
+  /// {low, high}.
+  [[nodiscard]] RealGrid materialize(const BitGrid& features) const;
+
+  /// Binarize a [0,1] mask at transmission 0.5 (binary-mask convenience;
+  /// equivalent to quantizeFeatures for the default range).
+  [[nodiscard]] static BitGrid binarize(const RealGrid& mask);
+
+ private:
+  double thetaM_;
+  double low_;
+  double high_;
+};
+
+}  // namespace mosaic

@@ -1,0 +1,86 @@
+#include "opc/mosaic.hpp"
+
+#include "support/log.hpp"
+#include "support/timer.hpp"
+
+namespace mosaic {
+
+std::string methodName(OpcMethod method) {
+  switch (method) {
+    case OpcMethod::kMosaicFast:
+      return "MOSAIC_fast";
+    case OpcMethod::kMosaicExact:
+      return "MOSAIC_exact";
+    case OpcMethod::kIltBaseline:
+      return "ILT_baseline";
+  }
+  throw InvalidArgument("unknown OPC method");
+}
+
+IltConfig defaultIltConfig(OpcMethod method, int pixelNm) {
+  MOSAIC_CHECK(pixelNm > 0, "pixel size must be positive");
+  const double pixelArea = static_cast<double>(pixelNm) * pixelNm;
+  IltConfig cfg;
+  switch (method) {
+    case OpcMethod::kMosaicFast:
+      cfg.targetTerm = TargetTerm::kImageDiff;
+      cfg.gamma = 4.0;
+      // F_id sums |Z-Zt|^4 per pixel: a mismatch band of area A nm^2
+      // contributes ~A/pixelArea, so alpha ~ pixel area keeps the term on
+      // the PV-band scale; EPE pressure comes through the band shrinking.
+      cfg.alpha = 10.0 * pixelArea;
+      cfg.beta = 4.0 * pixelArea;
+      break;
+    case OpcMethod::kMosaicExact:
+      cfg.targetTerm = TargetTerm::kEpe;
+      // F_epe counts violations: weight them like the contest does.
+      cfg.alpha = 5000.0;
+      cfg.beta = 4.0 * pixelArea;
+      // The paper's exact mode spends ~6x the compute of the fast mode per
+      // run (per-sample gradient accumulation); our aggregated-field
+      // gradient is cheaper per iteration, so exact banks a part of that
+      // budget as extra descent iterations instead (still well under the
+      // paper's runtime ratio).
+      cfg.maxIterations = 30;
+      break;
+    case OpcMethod::kIltBaseline:
+      cfg.targetTerm = TargetTerm::kImageDiff;
+      cfg.gamma = 2.0;
+      cfg.alpha = 10.0 * pixelArea;
+      cfg.beta = 0.0;  // no process-window awareness
+      break;
+  }
+  return cfg;
+}
+
+OpcResult runOpc(const LithoSimulator& sim, const BitGrid& target,
+                 OpcMethod method, const IltConfig* configOverride,
+                 const SrafConfig& sraf, const IterationCallback& callback) {
+  WallTimer timer;
+  const IltConfig cfg = configOverride != nullptr
+                            ? *configOverride
+                            : defaultIltConfig(method, sim.optics().pixelNm);
+
+  // Alg. 1 line 2: initial mask = target with rule-based SRAFs.
+  const BitGrid initial = insertSraf(target, sim.optics().pixelNm, sraf);
+
+  IltObjective objective(sim, target, cfg);
+  OptimizeResult opt = optimizeMask(objective, toReal(initial), callback);
+
+  OpcResult result;
+  result.method = methodName(method);
+  result.maskContinuous = std::move(opt.bestMask);
+  const MaskTransform transform(cfg.thetaM, cfg.maskLow, cfg.maskHigh);
+  result.maskBinary = transform.quantizeFeatures(result.maskContinuous);
+  result.maskTwoLevel = transform.materialize(result.maskBinary);
+  result.history = std::move(opt.history);
+  result.iterations = static_cast<int>(result.history.size());
+  result.converged = opt.converged;
+  result.runtimeSec = timer.seconds();
+  LOG_INFO(result.method << " finished: best F = " << opt.bestObjective
+                         << " (iteration " << opt.bestIteration << ") in "
+                         << result.runtimeSec << " s");
+  return result;
+}
+
+}  // namespace mosaic

@@ -1,0 +1,55 @@
+#pragma once
+/// \file mosaic.hpp
+/// Top-level facade: run MOSAIC_fast / MOSAIC_exact (paper Eq. 19-20) or
+/// the conventional-ILT baseline on a target raster and get back the
+/// optimized mask plus telemetry. This is the primary public entry point
+/// of the library.
+
+#include <string>
+
+#include "litho/simulator.hpp"
+#include "opc/optimizer.hpp"
+#include "opc/sraf.hpp"
+
+namespace mosaic {
+
+/// The two MOSAIC operating modes plus the baseline formulation.
+enum class OpcMethod {
+  kMosaicFast,   ///< F = alpha F_id(gamma=4) + beta F_pvb   (Eq. 20)
+  kMosaicExact,  ///< F = alpha F_epe + beta F_pvb           (Eq. 19)
+  kIltBaseline,  ///< F = F_id(gamma=2), no process-window term
+};
+
+[[nodiscard]] std::string methodName(OpcMethod method);
+
+/// Default ILT configuration for a method at a given pixel size. The
+/// alpha/beta weights follow the contest scoring ratio (Eq. 22): EPE
+/// violations are worth 5000 each and PV-band area 4 per nm^2; the
+/// F_id / F_pvb pixel sums are scaled by the pixel area so results are
+/// resolution-independent.
+[[nodiscard]] IltConfig defaultIltConfig(OpcMethod method, int pixelNm);
+
+struct OpcResult {
+  std::string method;
+  RealGrid maskContinuous;  ///< best continuous mask from the optimizer
+  BitGrid maskBinary;       ///< feature raster (upper transmission level)
+  /// Two-level transmission mask {maskLow, maskHigh}; identical to
+  /// toReal(maskBinary) for binary masks, carries the negative background
+  /// for PSM configurations. Use this for simulation/evaluation.
+  RealGrid maskTwoLevel;
+  std::vector<IterationRecord> history;
+  double runtimeSec = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Run an OPC method end to end: SRAF initialization (Alg. 1 line 2),
+/// gradient-descent ILT, binarization. `configOverride` (optional) replaces
+/// the method's default IltConfig; `sraf` controls initialization;
+/// `callback` observes every iteration (used by the convergence bench).
+OpcResult runOpc(const LithoSimulator& sim, const BitGrid& target,
+                 OpcMethod method, const IltConfig* configOverride = nullptr,
+                 const SrafConfig& sraf = {},
+                 const IterationCallback& callback = {});
+
+}  // namespace mosaic

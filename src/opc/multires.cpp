@@ -1,0 +1,69 @@
+#include "opc/multires.hpp"
+
+#include "math/resample.hpp"
+#include "support/log.hpp"
+#include "support/timer.hpp"
+
+namespace mosaic {
+
+OpcResult runOpcMultires(const LithoSimulator& coarseSim,
+                         const LithoSimulator& fineSim,
+                         const BitGrid& fineTarget, OpcMethod method,
+                         const MultiresConfig& config,
+                         const IltConfig* fineOverride,
+                         const SrafConfig& sraf) {
+  WallTimer timer;
+  const int finePx = fineSim.optics().pixelNm;
+  const int coarsePx = coarseSim.optics().pixelNm;
+  MOSAIC_CHECK(coarsePx > finePx && coarsePx % finePx == 0,
+               "coarse pitch must be an integer multiple of the fine pitch");
+  const int factor = coarsePx / finePx;
+  MOSAIC_CHECK(config.coarseIterations >= 1 && config.fineIterations >= 1,
+               "both stages need at least one iteration");
+
+  // ---- coarse stage: standard run on the downsampled target ----
+  const BitGrid coarseTarget = downsampleMajority(fineTarget, factor);
+  IltConfig coarseCfg = fineOverride != nullptr
+                            ? *fineOverride
+                            : defaultIltConfig(method, finePx);
+  // Re-derive resolution-dependent weights for the coarse pitch.
+  {
+    const IltConfig defaults = defaultIltConfig(method, coarsePx);
+    coarseCfg.alpha = defaults.alpha;
+    coarseCfg.beta = defaults.beta;
+  }
+  coarseCfg.maxIterations = config.coarseIterations;
+  const OpcResult coarse =
+      runOpc(coarseSim, coarseTarget, method, &coarseCfg, sraf);
+
+  // ---- fine stage: polish from the upsampled continuous mask ----
+  IltConfig fineCfg = fineOverride != nullptr
+                          ? *fineOverride
+                          : defaultIltConfig(method, finePx);
+  fineCfg.maxIterations = config.fineIterations;
+  const RealGrid init = upsampleNearest(coarse.maskContinuous, factor);
+
+  IltObjective objective(fineSim, fineTarget, fineCfg);
+  OptimizeResult fine = optimizeMask(objective, init);
+
+  OpcResult result;
+  result.method = methodName(method) + "_multires";
+  result.maskContinuous = std::move(fine.bestMask);
+  const MaskTransform transform(fineCfg.thetaM, fineCfg.maskLow,
+                                fineCfg.maskHigh);
+  result.maskBinary = transform.quantizeFeatures(result.maskContinuous);
+  result.maskTwoLevel = transform.materialize(result.maskBinary);
+  result.history = coarse.history;
+  result.history.insert(result.history.end(), fine.history.begin(),
+                        fine.history.end());
+  result.iterations = static_cast<int>(result.history.size());
+  result.converged = fine.converged;
+  result.runtimeSec = timer.seconds();
+  LOG_INFO(result.method << " finished: coarse best F "
+                         << coarse.history.size() << " iters, fine best F = "
+                         << fine.bestObjective << " in " << result.runtimeSec
+                         << " s");
+  return result;
+}
+
+}  // namespace mosaic

@@ -1,0 +1,30 @@
+#pragma once
+/// \file multires.hpp
+/// Coarse-to-fine (multiresolution) ILT: run most descent iterations on a
+/// coarser raster (each iteration is factor^2 cheaper), upsample the
+/// continuous mask and polish on the fine grid. A standard acceleration
+/// in production ILT; provided as an extension with its own ablation
+/// (bench/ablation_multires).
+
+#include "litho/simulator.hpp"
+#include "opc/mosaic.hpp"
+
+namespace mosaic {
+
+struct MultiresConfig {
+  int coarseIterations = 14;  ///< descent budget on the coarse grid
+  int fineIterations = 6;     ///< polish budget on the fine grid
+};
+
+/// Run `method` coarse-to-fine. `coarseSim` and `fineSim` must share the
+/// optical configuration except for the pixel pitch; the pitch ratio
+/// defines the resampling factor (an integer > 1). `fineTarget` is the
+/// target raster on the fine grid.
+OpcResult runOpcMultires(const LithoSimulator& coarseSim,
+                         const LithoSimulator& fineSim,
+                         const BitGrid& fineTarget, OpcMethod method,
+                         const MultiresConfig& config = {},
+                         const IltConfig* fineOverride = nullptr,
+                         const SrafConfig& sraf = {});
+
+}  // namespace mosaic

@@ -1,0 +1,292 @@
+#include "opc/objective.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "math/convolution.hpp"
+#include "math/stats.hpp"
+
+namespace mosaic {
+namespace {
+
+/// Z and dZ/dI = theta_Z Z (1-Z) for an aerial image at a given dose.
+void resistForward(const ResistModel& resist, const RealGrid& aerialRaw,
+                   double dose, RealGrid& z, RealGrid& dZdI) {
+  const int rows = aerialRaw.rows();
+  const int cols = aerialRaw.cols();
+  z = RealGrid(rows, cols);
+  dZdI = RealGrid(rows, cols);
+  for (std::size_t i = 0; i < aerialRaw.size(); ++i) {
+    const double intensity = dose * aerialRaw.data()[i];
+    const double zv = resist.sigmoid(intensity);
+    z.data()[i] = zv;
+    dZdI.data()[i] = resist.thetaZ * zv * (1.0 - zv);
+  }
+}
+
+}  // namespace
+
+IltObjective::IltObjective(const LithoSimulator& sim, BitGrid target,
+                           IltConfig config)
+    : sim_(sim),
+      target_(std::move(target)),
+      config_(std::move(config)) {
+  config_.validate();
+  const int n = sim_.gridSize();
+  MOSAIC_CHECK(target_.rows() == n && target_.cols() == n,
+               "target raster is " << target_.rows() << "x" << target_.cols()
+                                   << ", simulator grid is " << n);
+  targetReal_ = toReal(target_);
+  const int pixelNm = sim_.optics().pixelNm;
+  samples_ = extractSamples(target_, config_.sampleSpacingNm / pixelNm);
+  epeHalfWidthPx_ = std::max(
+      1, static_cast<int>(std::lround(config_.epeThresholdNm / pixelNm)));
+}
+
+RealGrid IltObjective::imageDiffGradientField(const RealGrid& zNominal,
+                                              const RealGrid& aerialNominal,
+                                              double* valueOut) const {
+  // F_id = sum |Z - Zt|^gamma  (Eq. 16; |.| so odd gamma stays a metric).
+  // dF/dI = gamma |Z - Zt|^(gamma-1) sign(Z - Zt) * thetaZ Z (1 - Z).
+  const double gamma = config_.gamma;
+  const ResistModel& resist = sim_.resist();
+  RealGrid g(zNominal.rows(), zNominal.cols());
+  double value = 0.0;
+  for (std::size_t i = 0; i < zNominal.size(); ++i) {
+    const double d = zNominal.data()[i] - targetReal_.data()[i];
+    const double ad = std::fabs(d);
+    value += std::pow(ad, gamma);
+    const double z = zNominal.data()[i];
+    const double dZdI = resist.thetaZ * z * (1.0 - z);
+    const double sign = (d >= 0.0) ? 1.0 : -1.0;
+    g.data()[i] = gamma * std::pow(ad, gamma - 1.0) * sign * dZdI;
+    (void)aerialNominal;
+  }
+  *valueOut = value;
+  return g;
+}
+
+RealGrid IltObjective::epeGradientField(const RealGrid& zNominal,
+                                        const RealGrid& aerialNominal,
+                                        double* valueOut) const {
+  // Eq. 9-14. For each sample point, Dsum is the squared image difference
+  // summed over the EPE window perpendicular to the edge; the sigmoid of
+  // (Dsum - tau) is the soft violation. The per-sample outer derivatives
+  // theta_epe * s * (1 - s) are accumulated into a per-pixel weight field
+  // W, after which dF/dZ = W * 2 (Z - Zt) -- identical algebra to the
+  // paper's per-sample Eq. 14 sum, evaluated with one convolution pair.
+  const int rows = zNominal.rows();
+  const int cols = zNominal.cols();
+  // Violation when Dsum >= th_epe (Eq. 11): with pixel-counting D, the
+  // threshold is the half-window width w (a fully missing edge mismatches
+  // exactly the inner half of the window).
+  const int w = epeHalfWidthPx_;
+  const double tau = static_cast<double>(w);
+  const ResistModel& resist = sim_.resist();
+
+  // Squared image difference D (Eq. 10).
+  RealGrid d2(rows, cols);
+  for (std::size_t i = 0; i < d2.size(); ++i) {
+    const double d = zNominal.data()[i] - targetReal_.data()[i];
+    d2.data()[i] = d * d;
+  }
+
+  RealGrid weight(rows, cols, 0.0);
+  double value = 0.0;
+  for (const auto& s : samples_) {
+    double dsum = 0.0;
+    // Window spans w pixels on each side of the boundary, along the
+    // direction perpendicular to the edge.
+    const int lo = s.boundary - w;
+    const int hi = s.boundary + w - 1;
+    for (int t = lo; t <= hi; ++t) {
+      if (s.horizontal) {
+        if (t >= 0 && t < rows) dsum += d2(t, s.along);
+      } else {
+        if (t >= 0 && t < cols) dsum += d2(s.along, t);
+      }
+    }
+    const double sig =
+        1.0 / (1.0 + std::exp(-config_.thetaEpe * (dsum - tau)));
+    value += sig;
+    const double outer = config_.thetaEpe * sig * (1.0 - sig);
+    for (int t = lo; t <= hi; ++t) {
+      if (s.horizontal) {
+        if (t >= 0 && t < rows) weight(t, s.along) += outer;
+      } else {
+        if (t >= 0 && t < cols) weight(s.along, t) += outer;
+      }
+    }
+  }
+
+  RealGrid g(rows, cols);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const double z = zNominal.data()[i];
+    const double dZdI = resist.thetaZ * z * (1.0 - z);
+    g.data()[i] = weight.data()[i] * 2.0 *
+                  (z - targetReal_.data()[i]) * dZdI;
+    (void)aerialNominal;
+  }
+  *valueOut = value;
+  return g;
+}
+
+void IltObjective::accumulateGradient(const ComplexGrid& maskSpectrum,
+                                      const KernelSet& kernels,
+                                      const RealGrid& gField,
+                                      RealGrid& grad) const {
+  const int n = kernels.gridSize;
+  const Fft2d& fft = fft2dFor(n, n);
+
+  auto addChain = [&](const SparseSpectrum& spec, double weight,
+                      ComplexGrid& accumSpectrum) {
+    // field A = ifft(Mhat .* spec)
+    ComplexGrid field(n, n);
+    spec.multiplyInto(maskSpectrum, field);
+    fft.inverse(field);
+    // B = G .* conj(A); accumulate w * fft(B) .* spec_flipped.
+    for (std::size_t i = 0; i < field.size(); ++i) {
+      field.data()[i] = gField.data()[i] * std::conj(field.data()[i]);
+    }
+    fft.forward(field);
+    spec.flipped().accumulateProduct(field, weight, accumSpectrum);
+  };
+
+  ComplexGrid accum(n, n, {0.0, 0.0});
+  if (config_.gradientMode == GradientMode::kCombinedKernel) {
+    addChain(kernels.combined, 1.0, accum);
+  } else {
+    const int count = (config_.inLoopKernels <= 0)
+                          ? kernels.kernelCount()
+                          : std::min(config_.inLoopKernels,
+                                     kernels.kernelCount());
+    for (int k = 0; k < count; ++k) {
+      addChain(kernels.kernels[static_cast<std::size_t>(k)],
+               kernels.weights[static_cast<std::size_t>(k)], accum);
+    }
+  }
+  fft.inverse(accum);
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    grad.data()[i] += 2.0 * accum.data()[i].real();
+  }
+}
+
+IltObjective::Evaluation IltObjective::evaluate(const RealGrid& mask,
+                                                bool needGradient) const {
+  const int n = sim_.gridSize();
+  MOSAIC_CHECK(mask.rows() == n && mask.cols() == n, "mask grid mismatch");
+
+  Evaluation eval;
+  const ComplexGrid maskSpectrum = sim_.maskSpectrum(mask);
+
+  // ---- nominal corner: design-target term ----
+  const RealGrid aerialNominal = sim_.aerialFromSpectrum(
+      maskSpectrum, nominalCorner(), config_.inLoopKernels);
+  RealGrid zNominal;
+  RealGrid dZdI;  // unused beyond checks; term fields fold it in themselves
+  resistForward(sim_.resist(), aerialNominal, 1.0, zNominal, dZdI);
+  eval.zNominal = zNominal;
+
+  double targetValue = 0.0;
+  RealGrid gTarget =
+      (config_.targetTerm == TargetTerm::kEpe)
+          ? epeGradientField(zNominal, aerialNominal, &targetValue)
+          : imageDiffGradientField(zNominal, aerialNominal, &targetValue);
+  eval.targetValue = targetValue;
+
+  // ---- process corners: F_pvb (Eq. 18) ----
+  // Group the dF/dI fields by focus so each kernel set pays exactly one
+  // convolution chain.
+  std::map<double, RealGrid> gByFocus;
+  auto addField = [&](double focus, const RealGrid& g, double scale) {
+    auto it = gByFocus.find(focus);
+    if (it == gByFocus.end()) {
+      it = gByFocus.emplace(focus, RealGrid(n, n, 0.0)).first;
+    }
+    RealGrid& acc = it->second;
+    for (std::size_t i = 0; i < acc.size(); ++i) {
+      acc.data()[i] += scale * g.data()[i];
+    }
+  };
+
+  if (config_.alpha > 0.0) addField(0.0, gTarget, config_.alpha);
+
+  double pvbValue = 0.0;
+  if (config_.beta > 0.0) {
+    for (const auto& corner : config_.pvbCorners) {
+      const RealGrid aerialRaw = sim_.aerialFromSpectrum(
+          maskSpectrum, ProcessCorner{corner.focusNm, 1.0},
+          config_.inLoopKernels);
+      RealGrid zCorner;
+      RealGrid dZdICorner;
+      resistForward(sim_.resist(), aerialRaw, corner.dose, zCorner,
+                    dZdICorner);
+      RealGrid g(n, n);
+      for (std::size_t i = 0; i < g.size(); ++i) {
+        const double diff = zCorner.data()[i] - targetReal_.data()[i];
+        pvbValue += diff * diff;
+        // dF/dI_raw = 2 (Z - Zt) * dZ/dI * dose (intensity scales by dose).
+        g.data()[i] = 2.0 * diff * dZdICorner.data()[i] * corner.dose;
+      }
+      if (needGradient) addField(corner.focusNm, g, config_.beta);
+    }
+  }
+  eval.pvbValue = pvbValue;
+
+  if (needGradient) {
+    eval.gradMask = RealGrid(n, n, 0.0);
+    // With resist diffusion the observed intensity is Blur(I_raw); the
+    // blur is self-adjoint, so dF/dI_raw = Blur(dF/dI_observed).
+    const double diffusionPx =
+        sim_.resist().diffusionSigmaNm / sim_.optics().pixelNm;
+    for (const auto& [focus, g] : gByFocus) {
+      if (diffusionPx > 0.0) {
+        accumulateGradient(maskSpectrum, sim_.kernels(focus),
+                           gaussianBlur(g, diffusionPx), eval.gradMask);
+      } else {
+        accumulateGradient(maskSpectrum, sim_.kernels(focus), g,
+                           eval.gradMask);
+      }
+    }
+  }
+
+  // Mask smoothness regularizer: F_reg = sum of squared forward
+  // differences; dF_reg/dM is (minus) the discrete 5-point Laplacian with
+  // mirrored (zero-flux) boundaries.
+  if (config_.regWeight > 0.0) {
+    double regValue = 0.0;
+    for (int r = 0; r < n; ++r) {
+      for (int c = 0; c < n; ++c) {
+        const double m = mask(r, c);
+        if (r + 1 < n) {
+          const double d = mask(r + 1, c) - m;
+          regValue += d * d;
+        }
+        if (c + 1 < n) {
+          const double d = mask(r, c + 1) - m;
+          regValue += d * d;
+        }
+      }
+    }
+    eval.regValue = regValue;
+    if (needGradient) {
+      for (int r = 0; r < n; ++r) {
+        for (int c = 0; c < n; ++c) {
+          double g = 0.0;
+          const double m = mask(r, c);
+          if (r + 1 < n) g -= 2.0 * (mask(r + 1, c) - m);
+          if (r > 0) g += 2.0 * (m - mask(r - 1, c));
+          if (c + 1 < n) g -= 2.0 * (mask(r, c + 1) - m);
+          if (c > 0) g += 2.0 * (m - mask(r, c - 1));
+          eval.gradMask(r, c) += config_.regWeight * g;
+        }
+      }
+    }
+  }
+
+  eval.value = config_.alpha * targetValue + config_.beta * pvbValue +
+               config_.regWeight * eval.regValue;
+  return eval;
+}
+
+}  // namespace mosaic

@@ -1,0 +1,141 @@
+#include "opc/optimizer.hpp"
+
+#include <cmath>
+
+#include "math/stats.hpp"
+#include "support/log.hpp"
+
+namespace mosaic {
+
+OptimizeResult optimizeMask(const IltObjective& objective,
+                            const RealGrid& initialMask,
+                            const IterationCallback& callback) {
+  const IltConfig& cfg = objective.config();
+  const MaskTransform transform(cfg.thetaM, cfg.maskLow, cfg.maskHigh);
+
+  RealGrid params = transform.toParams(initialMask);
+  RealGrid mask = transform.toMask(params);
+  IltObjective::Evaluation eval = objective.evaluate(mask, true);
+
+  OptimizeResult result;
+  result.bestMask = mask;
+  result.bestObjective = eval.value;
+  result.bestIteration = 0;
+
+  double step = cfg.stepSize;
+  double previousValue = eval.value;
+  int sinceImprovement = 0;
+
+  // State for the momentum / Adam descent variants.
+  RealGrid velocity;
+  RealGrid adamM;
+  RealGrid adamV;
+  if (cfg.descentVariant == DescentVariant::kMomentum) {
+    velocity = RealGrid(params.rows(), params.cols(), 0.0);
+  } else if (cfg.descentVariant == DescentVariant::kAdam) {
+    adamM = RealGrid(params.rows(), params.cols(), 0.0);
+    adamV = RealGrid(params.rows(), params.cols(), 0.0);
+  }
+
+  for (int iter = 1; iter <= cfg.maxIterations; ++iter) {
+    // Gradient in P-space via the sigmoid chain rule (Eq. 8).
+    RealGrid gradP = eval.gradMask;
+    transform.chainRule(mask, gradP);
+    const double gradRms = rms(gradP);
+
+    IterationRecord record;
+    record.iteration = iter;
+    record.rmsGradient = gradRms;
+
+    if (gradRms < cfg.tolRmsGradient) {
+      record.objective = eval.value;
+      record.targetTerm = eval.targetValue;
+      record.pvbTerm = eval.pvbValue;
+      record.stepSize = step;
+      result.history.push_back(record);
+      result.converged = true;
+      if (callback) callback(record, mask);
+      break;
+    }
+
+    // Jump technique [12]: after a streak without improvement, blow the
+    // step up once to hop to a different basin; the best iterate is kept
+    // separately so this is risk-free.
+    bool jumped = false;
+    if (sinceImprovement >= cfg.jumpPeriod) {
+      step *= cfg.jumpFactor;
+      sinceImprovement = 0;
+      jumped = true;
+    }
+
+    // Descent update (Alg. 1 line 6 for the plain variant).
+    switch (cfg.descentVariant) {
+      case DescentVariant::kPlain: {
+        const double scale = step / gradRms;
+        for (std::size_t i = 0; i < params.size(); ++i) {
+          params.data()[i] -= scale * gradP.data()[i];
+        }
+        break;
+      }
+      case DescentVariant::kMomentum: {
+        const double invRms = 1.0 / gradRms;
+        for (std::size_t i = 0; i < params.size(); ++i) {
+          velocity.data()[i] = cfg.momentum * velocity.data()[i] +
+                               invRms * gradP.data()[i];
+          params.data()[i] -= step * velocity.data()[i];
+        }
+        break;
+      }
+      case DescentVariant::kAdam: {
+        const double b1 = cfg.adamBeta1;
+        const double b2 = cfg.adamBeta2;
+        const double corr1 = 1.0 - std::pow(b1, iter);
+        const double corr2 = 1.0 - std::pow(b2, iter);
+        for (std::size_t i = 0; i < params.size(); ++i) {
+          const double g = gradP.data()[i];
+          adamM.data()[i] = b1 * adamM.data()[i] + (1.0 - b1) * g;
+          adamV.data()[i] = b2 * adamV.data()[i] + (1.0 - b2) * g * g;
+          const double mHat = adamM.data()[i] / corr1;
+          const double vHat = adamV.data()[i] / corr2;
+          params.data()[i] -=
+              step * mHat / (std::sqrt(vHat) + cfg.adamEpsilon);
+        }
+        break;
+      }
+    }
+    mask = transform.toMask(params);
+    eval = objective.evaluate(mask, true);
+
+    const bool improved = eval.value < previousValue;
+    if (improved) {
+      step *= cfg.stepGrowth;
+      sinceImprovement = 0;
+    } else {
+      step *= cfg.stepShrink;
+      ++sinceImprovement;
+    }
+    previousValue = eval.value;
+
+    if (eval.value < result.bestObjective) {
+      result.bestObjective = eval.value;
+      result.bestMask = mask;
+      result.bestIteration = iter;
+    }
+
+    record.objective = eval.value;
+    record.targetTerm = eval.targetValue;
+    record.pvbTerm = eval.pvbValue;
+    record.stepSize = step;
+    record.improved = improved;
+    record.jumped = jumped;
+    result.history.push_back(record);
+    LOG_DEBUG("iter " << iter << " F=" << eval.value << " target="
+                      << eval.targetValue << " pvb=" << eval.pvbValue
+                      << " |g|=" << gradRms << " step=" << step
+                      << (jumped ? " [jump]" : ""));
+    if (callback) callback(record, mask);
+  }
+  return result;
+}
+
+}  // namespace mosaic

@@ -1,0 +1,47 @@
+#pragma once
+/// \file optimizer.hpp
+/// Gradient-descent driver for the ILT objective (paper Alg. 1) with the
+/// step-size "jump" technique of Zhao & Chu [12] to escape local minima.
+/// The returned mask is the iterate with the lowest objective value seen
+/// (Alg. 1 line 9), not necessarily the last one.
+
+#include <functional>
+#include <vector>
+
+#include "opc/mask_params.hpp"
+#include "opc/objective.hpp"
+
+namespace mosaic {
+
+/// Telemetry for one optimizer iteration (drives the paper's Fig. 6).
+struct IterationRecord {
+  int iteration = 0;
+  double objective = 0.0;
+  double targetTerm = 0.0;
+  double pvbTerm = 0.0;
+  double rmsGradient = 0.0;
+  double stepSize = 0.0;
+  bool improved = false;
+  bool jumped = false;
+};
+
+struct OptimizeResult {
+  RealGrid bestMask;       ///< continuous mask with the lowest objective
+  double bestObjective = 0.0;
+  int bestIteration = 0;
+  std::vector<IterationRecord> history;
+  bool converged = false;  ///< stopped on the RMS-gradient rule
+};
+
+/// Called after every iteration with the current (not best) mask.
+using IterationCallback =
+    std::function<void(const IterationRecord&, const RealGrid& mask)>;
+
+/// Run gradient descent from an initial mask. Steps are taken in P-space
+/// (MaskTransform), with the update normalized by the gradient RMS so the
+/// configured step size is in P units.
+OptimizeResult optimizeMask(const IltObjective& objective,
+                            const RealGrid& initialMask,
+                            const IterationCallback& callback = {});
+
+}  // namespace mosaic

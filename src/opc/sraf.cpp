@@ -1,0 +1,42 @@
+#include "opc/sraf.hpp"
+
+#include "geometry/bitmap_ops.hpp"
+#include "support/error.hpp"
+
+namespace mosaic {
+
+BitGrid srafBand(const BitGrid& target, int pixelNm, const SrafConfig& config) {
+  MOSAIC_CHECK(pixelNm > 0, "pixel size must be positive");
+  MOSAIC_CHECK(config.minDistanceNm > 0 &&
+                   config.maxDistanceNm > config.minDistanceNm,
+               "SRAF band needs 0 < min < max distance");
+  const int minPx = config.minDistanceNm / pixelNm;
+  const int maxPx = config.maxDistanceNm / pixelNm;
+  MOSAIC_CHECK(minPx >= 1, "SRAF distance below one pixel");
+
+  BitGrid band = bitSub(dilateSquare(target, maxPx), dilateSquare(target, minPx));
+
+  // Keep-out at the clip border (the optical model wraps cyclically).
+  const int margin = config.clipMarginNm / pixelNm;
+  if (margin > 0) {
+    const int rows = band.rows();
+    const int cols = band.cols();
+    for (int r = 0; r < rows; ++r) {
+      for (int c = 0; c < cols; ++c) {
+        if (r < margin || r >= rows - margin || c < margin ||
+            c >= cols - margin) {
+          band(r, c) = 0u;
+        }
+      }
+    }
+  }
+  return band;
+}
+
+BitGrid insertSraf(const BitGrid& target, int pixelNm,
+                   const SrafConfig& config) {
+  if (!config.enabled) return target;
+  return bitOr(target, srafBand(target, pixelNm, config));
+}
+
+}  // namespace mosaic

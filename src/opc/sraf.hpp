@@ -1,0 +1,31 @@
+#pragma once
+/// \file sraf.hpp
+/// Rule-based sub-resolution assist feature (SRAF) insertion (paper Alg. 1
+/// line 2: the initial mask is the target plus rule-based SRAFs). Assist
+/// bars are placed in a band at a fixed distance from every feature edge;
+/// they brighten the defocus response of the main features without
+/// printing themselves.
+
+#include "math/grid.hpp"
+
+namespace mosaic {
+
+struct SrafConfig {
+  bool enabled = true;
+  int minDistanceNm = 100;  ///< inner edge of the assist band
+  int maxDistanceNm = 124;  ///< outer edge of the assist band
+  int clipMarginNm = 32;    ///< keep-out ring at the clip border
+};
+
+/// Insert rule-based SRAFs around a target raster. Returns target OR band,
+/// where the band covers pixels whose Chebyshev distance to the pattern is
+/// in [minDistance, maxDistance]. Bands between features closer than twice
+/// the minimum distance cancel automatically (the dilations overlap).
+BitGrid insertSraf(const BitGrid& target, int pixelNm,
+                   const SrafConfig& config = {});
+
+/// The assist band alone (no target), e.g. for visualization.
+BitGrid srafBand(const BitGrid& target, int pixelNm,
+                 const SrafConfig& config = {});
+
+}  // namespace mosaic

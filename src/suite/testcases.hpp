@@ -1,0 +1,47 @@
+#pragma once
+/// \file testcases.hpp
+/// Synthetic ICCAD 2013 style benchmark clips B1..B10. The contest's IBM
+/// clips are not redistributable; these generators produce 32 nm-node M1
+/// style patterns at the contest geometry (1024 x 1024 nm window) covering
+/// the same shape families: isolated and dense lines, contacts, T/L/U
+/// shapes, combs, line-end stress and mixed-CD compositions. See DESIGN.md
+/// section 3 for the substitution argument.
+
+#include <string>
+#include <vector>
+
+#include "geometry/layout.hpp"
+
+namespace mosaic {
+
+/// Number of benchmark clips in the suite.
+constexpr int kTestcaseCount = 10;
+
+/// Build testcase `index` in [1, 10] (named "B1".."B10").
+Layout buildTestcase(int index);
+
+/// All ten clips in order.
+std::vector<Layout> buildAllTestcases();
+
+/// Lookup by name ("B3"); throws on unknown names.
+Layout buildTestcaseByName(const std::string& name);
+
+/// Parameters of the seeded random clip generator.
+struct RandomClipConfig {
+  int featureCount = 8;     ///< shapes to attempt (placement may reject)
+  int minCdNm = 48;         ///< narrowest feature dimension
+  int maxCdNm = 96;         ///< widest feature dimension
+  int minLengthNm = 120;    ///< shortest long axis
+  int maxLengthNm = 560;    ///< longest long axis
+  int minSpacingNm = 96;    ///< spacing kept between placed shapes
+  int marginNm = 160;       ///< keep-out at the clip border
+  int gridNm = 8;           ///< coordinates snap to this grid
+};
+
+/// Generate a random ICCAD'13-style clip (deterministic per seed): a mix
+/// of horizontal/vertical bars, L-shapes and squares, placed greedily with
+/// spacing enforcement. Used by robustness sweeps and property tests.
+Layout buildRandomClip(std::uint64_t seed,
+                       const RandomClipConfig& config = {});
+
+}  // namespace mosaic

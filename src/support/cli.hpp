@@ -1,0 +1,65 @@
+#pragma once
+/// \file cli.hpp
+/// A tiny declarative command-line parser used by the bench harnesses and
+/// examples. Supports `--name value`, `--name=value`, boolean flags, and
+/// generates a usage screen.
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mosaic {
+
+/// Declarative option parser.
+///
+/// Usage:
+/// \code
+///   CliParser cli("table2", "Reproduce paper Table 2");
+///   int pixel = 2;
+///   cli.addInt("pixel", &pixel, "pixel size in nm");
+///   cli.parse(argc, argv);   // throws InvalidArgument on bad input
+/// \endcode
+class CliParser {
+ public:
+  CliParser(std::string programName, std::string description);
+
+  /// Register an integer option with a default taken from *target.
+  void addInt(const std::string& name, int* target, const std::string& help);
+  /// Register a double option with a default taken from *target.
+  void addDouble(const std::string& name, double* target,
+                 const std::string& help);
+  /// Register a string option with a default taken from *target.
+  void addString(const std::string& name, std::string* target,
+                 const std::string& help);
+  /// Register a boolean flag (presence sets true; `--name=false` clears).
+  void addFlag(const std::string& name, bool* target, const std::string& help);
+
+  /// Parse argv. Returns false if `--help` was requested (usage already
+  /// printed); throws InvalidArgument on malformed input.
+  bool parse(int argc, const char* const* argv);
+
+  /// Render the usage/help screen.
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  enum class Kind { kInt, kDouble, kString, kFlag };
+  struct Option {
+    Kind kind;
+    void* target;
+    std::string help;
+    std::string defaultValue;
+  };
+
+  void add(const std::string& name, Kind kind, void* target,
+           const std::string& help, std::string defaultValue);
+  void assign(const std::string& name, const std::string& value);
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace mosaic

@@ -1,0 +1,98 @@
+#include "support/image_io.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace mosaic {
+namespace {
+
+unsigned char quantize(double v, double lo, double hi) {
+  if (hi <= lo) return 0;
+  const double t = std::clamp((v - lo) / (hi - lo), 0.0, 1.0);
+  return static_cast<unsigned char>(t * 255.0 + 0.5);
+}
+
+}  // namespace
+
+void writePgm(const std::string& path, std::span<const double> values,
+              int rows, int cols, double lo, double hi) {
+  MOSAIC_CHECK(rows > 0 && cols > 0, "image dimensions must be positive");
+  MOSAIC_CHECK(values.size() == static_cast<std::size_t>(rows) * cols,
+               "value count " << values.size() << " != " << rows << "x"
+                              << cols);
+  std::ofstream out(path, std::ios::binary);
+  MOSAIC_CHECK(out.good(), "cannot open for writing: " << path);
+  out << "P5\n" << cols << " " << rows << "\n255\n";
+  std::vector<unsigned char> line(static_cast<std::size_t>(cols));
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      line[static_cast<std::size_t>(c)] =
+          quantize(values[static_cast<std::size_t>(r) * cols + c], lo, hi);
+    }
+    out.write(reinterpret_cast<const char*>(line.data()),
+              static_cast<std::streamsize>(line.size()));
+  }
+  MOSAIC_CHECK(out.good(), "write failed: " << path);
+}
+
+void writePpm(const std::string& path, std::span<const double> red,
+              std::span<const double> green, std::span<const double> blue,
+              int rows, int cols) {
+  MOSAIC_CHECK(rows > 0 && cols > 0, "image dimensions must be positive");
+  const std::size_t n = static_cast<std::size_t>(rows) * cols;
+  MOSAIC_CHECK(red.size() == n && green.size() == n && blue.size() == n,
+               "channel sizes must all be " << n);
+  std::ofstream out(path, std::ios::binary);
+  MOSAIC_CHECK(out.good(), "cannot open for writing: " << path);
+  out << "P6\n" << cols << " " << rows << "\n255\n";
+  std::vector<unsigned char> line(static_cast<std::size_t>(cols) * 3);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const std::size_t i = static_cast<std::size_t>(r) * cols + c;
+      line[static_cast<std::size_t>(c) * 3 + 0] = quantize(red[i], 0.0, 1.0);
+      line[static_cast<std::size_t>(c) * 3 + 1] = quantize(green[i], 0.0, 1.0);
+      line[static_cast<std::size_t>(c) * 3 + 2] = quantize(blue[i], 0.0, 1.0);
+    }
+    out.write(reinterpret_cast<const char*>(line.data()),
+              static_cast<std::streamsize>(line.size()));
+  }
+  MOSAIC_CHECK(out.good(), "write failed: " << path);
+}
+
+struct CsvWriter::Impl {
+  std::ofstream out;
+};
+
+CsvWriter::CsvWriter(std::string path) : impl_(new Impl) {
+  impl_->out.open(path);
+  MOSAIC_CHECK(impl_->out.good(), "cannot open for writing: " << path);
+}
+
+CsvWriter::~CsvWriter() { delete impl_; }
+
+void CsvWriter::writeHeader(const std::vector<std::string>& columns) {
+  writeRow(columns);
+}
+
+void CsvWriter::writeRow(const std::vector<double>& values) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) os << ",";
+    os << values[i];
+  }
+  impl_->out << os.str() << "\n";
+}
+
+void CsvWriter::writeRow(const std::vector<std::string>& values) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) impl_->out << ",";
+    impl_->out << values[i];
+  }
+  impl_->out << "\n";
+}
+
+}  // namespace mosaic

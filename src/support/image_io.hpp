@@ -1,0 +1,40 @@
+#pragma once
+/// \file image_io.hpp
+/// Plain PGM/PPM/CSV writers used to dump masks, aerial images, PV bands
+/// (paper Fig. 5) and convergence traces (paper Fig. 6). Kept in support so
+/// every layer can emit diagnostics without extra dependencies.
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mosaic {
+
+/// Write a binary 8-bit PGM. `values` is row-major, `rows*cols` long, and is
+/// linearly mapped from [lo, hi] to [0, 255] (values outside are clamped).
+void writePgm(const std::string& path, std::span<const double> values,
+              int rows, int cols, double lo = 0.0, double hi = 1.0);
+
+/// Write a binary 8-bit PPM from three row-major channels in [0,1].
+void writePpm(const std::string& path, std::span<const double> red,
+              std::span<const double> green, std::span<const double> blue,
+              int rows, int cols);
+
+/// Append-free CSV writer: one header row then data rows.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::string path);
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void writeHeader(const std::vector<std::string>& columns);
+  void writeRow(const std::vector<double>& values);
+  void writeRow(const std::vector<std::string>& values);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace mosaic

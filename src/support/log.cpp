@@ -1,0 +1,64 @@
+#include "support/log.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+#include "support/error.hpp"
+
+namespace mosaic {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::mutex g_sinkMutex;
+
+const char* levelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    default:
+      return "?????";
+  }
+}
+
+}  // namespace
+
+void setLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel logLevel() { return static_cast<LogLevel>(g_level.load()); }
+
+LogLevel parseLogLevel(const std::string& name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  throw InvalidArgument("unknown log level: " + name);
+}
+
+namespace detail {
+
+void logEmit(LogLevel level, const std::string& message) {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  std::lock_guard<std::mutex> lock(g_sinkMutex);
+  std::fprintf(stderr, "[%9.3fs %s] %s\n", elapsed, levelTag(level),
+               message.c_str());
+}
+
+}  // namespace detail
+}  // namespace mosaic

@@ -1,0 +1,39 @@
+#pragma once
+/// \file log.hpp
+/// Minimal leveled logger. Single global sink (stderr) with a runtime level
+/// threshold; formatting is plain ostream based so the library carries no
+/// formatting dependency.
+
+#include <sstream>
+#include <string>
+
+namespace mosaic {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Set the global log threshold; messages below it are dropped.
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/// Parse "debug"/"info"/"warn"/"error"/"off" (case-insensitive).
+LogLevel parseLogLevel(const std::string& name);
+
+namespace detail {
+void logEmit(LogLevel level, const std::string& message);
+}
+
+}  // namespace mosaic
+
+#define MOSAIC_LOG(level, msg)                                      \
+  do {                                                              \
+    if (static_cast<int>(level) >=                                  \
+        static_cast<int>(::mosaic::logLevel())) {                   \
+      ::mosaic::detail::logEmit(                                    \
+          level, (std::ostringstream{} << msg).str());              \
+    }                                                               \
+  } while (false)
+
+#define LOG_DEBUG(msg) MOSAIC_LOG(::mosaic::LogLevel::kDebug, msg)
+#define LOG_INFO(msg) MOSAIC_LOG(::mosaic::LogLevel::kInfo, msg)
+#define LOG_WARN(msg) MOSAIC_LOG(::mosaic::LogLevel::kWarn, msg)
+#define LOG_ERROR(msg) MOSAIC_LOG(::mosaic::LogLevel::kError, msg)

@@ -1,0 +1,71 @@
+#include "support/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace mosaic {
+namespace {
+
+std::atomic<int> g_workers{0};  // 0 == hardware default
+
+int resolveWorkers() {
+  const int requested = g_workers.load();
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+int hardwareParallelism() { return resolveWorkers(); }
+
+void setParallelism(int workers) {
+  MOSAIC_CHECK(workers >= 0, "worker count must be >= 0");
+  g_workers.store(workers);
+}
+
+void parallelFor(std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const int workers = std::min<std::size_t>(resolveWorkers(), n);
+  if (workers <= 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{begin};
+  std::exception_ptr firstError;
+  std::mutex errorMutex;
+  const std::size_t chunk = std::max<std::size_t>(1, n / (4 * workers));
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t lo = next.fetch_add(chunk);
+      if (lo >= end) return;
+      const std::size_t hi = std::min(end, lo + chunk);
+      try {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(errorMutex);
+        if (!firstError) firstError = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(workers) - 1);
+  for (int t = 1; t < workers; ++t) threads.emplace_back(worker);
+  worker();
+  for (auto& thread : threads) thread.join();
+  if (firstError) std::rethrow_exception(firstError);
+}
+
+}  // namespace mosaic

@@ -1,0 +1,27 @@
+#pragma once
+/// \file parallel.hpp
+/// A small thread pool plus parallelFor helper. On single-core hosts the
+/// pool degrades to serial execution with no thread overhead, so library
+/// code can call parallelFor unconditionally.
+
+#include <cstddef>
+#include <functional>
+
+namespace mosaic {
+
+/// Number of worker threads the global pool uses (>= 1).
+int hardwareParallelism();
+
+/// Override the global worker count (0 restores the hardware default).
+/// Must be called before the first parallelFor of the process to take
+/// effect deterministically.
+void setParallelism(int workers);
+
+/// Run fn(i) for i in [begin, end). Iterations are distributed over the
+/// global pool in contiguous chunks; the call returns after all complete.
+/// fn must be safe to call concurrently for distinct i. Exceptions thrown
+/// by fn are rethrown on the calling thread (first one wins).
+void parallelFor(std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& fn);
+
+}  // namespace mosaic

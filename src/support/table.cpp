@@ -1,0 +1,60 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace mosaic {
+
+void TextTable::setHeader(std::vector<std::string> header) {
+  MOSAIC_CHECK(!header.empty(), "header must have at least one column");
+  header_ = std::move(header);
+}
+
+void TextTable::addRow(std::vector<std::string> row) {
+  MOSAIC_CHECK(row.size() == header_.size(),
+               "row has " << row.size() << " cells, expected "
+                          << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::num(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string TextTable::integer(long long value) {
+  return std::to_string(value);
+}
+
+std::string TextTable::render() const {
+  MOSAIC_CHECK(!header_.empty(), "table has no header");
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emitRow = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c ? "  " : "") << std::setw(static_cast<int>(width[c]))
+         << std::right << row[c];
+    }
+    os << "\n";
+  };
+  emitRow(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c ? 2 : 0);
+  }
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emitRow(row);
+  return os.str();
+}
+
+}  // namespace mosaic

@@ -1,0 +1,32 @@
+#pragma once
+/// \file table.hpp
+/// ASCII table formatter used by the bench harnesses to print paper-style
+/// result tables (Table 2 / Table 3 of the MOSAIC paper).
+
+#include <string>
+#include <vector>
+
+namespace mosaic {
+
+/// Column-aligned plain-text table.
+class TextTable {
+ public:
+  /// Set the header row; defines the column count.
+  void setHeader(std::vector<std::string> header);
+
+  /// Append a data row; must match the header's column count.
+  void addRow(std::vector<std::string> row);
+
+  /// Convenience: format a double with `precision` digits after the point.
+  static std::string num(double value, int precision = 2);
+  static std::string integer(long long value);
+
+  /// Render the table with a separator under the header.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mosaic

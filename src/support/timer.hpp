@@ -1,0 +1,31 @@
+#pragma once
+/// \file timer.hpp
+/// Wall-clock timing utilities used by the optimizer telemetry and the
+/// runtime tables (paper Table 3).
+
+#include <chrono>
+
+namespace mosaic {
+
+/// Simple wall-clock stopwatch. Starts on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last reset().
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mosaic

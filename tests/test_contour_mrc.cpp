@@ -1,0 +1,262 @@
+/// Tests for contour tracing, raster -> rectangle decomposition and mask
+/// rule checking (MRC).
+
+#include <gtest/gtest.h>
+
+#include "eval/mrc.hpp"
+#include "geometry/bitmap_ops.hpp"
+#include "geometry/contour.hpp"
+#include "geometry/raster.hpp"
+#include "suite/testcases.hpp"
+#include "math/stats.hpp"
+#include "support/rng.hpp"
+
+namespace mosaic {
+namespace {
+
+BitGrid blockGrid(int n, int r0, int r1, int c0, int c1) {
+  BitGrid g(n, n, 0);
+  for (int r = r0; r < r1; ++r) {
+    for (int c = c0; c < c1; ++c) g(r, c) = 1;
+  }
+  return g;
+}
+
+// -------------------------------------------------------------- contour
+
+TEST(Contour, SingleRectangleTracesFourCorners) {
+  const BitGrid g = blockGrid(16, 4, 10, 3, 12);
+  const auto contours = traceContours(g);
+  ASSERT_EQ(contours.size(), 1u);
+  EXPECT_EQ(contours[0].vertexCount(), 4u);
+  EXPECT_FALSE(contours[0].isHole());
+  EXPECT_EQ(contours[0].perimeter(), 2 * (6 + 9));
+}
+
+TEST(Contour, DonutHasOuterAndHoleLoops) {
+  BitGrid g = blockGrid(16, 2, 12, 2, 12);
+  for (int r = 5; r < 9; ++r) {
+    for (int c = 5; c < 9; ++c) g(r, c) = 0;
+  }
+  const auto contours = traceContours(g);
+  ASSERT_EQ(contours.size(), 2u);
+  int holes = 0;
+  for (const auto& c : contours) holes += c.isHole();
+  EXPECT_EQ(holes, 1);
+}
+
+TEST(Contour, LShapeHasSixVertices) {
+  BitGrid g = blockGrid(16, 2, 10, 2, 6);
+  for (int r = 2; r < 6; ++r) {
+    for (int c = 6; c < 12; ++c) g(r, c) = 1;
+  }
+  const auto contours = traceContours(g);
+  ASSERT_EQ(contours.size(), 1u);
+  EXPECT_EQ(contours[0].vertexCount(), 6u);
+}
+
+TEST(Contour, TwoSeparateFeaturesTwoLoops) {
+  BitGrid g = blockGrid(16, 2, 5, 2, 5);
+  for (int r = 8; r < 11; ++r) {
+    for (int c = 8; c < 11; ++c) g(r, c) = 1;
+  }
+  EXPECT_EQ(traceContours(g).size(), 2u);
+}
+
+TEST(Contour, DiagonalTouchStaysTwoLoops) {
+  BitGrid g(4, 4, 0);
+  g(1, 1) = 1;
+  g(2, 2) = 1;
+  const auto contours = traceContours(g);
+  EXPECT_EQ(contours.size(), 2u);
+  for (const auto& c : contours) EXPECT_EQ(c.vertexCount(), 4u);
+}
+
+TEST(Contour, NestedDonutThreeLoops) {
+  // Ring with an island inside its hole: outer ring boundary, ring hole
+  // boundary, island boundary = 3 loops, exactly 1 of them a hole.
+  BitGrid g(20, 20, 0);
+  for (int r = 2; r < 18; ++r) {
+    for (int c = 2; c < 18; ++c) g(r, c) = 1;
+  }
+  for (int r = 5; r < 15; ++r) {
+    for (int c = 5; c < 15; ++c) g(r, c) = 0;
+  }
+  for (int r = 8; r < 12; ++r) {
+    for (int c = 8; c < 12; ++c) g(r, c) = 1;
+  }
+  const auto contours = traceContours(g);
+  ASSERT_EQ(contours.size(), 3u);
+  int holes = 0;
+  for (const auto& c : contours) holes += c.isHole();
+  EXPECT_EQ(holes, 1);
+}
+
+TEST(Contour, FullGridSingleLoop) {
+  BitGrid g(6, 6, 1);
+  const auto contours = traceContours(g);
+  ASSERT_EQ(contours.size(), 1u);
+  EXPECT_EQ(contours[0].vertexCount(), 4u);
+  EXPECT_EQ(contours[0].perimeter(), 24);
+  EXPECT_FALSE(contours[0].isHole());
+}
+
+TEST(RasterToRects, SuiteClipsRoundTripExactly) {
+  // Property: decomposing any benchmark raster and re-rasterizing the
+  // resulting layout reproduces the raster bit-for-bit.
+  for (int idx : {2, 5, 6, 10}) {
+    const BitGrid g = rasterize(buildTestcase(idx), 8);
+    const Layout back = rasterToLayout(g, 8, "roundtrip");
+    EXPECT_EQ(rasterize(back, 8), g) << "case B" << idx;
+  }
+}
+
+TEST(Contour, EmptyGridHasNoContours) {
+  BitGrid g(8, 8, 0);
+  EXPECT_TRUE(traceContours(g).empty());
+  EXPECT_EQ(totalPerimeter(g), 0);
+  EXPECT_EQ(totalVertices(g), 0);
+}
+
+TEST(Contour, PerimeterMatchesEdgeCount) {
+  // For any raster, the summed contour perimeter equals the number of
+  // set/unset pixel adjacencies (counting the grid border).
+  Rng rng(77);
+  BitGrid g(12, 12, 0);
+  for (auto& v : g) v = rng.uniform() < 0.4 ? 1u : 0u;
+  long long adjacency = 0;
+  auto at = [&](int r, int c) {
+    return r >= 0 && r < 12 && c >= 0 && c < 12 && g(r, c) != 0;
+  };
+  for (int r = 0; r < 12; ++r) {
+    for (int c = 0; c < 12; ++c) {
+      if (!at(r, c)) continue;
+      adjacency += !at(r - 1, c);
+      adjacency += !at(r + 1, c);
+      adjacency += !at(r, c - 1);
+      adjacency += !at(r, c + 1);
+    }
+  }
+  EXPECT_EQ(totalPerimeter(g), adjacency);
+}
+
+// ------------------------------------------------------- raster to rects
+
+TEST(RasterToRects, SingleBlockOneRect) {
+  const BitGrid g = blockGrid(16, 4, 10, 3, 12);
+  const auto rects = rasterToRects(g, 4);
+  ASSERT_EQ(rects.size(), 1u);
+  EXPECT_EQ(rects[0], (RectNm{12, 16, 48, 40}));
+}
+
+TEST(RasterToRects, CoversExactly) {
+  Rng rng(123);
+  BitGrid g(20, 20, 0);
+  for (auto& v : g) v = rng.uniform() < 0.35 ? 1u : 0u;
+  const auto rects = rasterToRects(g, 1);
+  // Reconstruct and compare.
+  BitGrid back(20, 20, 0);
+  long long area = 0;
+  for (const auto& r : rects) {
+    area += r.area();
+    for (int y = r.y0; y < r.y1; ++y) {
+      for (int x = r.x0; x < r.x1; ++x) {
+        EXPECT_EQ(back(y, x), 0u) << "overlapping rects";
+        back(y, x) = 1;
+      }
+    }
+  }
+  EXPECT_EQ(back, g);
+  EXPECT_EQ(area, popcount(g));
+}
+
+TEST(RasterToRects, MergesVerticalRuns) {
+  // A plus-shape: 3 maximal rects is optimal for this slab strategy.
+  BitGrid g(9, 9, 0);
+  for (int r = 3; r < 6; ++r) {
+    for (int c = 0; c < 9; ++c) g(r, c) = 1;
+  }
+  for (int r = 0; r < 9; ++r) {
+    for (int c = 3; c < 6; ++c) g(r, c) = 1;
+  }
+  const auto rects = rasterToRects(g, 1);
+  EXPECT_EQ(rects.size(), 3u);
+}
+
+TEST(RasterToLayout, ProducesValidLayout) {
+  const BitGrid g = blockGrid(16, 4, 10, 3, 12);
+  const Layout layout = rasterToLayout(g, 4, "export");
+  EXPECT_EQ(layout.sizeNm, 64);
+  EXPECT_EQ(layout.name, "export");
+  EXPECT_EQ(layout.patternArea(), popcount(g) * 16);
+}
+
+// ------------------------------------------------------------------ mrc
+
+TEST(Mrc, CleanMaskPasses) {
+  const BitGrid g = blockGrid(32, 8, 20, 8, 24);  // 12x16 px at 4 nm
+  const MrcResult r = checkMask(g, 4);
+  EXPECT_TRUE(r.clean());
+  EXPECT_EQ(r.components, 1);
+  EXPECT_EQ(r.rectangles, 1);
+  EXPECT_EQ(r.contourVertices, 4);
+  EXPECT_EQ(r.featurePx, 12 * 16);
+}
+
+TEST(Mrc, NarrowFeatureFlagged) {
+  // 1-px (4 nm) sliver violates a 24 nm width rule.
+  const BitGrid g = blockGrid(32, 10, 11, 4, 28);
+  const MrcResult r = checkMask(g, 4);
+  EXPECT_GT(r.widthViolationPx, 0);
+  EXPECT_FALSE(r.clean());
+}
+
+TEST(Mrc, NarrowGapFlagged) {
+  // Two blocks separated by a 1-px gap.
+  BitGrid g = blockGrid(32, 4, 28, 4, 15);
+  for (int r = 4; r < 28; ++r) {
+    for (int c = 16; c < 28; ++c) g(r, c) = 1;
+  }
+  const MrcResult r = checkMask(g, 4);
+  EXPECT_GT(r.spaceViolationPx, 0);
+  EXPECT_EQ(r.widthViolationPx, 0);
+}
+
+TEST(Mrc, WideGapNotFlagged) {
+  BitGrid g = blockGrid(64, 8, 56, 8, 24);
+  for (int r = 8; r < 56; ++r) {
+    for (int c = 40; c < 56; ++c) g(r, c) = 1;  // 16 px = 64 nm gap
+  }
+  const MrcResult r = checkMask(g, 4);
+  EXPECT_EQ(r.spaceViolationPx, 0);
+}
+
+TEST(Mrc, TinyFeatureCounted) {
+  BitGrid g = blockGrid(32, 4, 24, 4, 24);  // big block (clean)
+  g(28, 28) = 1;                            // 16 nm^2 speck
+  const MrcResult r = checkMask(g, 4);
+  EXPECT_EQ(r.tinyFeatures, 1);
+  EXPECT_EQ(r.components, 2);
+}
+
+TEST(Mrc, ComplexityGrowsWithFragmentation) {
+  const BitGrid solid = blockGrid(32, 8, 24, 8, 24);
+  BitGrid ragged = solid;
+  for (int c = 8; c < 24; c += 2) ragged(24, c) = 1;  // comb fringe
+  const MrcResult a = checkMask(solid, 4);
+  const MrcResult b = checkMask(ragged, 4);
+  EXPECT_GT(b.contourVertices, a.contourVertices);
+  EXPECT_GT(b.rectangles, a.rectangles);
+  EXPECT_GT(b.perimeterNm, a.perimeterNm);
+}
+
+TEST(Mrc, ValidationErrors) {
+  BitGrid g(8, 8, 0);
+  EXPECT_THROW(checkMask(g, 0), InvalidArgument);
+  MrcConfig bad;
+  bad.minWidthNm = 0;
+  EXPECT_THROW(checkMask(g, 4, bad), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mosaic

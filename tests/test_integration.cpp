@@ -1,0 +1,197 @@
+/// End-to-end integration tests: full MOSAIC runs on benchmark clips with
+/// contest-style evaluation. These assert the paper's qualitative claims
+/// on a coarse grid (8 nm pixels) so the whole suite stays fast.
+
+#include <gtest/gtest.h>
+
+#include "eval/evaluator.hpp"
+#include "geometry/raster.hpp"
+#include "litho/simulator.hpp"
+#include "opc/baselines.hpp"
+#include "opc/edge_opc.hpp"
+#include "opc/levelset.hpp"
+#include "opc/mosaic.hpp"
+#include "suite/testcases.hpp"
+
+namespace mosaic {
+namespace {
+
+LithoSimulator& sim() {
+  static LithoSimulator s([] {
+    OpticsConfig o;
+    o.pixelNm = 8;
+    return o;
+  }());
+  return s;
+}
+
+struct CaseFixture {
+  BitGrid target;
+  CaseEvaluation noOpc;
+};
+
+const CaseFixture& fixtureFor(int index) {
+  static std::map<int, CaseFixture> cache;
+  auto it = cache.find(index);
+  if (it == cache.end()) {
+    CaseFixture f;
+    f.target = rasterize(buildTestcase(index), 8);
+    f.noOpc = evaluateMask(sim(), noOpcMask(f.target), f.target, 0.0);
+    it = cache.emplace(index, std::move(f)).first;
+  }
+  return it->second;
+}
+
+OpcResult runMethod(const BitGrid& target, OpcMethod method, int iters = 12) {
+  IltConfig cfg = defaultIltConfig(method, 8);
+  cfg.maxIterations = iters;
+  return runOpc(sim(), target, method, &cfg);
+}
+
+// ------------------------------------------------------------ mosaic fast
+
+TEST(Integration, FastImprovesScoreOnB1) {
+  const auto& f = fixtureFor(1);
+  const OpcResult res = runMethod(f.target, OpcMethod::kMosaicFast);
+  const CaseEvaluation ev =
+      evaluateMask(sim(), toReal(res.maskBinary), f.target, res.runtimeSec);
+  EXPECT_LT(ev.score, f.noOpc.score);
+  EXPECT_LE(ev.epeViolations, f.noOpc.epeViolations);
+  EXPECT_EQ(ev.shapeViolations, 0);
+}
+
+TEST(Integration, FastImprovesScoreOnB4) {
+  const auto& f = fixtureFor(4);
+  const OpcResult res = runMethod(f.target, OpcMethod::kMosaicFast);
+  const CaseEvaluation ev =
+      evaluateMask(sim(), toReal(res.maskBinary), f.target, res.runtimeSec);
+  EXPECT_LT(ev.score, f.noOpc.score);
+  EXPECT_LT(ev.epeViolations, f.noOpc.epeViolations);
+}
+
+TEST(Integration, FastRecoversContacts) {
+  // B3's contacts do not print at all without OPC; MOSAIC must recover
+  // every one of them (no missing features).
+  const auto& f = fixtureFor(3);
+  EXPECT_GE(f.noOpc.missingFeatures, 1);
+  const OpcResult res = runMethod(f.target, OpcMethod::kMosaicFast);
+  const CaseEvaluation ev =
+      evaluateMask(sim(), toReal(res.maskBinary), f.target, res.runtimeSec);
+  EXPECT_EQ(ev.missingFeatures, 0);
+  EXPECT_LT(ev.score, 0.5 * f.noOpc.score);
+}
+
+// ----------------------------------------------------------- mosaic exact
+
+TEST(Integration, ExactImprovesEpeOnB4) {
+  const auto& f = fixtureFor(4);
+  const OpcResult res = runMethod(f.target, OpcMethod::kMosaicExact);
+  const CaseEvaluation ev =
+      evaluateMask(sim(), toReal(res.maskBinary), f.target, res.runtimeSec);
+  EXPECT_LT(ev.epeViolations, f.noOpc.epeViolations);
+  EXPECT_LT(ev.score, f.noOpc.score);
+}
+
+// -------------------------------------------------------------- baseline
+
+TEST(Integration, BaselineIltAlsoImprovesButMosaicMatchesOrBeats) {
+  const auto& f = fixtureFor(6);
+  const OpcResult base = runMethod(f.target, OpcMethod::kIltBaseline);
+  const OpcResult fast = runMethod(f.target, OpcMethod::kMosaicFast);
+  const CaseEvaluation evBase =
+      evaluateMask(sim(), toReal(base.maskBinary), f.target, 0.0);
+  const CaseEvaluation evFast =
+      evaluateMask(sim(), toReal(fast.maskBinary), f.target, 0.0);
+  EXPECT_LT(evBase.score, f.noOpc.score);
+  // The paper's headline: process-window-aware MOSAIC beats plain ILT.
+  // On a coarse grid we only require it not be worse by more than 10%.
+  EXPECT_LE(evFast.score, 1.1 * evBase.score);
+}
+
+// ------------------------------------------------------------- mechanics
+
+TEST(Integration, RunsAreDeterministic) {
+  const auto& f = fixtureFor(2);
+  const OpcResult a = runMethod(f.target, OpcMethod::kMosaicFast, 5);
+  const OpcResult b = runMethod(f.target, OpcMethod::kMosaicFast, 5);
+  EXPECT_EQ(a.maskBinary, b.maskBinary);
+}
+
+TEST(Integration, HistoryTracksBothTerms) {
+  const auto& f = fixtureFor(4);
+  const OpcResult res = runMethod(f.target, OpcMethod::kMosaicFast, 6);
+  ASSERT_GE(res.history.size(), 2u);
+  for (const auto& rec : res.history) {
+    EXPECT_GE(rec.targetTerm, 0.0);
+    EXPECT_GE(rec.pvbTerm, 0.0);
+    EXPECT_GT(rec.stepSize, 0.0);
+  }
+}
+
+TEST(Integration, ContinuousAndBinaryMasksAgreeOnPrint) {
+  // Binarization must not destroy the solution: the binary mask's nominal
+  // print should still beat no-OPC on EPE.
+  const auto& f = fixtureFor(7);
+  const OpcResult res = runMethod(f.target, OpcMethod::kMosaicFast);
+  const CaseEvaluation evBin =
+      evaluateMask(sim(), toReal(res.maskBinary), f.target, 0.0);
+  EXPECT_LT(evBin.epeViolations, f.noOpc.epeViolations);
+}
+
+TEST(Integration, AttenuatedPsmAlsoImproves) {
+  // Extension (generalized ILT of ref. [10]): a 6 % attenuated PSM
+  // background must still beat no-OPC; the evaluation uses the two-level
+  // transmission mask, not the feature raster.
+  const auto& f = fixtureFor(2);
+  IltConfig cfg = defaultIltConfig(OpcMethod::kMosaicFast, 8);
+  cfg.maxIterations = 10;
+  cfg.maskLow = -0.2449489743;
+  const OpcResult res = runOpc(sim(), f.target, OpcMethod::kMosaicFast, &cfg);
+  EXPECT_LT(res.maskTwoLevel.data()[0], 0.0);  // PSM background present
+  const CaseEvaluation ev =
+      evaluateMask(sim(), res.maskTwoLevel, f.target, 0.0);
+  EXPECT_LT(ev.score, f.noOpc.score);
+}
+
+TEST(Integration, MethodStackWorksOnRandomClip) {
+  // Generalization smoke test: the whole method stack must function on a
+  // clip nobody hand-tuned, and the ILT methods must beat no-OPC.
+  const Layout layout = buildRandomClip(777);
+  const BitGrid target = rasterize(layout, 8);
+  const CaseEvaluation no = evaluateMask(sim(), noOpcMask(target), target, 0.0);
+
+  IltConfig cfg = defaultIltConfig(OpcMethod::kMosaicFast, 8);
+  cfg.maxIterations = 10;
+  const OpcResult fast = runOpc(sim(), target, OpcMethod::kMosaicFast, &cfg);
+  const CaseEvaluation evFast =
+      evaluateMask(sim(), fast.maskTwoLevel, target, 0.0);
+  EXPECT_LT(evFast.score, no.score);
+
+  LevelSetConfig lsCfg;
+  lsCfg.maxIterations = 10;
+  const LevelSetResult ls = runLevelSetIlt(sim(), target, lsCfg);
+  const CaseEvaluation evLs = evaluateMask(sim(), toReal(ls.mask), target, 0.0);
+  EXPECT_LT(evLs.score, no.score);
+
+  EdgeOpcConfig eoCfg;
+  eoCfg.maxIterations = 8;
+  const EdgeOpcResult eo = runEdgeOpc(sim(), target, eoCfg);
+  const CaseEvaluation evEo = evaluateMask(sim(), toReal(eo.mask), target, 0.0);
+  EXPECT_LE(evEo.score, no.score);
+}
+
+class AllCasesImprove : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllCasesImprove, FastBeatsNoOpcEverywhere) {
+  const auto& f = fixtureFor(GetParam());
+  const OpcResult res = runMethod(f.target, OpcMethod::kMosaicFast, 10);
+  const CaseEvaluation ev =
+      evaluateMask(sim(), toReal(res.maskBinary), f.target, 0.0);
+  EXPECT_LT(ev.score, f.noOpc.score) << "case B" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(B, AllCasesImprove,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace mosaic

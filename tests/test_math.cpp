@@ -1,0 +1,675 @@
+/// Unit and property tests for the math library: Grid, FFT, convolution,
+/// eigensolvers, stats.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "math/convolution.hpp"
+#include "math/eigen.hpp"
+#include "math/fft.hpp"
+#include "math/grid.hpp"
+#include "math/resample.hpp"
+#include "math/stats.hpp"
+#include "support/rng.hpp"
+
+namespace mosaic {
+namespace {
+
+using Cplx = std::complex<double>;
+constexpr double kPi = 3.14159265358979323846;
+
+ComplexGrid randomComplexGrid(int rows, int cols, Rng& rng) {
+  ComplexGrid g(rows, cols);
+  for (auto& v : g) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  return g;
+}
+
+RealGrid randomRealGrid(int rows, int cols, Rng& rng) {
+  RealGrid g(rows, cols);
+  for (auto& v : g) v = rng.uniform(-1, 1);
+  return g;
+}
+
+// ----------------------------------------------------------------- grid
+
+TEST(Grid, ConstructionAndAccess) {
+  RealGrid g(3, 4, 1.5);
+  EXPECT_EQ(g.rows(), 3);
+  EXPECT_EQ(g.cols(), 4);
+  EXPECT_EQ(g.size(), 12u);
+  EXPECT_DOUBLE_EQ(g(2, 3), 1.5);
+  g(1, 2) = 7.0;
+  EXPECT_DOUBLE_EQ(g.at(1, 2), 7.0);
+}
+
+TEST(Grid, AtThrowsOutOfBounds) {
+  RealGrid g(2, 2);
+  EXPECT_THROW(g.at(2, 0), InvalidArgument);
+  EXPECT_THROW(g.at(0, -1), InvalidArgument);
+}
+
+TEST(Grid, NonPositiveDimensionsThrow) {
+  EXPECT_THROW(RealGrid(0, 3), InvalidArgument);
+  EXPECT_THROW(RealGrid(3, -1), InvalidArgument);
+}
+
+TEST(Grid, SameShapeAndEquality) {
+  RealGrid a(2, 3, 1.0);
+  RealGrid b(2, 3, 1.0);
+  RealGrid c(3, 2, 1.0);
+  EXPECT_TRUE(a.sameShape(b));
+  EXPECT_FALSE(a.sameShape(c));
+  EXPECT_EQ(a, b);
+  b(0, 0) = 2.0;
+  EXPECT_NE(a, b);
+}
+
+TEST(Grid, Conversions) {
+  RealGrid r(2, 2);
+  r(0, 0) = 1.0;
+  r(1, 1) = -2.0;
+  const ComplexGrid c = toComplex(r);
+  EXPECT_EQ(c(0, 0), Cplx(1.0, 0.0));
+  const RealGrid back = realPart(c);
+  EXPECT_EQ(back, r);
+  const RealGrid mag = squaredMagnitude(c);
+  EXPECT_DOUBLE_EQ(mag(1, 1), 4.0);
+}
+
+TEST(Grid, ThresholdAndBitConversion) {
+  RealGrid r(1, 3);
+  r(0, 0) = 0.1;
+  r(0, 1) = 0.5;
+  r(0, 2) = 0.9;
+  const BitGrid b = thresholdGrid(r, 0.5);
+  EXPECT_EQ(b(0, 0), 0u);
+  EXPECT_EQ(b(0, 1), 0u);  // strict >
+  EXPECT_EQ(b(0, 2), 1u);
+  const RealGrid rr = toReal(b);
+  EXPECT_DOUBLE_EQ(rr(0, 2), 1.0);
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(Stats, RmsSumMaxAbs) {
+  RealGrid g(1, 4);
+  g(0, 0) = 1;
+  g(0, 1) = -1;
+  g(0, 2) = 1;
+  g(0, 3) = -1;
+  EXPECT_DOUBLE_EQ(rms(g), 1.0);
+  EXPECT_DOUBLE_EQ(sum(g), 0.0);
+  EXPECT_DOUBLE_EQ(maxAbs(g), 1.0);
+}
+
+TEST(Stats, Popcount) {
+  BitGrid g(2, 2, 0);
+  g(0, 1) = 1;
+  g(1, 1) = 1;
+  EXPECT_EQ(popcount(g), 2);
+}
+
+// ----------------------------------------------------------------- fft
+
+TEST(FftPlan, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(FftPlan(0), InvalidArgument);
+  EXPECT_THROW(FftPlan(3), InvalidArgument);
+  EXPECT_THROW(FftPlan(12), InvalidArgument);
+  EXPECT_NO_THROW(FftPlan(16));
+}
+
+TEST(FftPlan, SizeOneIsIdentity) {
+  FftPlan plan(1);
+  Cplx x[1] = {{3.0, -2.0}};
+  plan.forward(x);
+  EXPECT_EQ(x[0], Cplx(3.0, -2.0));
+  plan.inverse(x);
+  EXPECT_EQ(x[0], Cplx(3.0, -2.0));
+}
+
+TEST(FftPlan, DeltaTransformsToAllOnes) {
+  FftPlan plan(8);
+  std::vector<Cplx> x(8, {0, 0});
+  x[0] = {1, 0};
+  plan.forward(x.data());
+  for (const auto& v : x) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(FftPlan, ConstantTransformsToDcSpike) {
+  FftPlan plan(8);
+  std::vector<Cplx> x(8, {2.0, 0});
+  plan.forward(x.data());
+  EXPECT_NEAR(x[0].real(), 16.0, 1e-12);
+  for (std::size_t i = 1; i < 8; ++i) EXPECT_NEAR(std::abs(x[i]), 0.0, 1e-12);
+}
+
+TEST(FftPlan, SinePeaksAtItsBin) {
+  const std::size_t n = 64;
+  FftPlan plan(n);
+  std::vector<Cplx> x(n);
+  const int bin = 5;
+  for (std::size_t j = 0; j < n; ++j) {
+    x[j] = {std::cos(2 * kPi * bin * static_cast<double>(j) / n), 0.0};
+  }
+  plan.forward(x.data());
+  EXPECT_NEAR(x[static_cast<std::size_t>(bin)].real(), n / 2.0, 1e-9);
+  EXPECT_NEAR(x[n - bin].real(), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(x[0]), 0.0, 1e-9);
+}
+
+class FftRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftRoundTrip, InverseOfForwardIsIdentity) {
+  const std::size_t n = GetParam();
+  FftPlan plan(n);
+  Rng rng(n * 977 + 1);
+  std::vector<Cplx> x(n);
+  for (auto& v : x) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  std::vector<Cplx> y = x;
+  plan.forward(y.data());
+  plan.inverse(y.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(y[i].real(), x[i].real(), 1e-10);
+    EXPECT_NEAR(y[i].imag(), x[i].imag(), 1e-10);
+  }
+}
+
+TEST_P(FftRoundTrip, ParsevalHolds) {
+  const std::size_t n = GetParam();
+  FftPlan plan(n);
+  Rng rng(n * 31 + 7);
+  std::vector<Cplx> x(n);
+  double timeEnergy = 0.0;
+  for (auto& v : x) {
+    v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    timeEnergy += std::norm(v);
+  }
+  plan.forward(x.data());
+  double freqEnergy = 0.0;
+  for (const auto& v : x) freqEnergy += std::norm(v);
+  EXPECT_NEAR(freqEnergy / static_cast<double>(n), timeEnergy,
+              1e-9 * timeEnergy + 1e-12);
+}
+
+TEST_P(FftRoundTrip, MatchesNaiveDft) {
+  const std::size_t n = GetParam();
+  if (n > 64) GTEST_SKIP() << "naive DFT too slow";
+  FftPlan plan(n);
+  Rng rng(n + 5);
+  std::vector<Cplx> x(n);
+  for (auto& v : x) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  std::vector<Cplx> naive(n, {0, 0});
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double a = -2 * kPi * static_cast<double>(k * j % n) / n;
+      naive[k] += x[j] * Cplx{std::cos(a), std::sin(a)};
+    }
+  }
+  plan.forward(x.data());
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(x[k].real(), naive[k].real(), 1e-9);
+    EXPECT_NEAR(x[k].imag(), naive[k].imag(), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftRoundTrip,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64, 128, 256));
+
+TEST(Fft2d, RoundTripAndShapeChecks) {
+  Fft2d fft(8, 16);
+  Rng rng(42);
+  ComplexGrid g = randomComplexGrid(8, 16, rng);
+  ComplexGrid copy = g;
+  fft.forward(g);
+  fft.inverse(g);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    EXPECT_NEAR(g.data()[i].real(), copy.data()[i].real(), 1e-10);
+    EXPECT_NEAR(g.data()[i].imag(), copy.data()[i].imag(), 1e-10);
+  }
+  ComplexGrid bad(4, 4);
+  EXPECT_THROW(fft.forward(bad), InvalidArgument);
+}
+
+TEST(Fft2d, TwoDimDeltaIsFlat) {
+  Fft2d fft(4, 4);
+  ComplexGrid g(4, 4, {0, 0});
+  g(0, 0) = {1, 0};
+  fft.forward(g);
+  for (const auto& v : g) EXPECT_NEAR(std::abs(v - Cplx{1, 0}), 0.0, 1e-12);
+}
+
+TEST(Fft2d, SeparableProductMatches1d) {
+  const int n = 8;
+  Rng rng(3);
+  std::vector<Cplx> row(n);
+  std::vector<Cplx> col(n);
+  for (auto& v : row) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  for (auto& v : col) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  ComplexGrid g(n, n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      g(r, c) = col[static_cast<std::size_t>(r)] * row[static_cast<std::size_t>(c)];
+    }
+  }
+  Fft2d fft(n, n);
+  fft.forward(g);
+  FftPlan plan(n);
+  std::vector<Cplx> rowF = row;
+  std::vector<Cplx> colF = col;
+  plan.forward(rowF.data());
+  plan.forward(colF.data());
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      const Cplx want = colF[static_cast<std::size_t>(r)] *
+                        rowF[static_cast<std::size_t>(c)];
+      EXPECT_NEAR(std::abs(g(r, c) - want), 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Fft2d, SharedCacheReturnsSameInstance) {
+  const Fft2d& a = fft2dFor(16, 16);
+  const Fft2d& b = fft2dFor(16, 16);
+  EXPECT_EQ(&a, &b);
+  const Fft2d& c = fft2dFor(16, 32);
+  EXPECT_NE(&a, &c);
+}
+
+// ---------------------------------------------------------- convolution
+
+class ConvolutionSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConvolutionSizes, FftMatchesDirect) {
+  const int n = GetParam();
+  Rng rng(n * 13 + 1);
+  const ComplexGrid a = randomComplexGrid(n, n, rng);
+  const ComplexGrid b = randomComplexGrid(n, n, rng);
+  const ComplexGrid fast = cyclicConvolve(a, b);
+  const ComplexGrid slow = directCyclicConvolve(a, b);
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_NEAR(std::abs(fast.data()[i] - slow.data()[i]), 0.0, 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ConvolutionSizes, ::testing::Values(2, 4, 8, 16));
+
+TEST(Convolution, DeltaIsIdentity) {
+  Rng rng(5);
+  const int n = 8;
+  const ComplexGrid a = randomComplexGrid(n, n, rng);
+  ComplexGrid delta(n, n, {0, 0});
+  delta(0, 0) = {1, 0};
+  const ComplexGrid out = cyclicConvolve(a, delta);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(std::abs(out.data()[i] - a.data()[i]), 0.0, 1e-10);
+  }
+}
+
+TEST(Convolution, ShiftedDeltaShiftsCyclically) {
+  const int n = 4;
+  ComplexGrid a(n, n, {0, 0});
+  a(1, 2) = {1, 0};
+  ComplexGrid delta(n, n, {0, 0});
+  delta(2, 3) = {1, 0};
+  const ComplexGrid out = cyclicConvolve(a, delta);
+  // (1+2, 2+3) mod 4 = (3, 1)
+  EXPECT_NEAR(std::abs(out(3, 1) - Cplx{1, 0}), 0.0, 1e-10);
+  double total = 0.0;
+  for (const auto& v : out) total += std::abs(v);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Convolution, FlippedSpectrumIsInvolution) {
+  Rng rng(11);
+  const ComplexGrid s = randomComplexGrid(8, 8, rng);
+  const ComplexGrid twice = flippedSpectrum(flippedSpectrum(s));
+  EXPECT_EQ(twice, s);
+}
+
+TEST(Convolution, FlippedSpectrumMatchesSpatialFlip) {
+  // FFT of h(-x) equals the index-flipped FFT of h.
+  const int n = 8;
+  Rng rng(17);
+  ComplexGrid h = randomComplexGrid(n, n, rng);
+  ComplexGrid hFlip(n, n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      hFlip(r, c) = h((n - r) % n, (n - c) % n);
+    }
+  }
+  const Fft2d& fft = fft2dFor(n, n);
+  ComplexGrid hHat = h;
+  ComplexGrid hFlipHat = hFlip;
+  fft.forward(hHat);
+  fft.forward(hFlipHat);
+  const ComplexGrid flippedHat = flippedSpectrum(hHat);
+  for (std::size_t i = 0; i < hHat.size(); ++i) {
+    EXPECT_NEAR(std::abs(hFlipHat.data()[i] - flippedHat.data()[i]), 0.0,
+                1e-9);
+  }
+}
+
+TEST(Convolution, ConjugateSpectrum) {
+  Rng rng(19);
+  const ComplexGrid s = randomComplexGrid(4, 4, rng);
+  const ComplexGrid c = conjugateSpectrum(s);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(c.data()[i], std::conj(s.data()[i]));
+  }
+}
+
+TEST(Convolution, SpectrumConvolutionPathsAgree) {
+  const int n = 16;
+  Rng rng(23);
+  const ComplexGrid signal = randomComplexGrid(n, n, rng);
+  ComplexGrid kernel = randomComplexGrid(n, n, rng);
+  const Fft2d& fft = fft2dFor(n, n);
+  ComplexGrid kernelHat = kernel;
+  fft.forward(kernelHat);
+  const ComplexGrid viaSpectrum = convolveWithSpectrum(signal, kernelHat);
+  const ComplexGrid direct = cyclicConvolve(signal, kernel);
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_NEAR(std::abs(viaSpectrum.data()[i] - direct.data()[i]), 0.0, 1e-9);
+  }
+}
+
+TEST(Convolution, ShapeMismatchThrows) {
+  ComplexGrid a(4, 4);
+  ComplexGrid b(8, 8);
+  EXPECT_THROW(cyclicConvolve(a, b), InvalidArgument);
+  EXPECT_THROW(multiplySpectra(a, b), InvalidArgument);
+}
+
+// ------------------------------------------------------------- resample
+
+TEST(Resample, DownsampleMeanAveragesBlocks) {
+  RealGrid fine(4, 4, 0.0);
+  fine(0, 0) = 4.0;  // block (0,0): {4,0,0,0} -> 1.0
+  fine(2, 2) = 1.0;
+  fine(2, 3) = 1.0;
+  fine(3, 2) = 1.0;
+  fine(3, 3) = 1.0;  // block (1,1): all ones -> 1.0
+  const RealGrid coarse = downsampleMean(fine, 2);
+  EXPECT_EQ(coarse.rows(), 2);
+  EXPECT_DOUBLE_EQ(coarse(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(coarse(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(coarse(1, 1), 1.0);
+}
+
+TEST(Resample, DownsampleMajorityThreshold) {
+  BitGrid fine(2, 4, 0);
+  fine(0, 0) = 1;
+  fine(1, 0) = 1;  // left block: 2/4 -> set (>= half)
+  fine(0, 2) = 1;  // right block: 1/4 -> clear
+  const BitGrid coarse = downsampleMajority(fine, 2);
+  EXPECT_EQ(coarse(0, 0), 1u);
+  EXPECT_EQ(coarse(0, 1), 0u);
+}
+
+TEST(Resample, UpsampleReplicatesPixels) {
+  RealGrid coarse(2, 2);
+  coarse(0, 0) = 1.0;
+  coarse(0, 1) = 2.0;
+  coarse(1, 0) = 3.0;
+  coarse(1, 1) = 4.0;
+  const RealGrid fine = upsampleNearest(coarse, 3);
+  EXPECT_EQ(fine.rows(), 6);
+  EXPECT_DOUBLE_EQ(fine(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(fine(2, 2), 1.0);
+  EXPECT_DOUBLE_EQ(fine(0, 3), 2.0);
+  EXPECT_DOUBLE_EQ(fine(5, 5), 4.0);
+}
+
+TEST(Resample, UpsampleThenDownsampleIsIdentity) {
+  Rng rng(71);
+  const RealGrid coarse = randomRealGrid(8, 8, rng);
+  const RealGrid roundTrip = downsampleMean(upsampleNearest(coarse, 4), 4);
+  for (std::size_t i = 0; i < coarse.size(); ++i) {
+    EXPECT_NEAR(roundTrip.data()[i], coarse.data()[i], 1e-12);
+  }
+}
+
+TEST(Resample, ValidationErrors) {
+  RealGrid g(6, 6);
+  EXPECT_THROW(downsampleMean(g, 4), InvalidArgument);  // not divisible
+  EXPECT_THROW(downsampleMean(g, 0), InvalidArgument);
+  EXPECT_THROW(upsampleNearest(g, 0), InvalidArgument);
+}
+
+// ------------------------------------------------------------- gaussian
+
+TEST(GaussianBlur, ZeroSigmaIsIdentity) {
+  Rng rng(31);
+  const RealGrid g = randomRealGrid(8, 8, rng);
+  EXPECT_EQ(gaussianBlur(g, 0.0), g);
+  EXPECT_EQ(gaussianBlur(g, -1.0), g);
+}
+
+TEST(GaussianBlur, PreservesMeanAndReducesVariance) {
+  Rng rng(37);
+  const int n = 32;
+  RealGrid g = randomRealGrid(n, n, rng);
+  const double meanBefore = sum(g) / static_cast<double>(g.size());
+  const RealGrid b = gaussianBlur(g, 2.0);
+  const double meanAfter = sum(b) / static_cast<double>(b.size());
+  EXPECT_NEAR(meanAfter, meanBefore, 1e-10);
+  double varBefore = 0.0;
+  double varAfter = 0.0;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    varBefore += (g.data()[i] - meanBefore) * (g.data()[i] - meanBefore);
+    varAfter += (b.data()[i] - meanAfter) * (b.data()[i] - meanAfter);
+  }
+  EXPECT_LT(varAfter, 0.5 * varBefore);
+}
+
+TEST(GaussianBlur, SpreadsADelta) {
+  const int n = 32;
+  RealGrid g(n, n, 0.0);
+  g(16, 16) = 1.0;
+  const RealGrid b = gaussianBlur(g, 1.5);
+  EXPECT_LT(b(16, 16), 1.0);
+  EXPECT_GT(b(16, 16), b(16, 18));
+  EXPECT_GT(b(16, 18), 0.0);
+  // Radially symmetric around the impulse.
+  EXPECT_NEAR(b(16, 18), b(18, 16), 1e-12);
+  EXPECT_NEAR(b(16, 14), b(16, 18), 1e-12);
+}
+
+TEST(GaussianBlur, SelfAdjoint) {
+  // <Blur(a), b> == <a, Blur(b)> -- the property the ILT gradient chain
+  // relies on when resist diffusion is enabled.
+  Rng rng(41);
+  const int n = 16;
+  const RealGrid a = randomRealGrid(n, n, rng);
+  const RealGrid b = randomRealGrid(n, n, rng);
+  const RealGrid ba = gaussianBlur(a, 1.2);
+  const RealGrid bb = gaussianBlur(b, 1.2);
+  double lhs = 0.0;
+  double rhs = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    lhs += ba.data()[i] * b.data()[i];
+    rhs += a.data()[i] * bb.data()[i];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-9 * std::max(1.0, std::fabs(lhs)));
+}
+
+// ---------------------------------------------------------------- eigen
+
+TEST(Eigen, DiagonalMatrixSortedDescending) {
+  Matrix m(3, 3);
+  m(0, 0) = 1.0;
+  m(1, 1) = 5.0;
+  m(2, 2) = 3.0;
+  const auto r = jacobiEigenSymmetric(m);
+  ASSERT_EQ(r.eigenvalues.size(), 3u);
+  EXPECT_NEAR(r.eigenvalues[0], 5.0, 1e-12);
+  EXPECT_NEAR(r.eigenvalues[1], 3.0, 1e-12);
+  EXPECT_NEAR(r.eigenvalues[2], 1.0, 1e-12);
+}
+
+TEST(Eigen, Known2x2) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  Matrix m(2, 2);
+  m(0, 0) = 2;
+  m(0, 1) = 1;
+  m(1, 0) = 1;
+  m(1, 1) = 2;
+  const auto r = jacobiEigenSymmetric(m);
+  EXPECT_NEAR(r.eigenvalues[0], 3.0, 1e-12);
+  EXPECT_NEAR(r.eigenvalues[1], 1.0, 1e-12);
+  // eigenvector for 3 is (1,1)/sqrt(2) up to sign
+  EXPECT_NEAR(std::fabs(r.eigenvectors[0][0]), 1 / std::sqrt(2.0), 1e-10);
+  EXPECT_NEAR(r.eigenvectors[0][0], r.eigenvectors[0][1], 1e-10);
+}
+
+TEST(Eigen, AsymmetricInputThrows) {
+  Matrix m(2, 2);
+  m(0, 1) = 1.0;
+  EXPECT_THROW(jacobiEigenSymmetric(m), InvalidArgument);
+  Matrix rect(2, 3);
+  EXPECT_THROW(jacobiEigenSymmetric(rect), InvalidArgument);
+}
+
+class EigenReconstruction : public ::testing::TestWithParam<int> {};
+
+TEST_P(EigenReconstruction, SymmetricReconstructs) {
+  const int n = GetParam();
+  Rng rng(n * 7 + 3);
+  Matrix m(n, n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = r; c < n; ++c) {
+      m(r, c) = rng.uniform(-1, 1);
+      m(c, r) = m(r, c);
+    }
+  }
+  const auto res = jacobiEigenSymmetric(m);
+  // A = sum_k w_k v_k v_k^T
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      double acc = 0.0;
+      for (int k = 0; k < n; ++k) {
+        acc += res.eigenvalues[static_cast<std::size_t>(k)] *
+               res.eigenvectors[static_cast<std::size_t>(k)]
+                               [static_cast<std::size_t>(r)] *
+               res.eigenvectors[static_cast<std::size_t>(k)]
+                               [static_cast<std::size_t>(c)];
+      }
+      EXPECT_NEAR(acc, m(r, c), 1e-9);
+    }
+  }
+  // Orthonormality.
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      double dot = 0.0;
+      for (int k = 0; k < n; ++k) {
+        dot += res.eigenvectors[static_cast<std::size_t>(i)]
+                               [static_cast<std::size_t>(k)] *
+               res.eigenvectors[static_cast<std::size_t>(j)]
+                               [static_cast<std::size_t>(k)];
+      }
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST_P(EigenReconstruction, HermitianReconstructs) {
+  const int n = GetParam();
+  Rng rng(n * 11 + 1);
+  std::vector<Cplx> h(static_cast<std::size_t>(n) * n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = r; c < n; ++c) {
+      if (r == c) {
+        h[static_cast<std::size_t>(r) * n + c] = {rng.uniform(-1, 1), 0.0};
+      } else {
+        const Cplx v{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+        h[static_cast<std::size_t>(r) * n + c] = v;
+        h[static_cast<std::size_t>(c) * n + r] = std::conj(v);
+      }
+    }
+  }
+  const auto res = jacobiEigenHermitian(h, n);
+  ASSERT_EQ(res.eigenvalues.size(), static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      Cplx acc{0, 0};
+      for (int k = 0; k < n; ++k) {
+        acc += res.eigenvalues[static_cast<std::size_t>(k)] *
+               res.eigenvectors[static_cast<std::size_t>(k)]
+                               [static_cast<std::size_t>(r)] *
+               std::conj(res.eigenvectors[static_cast<std::size_t>(k)]
+                                         [static_cast<std::size_t>(c)]);
+      }
+      EXPECT_NEAR(std::abs(acc - h[static_cast<std::size_t>(r) * n + c]), 0.0,
+                  1e-8);
+    }
+  }
+  // Complex orthonormality.
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      Cplx dot{0, 0};
+      for (int k = 0; k < n; ++k) {
+        dot += std::conj(res.eigenvectors[static_cast<std::size_t>(i)]
+                                         [static_cast<std::size_t>(k)]) *
+               res.eigenvectors[static_cast<std::size_t>(j)]
+                               [static_cast<std::size_t>(k)];
+      }
+      EXPECT_NEAR(std::abs(dot - (i == j ? Cplx{1, 0} : Cplx{0, 0})), 0.0,
+                  1e-8);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenReconstruction,
+                         ::testing::Values(2, 3, 5, 8, 16));
+
+TEST(Eigen, HermitianRejectsNonHermitian) {
+  std::vector<Cplx> h = {{1, 0}, {1, 1}, {1, 1}, {2, 0}};  // h01 != conj(h10)
+  EXPECT_THROW(jacobiEigenHermitian(h, 2), InvalidArgument);
+}
+
+TEST(Eigen, HermitianPsdHasNonNegativeSpectrum) {
+  // H = B B^H is PSD.
+  const int n = 6;
+  Rng rng(29);
+  std::vector<Cplx> b(static_cast<std::size_t>(n) * n);
+  for (auto& v : b) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  std::vector<Cplx> h(static_cast<std::size_t>(n) * n, Cplx{0, 0});
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      Cplx acc{0, 0};
+      for (int k = 0; k < n; ++k) {
+        acc += b[static_cast<std::size_t>(r) * n + k] *
+               std::conj(b[static_cast<std::size_t>(c) * n + k]);
+      }
+      h[static_cast<std::size_t>(r) * n + c] = acc;
+    }
+  }
+  // Exact Hermitian symmetrization to cancel rounding asymmetry.
+  for (int r = 0; r < n; ++r) {
+    for (int c = r; c < n; ++c) {
+      const Cplx sym = 0.5 * (h[static_cast<std::size_t>(r) * n + c] +
+                              std::conj(h[static_cast<std::size_t>(c) * n + r]));
+      h[static_cast<std::size_t>(r) * n + c] = sym;
+      h[static_cast<std::size_t>(c) * n + r] = std::conj(sym);
+    }
+  }
+  const auto res = jacobiEigenHermitian(h, n);
+  for (double w : res.eigenvalues) EXPECT_GT(w, -1e-9);
+}
+
+TEST(Eigen, MatrixIdentityFactory) {
+  const Matrix id = Matrix::identity(3);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(id(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mosaic

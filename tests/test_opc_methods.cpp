@@ -1,0 +1,262 @@
+/// Tests for the additional OPC method implementations: model-based
+/// edge-fragmentation OPC and level-set ILT.
+
+#include <gtest/gtest.h>
+
+#include "eval/evaluator.hpp"
+#include "geometry/raster.hpp"
+#include "math/stats.hpp"
+#include "opc/baselines.hpp"
+#include "opc/edge_opc.hpp"
+#include "opc/levelset.hpp"
+#include "opc/multires.hpp"
+#include "suite/testcases.hpp"
+
+namespace mosaic {
+namespace {
+
+LithoSimulator& sim8() {
+  static LithoSimulator sim([] {
+    OpticsConfig o;
+    o.pixelNm = 8;
+    return o;
+  }());
+  return sim;
+}
+
+BitGrid blockTarget(int n, int r0, int r1, int c0, int c1) {
+  BitGrid g(n, n, 0);
+  for (int r = r0; r < r1; ++r) {
+    for (int c = c0; c < c1; ++c) g(r, c) = 1;
+  }
+  return g;
+}
+
+// ------------------------------------------------------------- fragments
+
+TEST(EdgeFragments, CoverEveryEdgeExactly) {
+  const BitGrid target = blockTarget(64, 20, 40, 10, 50);
+  const auto fragments = fragmentEdges(target, 8);
+  // Each boundary edge of the rect is covered by contiguous fragments.
+  long long totalLength = 0;
+  for (const auto& f : fragments) {
+    totalLength += f.segment.length();
+    EXPECT_EQ(f.biasPx, 0);
+  }
+  // Perimeter of a 20 x 40 pixel block.
+  EXPECT_EQ(totalLength, 2 * (20 + 40));
+}
+
+TEST(EdgeFragments, RespectMaximumLength) {
+  const BitGrid target = blockTarget(64, 20, 40, 10, 50);
+  for (const auto& f : fragmentEdges(target, 8)) {
+    // count = len / 8; base pieces are >= 8 and < 16.
+    EXPECT_LE(f.segment.length(), 15);
+    EXPECT_GE(f.segment.length(), 8);
+  }
+}
+
+TEST(EdgeFragments, ShortEdgeSingleFragment) {
+  const BitGrid target = blockTarget(32, 10, 14, 10, 14);  // 4x4 block
+  const auto fragments = fragmentEdges(target, 10);
+  EXPECT_EQ(fragments.size(), 4u);
+}
+
+TEST(EdgeFragments, InvalidLengthThrows) {
+  const BitGrid target = blockTarget(16, 4, 8, 4, 8);
+  EXPECT_THROW(fragmentEdges(target, 1), InvalidArgument);
+}
+
+TEST(EdgeFragments, GrowShrinkGeometry) {
+  const BitGrid target = blockTarget(32, 10, 20, 10, 20);
+  auto fragments = fragmentEdges(target, 32);  // one fragment per edge
+  ASSERT_EQ(fragments.size(), 4u);
+  // Grow every edge by 2 px: edges extend along their spans only, so the
+  // four 2x2 corner blocks stay empty (14x14 minus 4 corners).
+  for (auto& f : fragments) f.biasPx = 2;
+  EXPECT_EQ(popcount(applyFragmentBiases(target, fragments)),
+            14 * 14 - 4 * 4);
+  // Shrink every edge by 2 px: block becomes 6 x 6.
+  for (auto& f : fragments) f.biasPx = -2;
+  EXPECT_EQ(popcount(applyFragmentBiases(target, fragments)), 6 * 6);
+  // Mixed: zero bias reproduces the target.
+  for (auto& f : fragments) f.biasPx = 0;
+  EXPECT_EQ(applyFragmentBiases(target, fragments), target);
+}
+
+TEST(EdgeFragments, SingleEdgeMoveIsLocal) {
+  const BitGrid target = blockTarget(32, 10, 20, 10, 20);
+  auto fragments = fragmentEdges(target, 32);
+  // Move only the top edge (horizontal, insideLow == true) out by 3.
+  int moved = 0;
+  for (auto& f : fragments) {
+    if (f.segment.horizontal && f.segment.insideLow) {
+      f.biasPx = 3;
+      ++moved;
+    }
+  }
+  ASSERT_EQ(moved, 1);
+  const BitGrid out = applyFragmentBiases(target, fragments);
+  EXPECT_EQ(popcount(out), 10 * 10 + 3 * 10);
+}
+
+// --------------------------------------------------------------- edgeOpc
+
+TEST(EdgeOpc, ImprovesOverNoOpc) {
+  const BitGrid target = rasterize(buildTestcase(1), 8);
+  const CaseEvaluation before =
+      evaluateMask(sim8(), noOpcMask(target), target, 0.0);
+  EdgeOpcConfig cfg;
+  cfg.maxIterations = 8;
+  const EdgeOpcResult res = runEdgeOpc(sim8(), target, cfg);
+  const CaseEvaluation after =
+      evaluateMask(sim8(), toReal(res.mask), target, 0.0);
+  EXPECT_LT(after.score, before.score);
+  EXPECT_LE(after.epeViolations, before.epeViolations);
+  EXPECT_GE(res.iterations, 1);
+}
+
+TEST(EdgeOpc, Deterministic) {
+  const BitGrid target = rasterize(buildTestcase(4), 8);
+  EdgeOpcConfig cfg;
+  cfg.maxIterations = 5;
+  const EdgeOpcResult a = runEdgeOpc(sim8(), target, cfg);
+  const EdgeOpcResult b = runEdgeOpc(sim8(), target, cfg);
+  EXPECT_EQ(a.mask, b.mask);
+}
+
+TEST(EdgeOpc, BiasesStayClamped) {
+  const BitGrid target = rasterize(buildTestcase(3), 8);
+  EdgeOpcConfig cfg;
+  cfg.maxIterations = 6;
+  cfg.maxBiasNm = 16;  // 2 px at 8 nm
+  const EdgeOpcResult res = runEdgeOpc(sim8(), target, cfg);
+  for (const auto& f : res.fragments) {
+    EXPECT_LE(std::abs(f.biasPx), 2);
+  }
+}
+
+// -------------------------------------------------------------- levelset
+
+TEST(LevelSet, SignedDistanceSignsAndMagnitudes) {
+  const BitGrid mask = blockTarget(16, 6, 10, 6, 10);
+  const RealGrid phi = signedDistance(mask);
+  // Deep inside is negative, far outside positive.
+  EXPECT_LT(phi(8, 8), 0.0);
+  EXPECT_GT(phi(0, 0), 0.0);
+  // Magnitude grows with distance from the boundary.
+  EXPECT_GT(phi(0, 0), phi(4, 8));
+  // Boundary pixels sit half a pixel from the interface.
+  EXPECT_NEAR(phi(6, 8), -0.5, 1e-12);
+  EXPECT_NEAR(phi(5, 8), 0.5, 1e-12);
+}
+
+TEST(LevelSet, ZeroLevelSetReproducesMask) {
+  const BitGrid mask = rasterize(buildTestcase(6), 8);
+  const RealGrid phi = signedDistance(mask);
+  for (int r = 0; r < mask.rows(); ++r) {
+    for (int c = 0; c < mask.cols(); ++c) {
+      EXPECT_EQ(phi(r, c) < 0.0, mask(r, c) != 0);
+    }
+  }
+}
+
+TEST(LevelSet, ImprovesOverNoOpc) {
+  const BitGrid target = rasterize(buildTestcase(2), 8);
+  const CaseEvaluation before =
+      evaluateMask(sim8(), noOpcMask(target), target, 0.0);
+  LevelSetConfig cfg;
+  cfg.maxIterations = 12;
+  const LevelSetResult res = runLevelSetIlt(sim8(), target, cfg);
+  const CaseEvaluation after =
+      evaluateMask(sim8(), toReal(res.mask), target, 0.0);
+  EXPECT_LT(after.score, before.score);
+  EXPECT_FALSE(res.objectiveHistory.empty());
+}
+
+TEST(LevelSet, BestObjectiveIsMinimumOfHistory) {
+  const BitGrid target = rasterize(buildTestcase(1), 8);
+  LevelSetConfig cfg;
+  cfg.maxIterations = 10;
+  const LevelSetResult res = runLevelSetIlt(sim8(), target, cfg);
+  double minSeen = res.objectiveHistory.front();
+  for (double v : res.objectiveHistory) minSeen = std::min(minSeen, v);
+  EXPECT_DOUBLE_EQ(res.bestObjective, minSeen);
+}
+
+TEST(LevelSet, Deterministic) {
+  const BitGrid target = rasterize(buildTestcase(7), 8);
+  LevelSetConfig cfg;
+  cfg.maxIterations = 6;
+  const LevelSetResult a = runLevelSetIlt(sim8(), target, cfg);
+  const LevelSetResult b = runLevelSetIlt(sim8(), target, cfg);
+  EXPECT_EQ(a.mask, b.mask);
+  EXPECT_EQ(a.objectiveHistory, b.objectiveHistory);
+}
+
+// -------------------------------------------------------------- multires
+
+LithoSimulator& sim16() {
+  static LithoSimulator sim([] {
+    OpticsConfig o;
+    o.pixelNm = 16;
+    return o;
+  }());
+  return sim;
+}
+
+TEST(Multires, CoarseToFineImprovesOverNoOpc) {
+  const BitGrid target = rasterize(buildTestcase(4), 8);
+  const CaseEvaluation before =
+      evaluateMask(sim8(), noOpcMask(target), target, 0.0);
+  MultiresConfig cfg;
+  cfg.coarseIterations = 8;
+  cfg.fineIterations = 4;
+  const OpcResult res = runOpcMultires(sim16(), sim8(), target,
+                                       OpcMethod::kMosaicFast, cfg);
+  EXPECT_EQ(res.method, "MOSAIC_fast_multires");
+  EXPECT_EQ(res.maskBinary.rows(), sim8().gridSize());
+  EXPECT_EQ(res.iterations, static_cast<int>(res.history.size()));
+  const CaseEvaluation after =
+      evaluateMask(sim8(), res.maskTwoLevel, target, 0.0);
+  EXPECT_LT(after.score, before.score);
+}
+
+TEST(Multires, Deterministic) {
+  const BitGrid target = rasterize(buildTestcase(2), 8);
+  MultiresConfig cfg;
+  cfg.coarseIterations = 4;
+  cfg.fineIterations = 2;
+  const OpcResult a = runOpcMultires(sim16(), sim8(), target,
+                                     OpcMethod::kMosaicFast, cfg);
+  const OpcResult b = runOpcMultires(sim16(), sim8(), target,
+                                     OpcMethod::kMosaicFast, cfg);
+  EXPECT_EQ(a.maskBinary, b.maskBinary);
+}
+
+TEST(Multires, RejectsIncompatiblePitches) {
+  const BitGrid target = rasterize(buildTestcase(1), 8);
+  MultiresConfig cfg;
+  // Same pitch: no valid factor.
+  EXPECT_THROW(runOpcMultires(sim8(), sim8(), target,
+                              OpcMethod::kMosaicFast, cfg),
+               InvalidArgument);
+  // Swapped coarse/fine.
+  EXPECT_THROW(runOpcMultires(sim8(), sim16(),
+                              rasterize(buildTestcase(1), 16),
+                              OpcMethod::kMosaicFast, cfg),
+               InvalidArgument);
+}
+
+TEST(LevelSet, InvalidConfigThrows) {
+  const BitGrid target = rasterize(buildTestcase(1), 8);
+  LevelSetConfig cfg;
+  cfg.timeStep = 0.0;
+  EXPECT_THROW(runLevelSetIlt(sim8(), target, cfg), InvalidArgument);
+  cfg = LevelSetConfig{};
+  cfg.maxIterations = 0;
+  EXPECT_THROW(runLevelSetIlt(sim8(), target, cfg), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mosaic

@@ -1,0 +1,331 @@
+/// Unit tests for the support library: errors, logging, CLI, tables, RNG,
+/// image writers, parallel utilities.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "support/cli.hpp"
+#include "support/error.hpp"
+#include "support/image_io.hpp"
+#include "support/log.hpp"
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+namespace mosaic {
+namespace {
+
+// ---------------------------------------------------------------- errors
+
+TEST(Error, CheckThrowsInvalidArgumentWithContext) {
+  try {
+    MOSAIC_CHECK(1 == 2, "custom detail " << 42);
+    FAIL() << "expected throw";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("custom detail 42"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Error, AssertThrowsInternalError) {
+  EXPECT_THROW(MOSAIC_ASSERT(false, "boom"), InternalError);
+}
+
+TEST(Error, PassingCheckDoesNotThrow) {
+  EXPECT_NO_THROW(MOSAIC_CHECK(true, "fine"));
+  EXPECT_NO_THROW(MOSAIC_ASSERT(true, "fine"));
+}
+
+TEST(Error, HierarchyRootsAtError) {
+  EXPECT_THROW(
+      { throw InvalidArgument("x"); }, Error);
+  EXPECT_THROW(
+      { throw InternalError("x"); }, Error);
+}
+
+// ----------------------------------------------------------------- log
+
+TEST(Log, ParseLevels) {
+  EXPECT_EQ(parseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parseLogLevel("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(parseLogLevel("Warn"), LogLevel::kWarn);
+  EXPECT_EQ(parseLogLevel("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parseLogLevel("error"), LogLevel::kError);
+  EXPECT_EQ(parseLogLevel("off"), LogLevel::kOff);
+  EXPECT_THROW(parseLogLevel("loud"), InvalidArgument);
+}
+
+TEST(Log, SetAndGetLevel) {
+  const LogLevel before = logLevel();
+  setLogLevel(LogLevel::kError);
+  EXPECT_EQ(logLevel(), LogLevel::kError);
+  setLogLevel(before);
+}
+
+// ----------------------------------------------------------------- cli
+
+TEST(Cli, ParsesAllKinds) {
+  int i = 1;
+  double d = 2.5;
+  std::string s = "abc";
+  bool f = false;
+  CliParser cli("prog", "test");
+  cli.addInt("count", &i, "a count");
+  cli.addDouble("ratio", &d, "a ratio");
+  cli.addString("name", &s, "a name");
+  cli.addFlag("verbose", &f, "a flag");
+
+  const char* argv[] = {"prog",   "--count", "7",      "--ratio=0.25",
+                        "--name", "xyz",     "--verbose"};
+  EXPECT_TRUE(cli.parse(7, argv));
+  EXPECT_EQ(i, 7);
+  EXPECT_DOUBLE_EQ(d, 0.25);
+  EXPECT_EQ(s, "xyz");
+  EXPECT_TRUE(f);
+}
+
+TEST(Cli, DefaultsSurviveWhenAbsent) {
+  int i = 42;
+  CliParser cli("prog", "test");
+  cli.addInt("count", &i, "a count");
+  const char* argv[] = {"prog"};
+  EXPECT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(i, 42);
+}
+
+TEST(Cli, FlagExplicitFalse) {
+  bool f = true;
+  CliParser cli("prog", "test");
+  cli.addFlag("verbose", &f, "a flag");
+  const char* argv[] = {"prog", "--verbose=false"};
+  EXPECT_TRUE(cli.parse(2, argv));
+  EXPECT_FALSE(f);
+}
+
+TEST(Cli, Errors) {
+  int i = 0;
+  CliParser cli("prog", "test");
+  cli.addInt("count", &i, "a count");
+  {
+    const char* argv[] = {"prog", "--unknown", "3"};
+    EXPECT_THROW(cli.parse(3, argv), InvalidArgument);
+  }
+  {
+    const char* argv[] = {"prog", "--count"};
+    EXPECT_THROW(cli.parse(2, argv), InvalidArgument);
+  }
+  {
+    const char* argv[] = {"prog", "--count", "notanint"};
+    EXPECT_THROW(cli.parse(3, argv), InvalidArgument);
+  }
+  {
+    const char* argv[] = {"prog", "count"};
+    EXPECT_THROW(cli.parse(2, argv), InvalidArgument);
+  }
+}
+
+TEST(Cli, DuplicateOptionRejected) {
+  int i = 0;
+  CliParser cli("prog", "test");
+  cli.addInt("count", &i, "a count");
+  EXPECT_THROW(cli.addInt("count", &i, "again"), InvalidArgument);
+}
+
+TEST(Cli, HelpReturnsFalseAndPrintsUsage) {
+  int i = 0;
+  CliParser cli("prog", "does things");
+  cli.addInt("count", &i, "a count");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+  const std::string usage = cli.usage();
+  EXPECT_NE(usage.find("does things"), std::string::npos);
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+  EXPECT_NE(usage.find("default: 0"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- table
+
+TEST(Table, RendersAligned) {
+  TextTable t;
+  t.setHeader({"name", "value"});
+  t.addRow({"a", "1"});
+  t.addRow({"longer", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  // Separator line present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, RowArityMismatchThrows) {
+  TextTable t;
+  t.setHeader({"a", "b"});
+  EXPECT_THROW(t.addRow({"only one"}), InvalidArgument);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+  EXPECT_EQ(TextTable::integer(-5), "-5");
+}
+
+TEST(Table, RenderWithoutHeaderThrows) {
+  TextTable t;
+  EXPECT_THROW(t.render(), InvalidArgument);
+}
+
+// ----------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, BelowBounds) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 300; ++i) {
+    const auto v = rng.below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+}
+
+// --------------------------------------------------------------- timer
+
+TEST(Timer, MonotoneNonNegative) {
+  WallTimer t;
+  const double a = t.seconds();
+  const double b = t.seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  EXPECT_NEAR(t.milliseconds(), t.seconds() * 1e3, 1.0);
+}
+
+TEST(Timer, ResetRestarts) {
+  WallTimer t;
+  t.reset();
+  EXPECT_LT(t.seconds(), 1.0);
+}
+
+// ------------------------------------------------------------- imageio
+
+TEST(ImageIo, PgmRoundTripHeader) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "mosaic_test_img.pgm";
+  std::vector<double> values = {0.0, 0.5, 1.0, 0.25, 0.75, 1.5};
+  writePgm(path.string(), values, 2, 3);
+  std::ifstream in(path, std::ios::binary);
+  std::string magic;
+  int w = 0;
+  int h = 0;
+  int maxval = 0;
+  in >> magic >> w >> h >> maxval;
+  EXPECT_EQ(magic, "P5");
+  EXPECT_EQ(w, 3);
+  EXPECT_EQ(h, 2);
+  EXPECT_EQ(maxval, 255);
+  in.get();  // single whitespace after header
+  std::vector<unsigned char> pixels(6);
+  in.read(reinterpret_cast<char*>(pixels.data()), 6);
+  EXPECT_EQ(pixels[0], 0);
+  EXPECT_EQ(pixels[2], 255);
+  EXPECT_EQ(pixels[5], 255);  // clamped
+  std::filesystem::remove(path);
+}
+
+TEST(ImageIo, PgmSizeMismatchThrows) {
+  std::vector<double> values(5, 0.0);
+  EXPECT_THROW(writePgm("/tmp/should_not_exist.pgm", values, 2, 3),
+               InvalidArgument);
+}
+
+TEST(ImageIo, PpmWrites) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "mosaic_test_img.ppm";
+  std::vector<double> ch = {0.0, 1.0, 0.5, 0.25};
+  writePpm(path.string(), ch, ch, ch, 2, 2);
+  EXPECT_GT(std::filesystem::file_size(path), 12u);
+  std::filesystem::remove(path);
+}
+
+TEST(ImageIo, CsvWritesRows) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "mosaic_test.csv";
+  {
+    CsvWriter csv(path.string());
+    csv.writeHeader({"a", "b"});
+    csv.writeRow(std::vector<double>{1.5, 2.0});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1.5,2");
+  std::filesystem::remove(path);
+}
+
+// ------------------------------------------------------------ parallel
+
+TEST(Parallel, ComputesAllIndices) {
+  std::vector<int> hits(1000, 0);
+  parallelFor(0, hits.size(), [&](std::size_t i) { hits[i] += 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(Parallel, EmptyRangeIsNoop) {
+  bool touched = false;
+  parallelFor(5, 5, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(Parallel, ExceptionPropagates) {
+  EXPECT_THROW(parallelFor(0, 10,
+                           [](std::size_t i) {
+                             if (i == 3) throw InvalidArgument("inner");
+                           }),
+               InvalidArgument);
+}
+
+TEST(Parallel, WorkerCountPositive) {
+  EXPECT_GE(hardwareParallelism(), 1);
+  EXPECT_THROW(setParallelism(-1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mosaic
