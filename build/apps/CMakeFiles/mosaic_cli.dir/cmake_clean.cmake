@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mosaic_cli.dir/mosaic_cli.cpp.o"
+  "CMakeFiles/mosaic_cli.dir/mosaic_cli.cpp.o.d"
+  "mosaic_cli"
+  "mosaic_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mosaic_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_aberrations.dir/ablation_aberrations.cpp.o"
+  "CMakeFiles/ablation_aberrations.dir/ablation_aberrations.cpp.o.d"
+  "ablation_aberrations"
+  "ablation_aberrations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_aberrations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

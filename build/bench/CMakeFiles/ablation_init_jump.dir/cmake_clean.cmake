@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_init_jump.dir/ablation_init_jump.cpp.o"
+  "CMakeFiles/ablation_init_jump.dir/ablation_init_jump.cpp.o.d"
+  "ablation_init_jump"
+  "ablation_init_jump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_init_jump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multires.dir/ablation_multires.cpp.o"
+  "CMakeFiles/ablation_multires.dir/ablation_multires.cpp.o.d"
+  "ablation_multires"
+  "ablation_multires.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multires.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

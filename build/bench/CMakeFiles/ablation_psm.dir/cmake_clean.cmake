@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_psm.dir/ablation_psm.cpp.o"
+  "CMakeFiles/ablation_psm.dir/ablation_psm.cpp.o.d"
+  "ablation_psm"
+  "ablation_psm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_psm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pvband.dir/ablation_pvband.cpp.o"
+  "CMakeFiles/ablation_pvband.dir/ablation_pvband.cpp.o.d"
+  "ablation_pvband"
+  "ablation_pvband.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pvband.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_fft.dir/bm_fft.cpp.o"
+  "CMakeFiles/bm_fft.dir/bm_fft.cpp.o.d"
+  "bm_fft"
+  "bm_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_kernel_combine.dir/bm_kernel_combine.cpp.o"
+  "CMakeFiles/bm_kernel_combine.dir/bm_kernel_combine.cpp.o.d"
+  "bm_kernel_combine"
+  "bm_kernel_combine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_kernel_combine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

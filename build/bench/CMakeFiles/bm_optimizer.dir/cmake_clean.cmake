@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_optimizer.dir/bm_optimizer.cpp.o"
+  "CMakeFiles/bm_optimizer.dir/bm_optimizer.cpp.o.d"
+  "bm_optimizer"
+  "bm_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_epe_samples.dir/fig3_epe_samples.cpp.o"
+  "CMakeFiles/fig3_epe_samples.dir/fig3_epe_samples.cpp.o.d"
+  "fig3_epe_samples"
+  "fig3_epe_samples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_epe_samples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_pvband.dir/fig4_pvband.cpp.o"
+  "CMakeFiles/fig4_pvband.dir/fig4_pvband.cpp.o.d"
+  "fig4_pvband"
+  "fig4_pvband.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_pvband.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

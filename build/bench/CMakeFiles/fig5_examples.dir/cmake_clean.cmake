@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_examples.dir/fig5_examples.cpp.o"
+  "CMakeFiles/fig5_examples.dir/fig5_examples.cpp.o.d"
+  "fig5_examples"
+  "fig5_examples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_comparison.dir/window_comparison.cpp.o"
+  "CMakeFiles/window_comparison.dir/window_comparison.cpp.o.d"
+  "window_comparison"
+  "window_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_layout_opc.dir/custom_layout_opc.cpp.o"
+  "CMakeFiles/custom_layout_opc.dir/custom_layout_opc.cpp.o.d"
+  "custom_layout_opc"
+  "custom_layout_opc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_layout_opc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mask_export_and_mrc.dir/mask_export_and_mrc.cpp.o"
+  "CMakeFiles/mask_export_and_mrc.dir/mask_export_and_mrc.cpp.o.d"
+  "mask_export_and_mrc"
+  "mask_export_and_mrc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mask_export_and_mrc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/process_window_analysis.dir/process_window_analysis.cpp.o"
+  "CMakeFiles/process_window_analysis.dir/process_window_analysis.cpp.o.d"
+  "process_window_analysis"
+  "process_window_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/process_window_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

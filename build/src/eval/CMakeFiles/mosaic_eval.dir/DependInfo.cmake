@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/epe.cpp" "src/eval/CMakeFiles/mosaic_eval.dir/epe.cpp.o" "gcc" "src/eval/CMakeFiles/mosaic_eval.dir/epe.cpp.o.d"
+  "/root/repo/src/eval/evaluator.cpp" "src/eval/CMakeFiles/mosaic_eval.dir/evaluator.cpp.o" "gcc" "src/eval/CMakeFiles/mosaic_eval.dir/evaluator.cpp.o.d"
+  "/root/repo/src/eval/mrc.cpp" "src/eval/CMakeFiles/mosaic_eval.dir/mrc.cpp.o" "gcc" "src/eval/CMakeFiles/mosaic_eval.dir/mrc.cpp.o.d"
+  "/root/repo/src/eval/process_window.cpp" "src/eval/CMakeFiles/mosaic_eval.dir/process_window.cpp.o" "gcc" "src/eval/CMakeFiles/mosaic_eval.dir/process_window.cpp.o.d"
+  "/root/repo/src/eval/pvband.cpp" "src/eval/CMakeFiles/mosaic_eval.dir/pvband.cpp.o" "gcc" "src/eval/CMakeFiles/mosaic_eval.dir/pvband.cpp.o.d"
+  "/root/repo/src/eval/score.cpp" "src/eval/CMakeFiles/mosaic_eval.dir/score.cpp.o" "gcc" "src/eval/CMakeFiles/mosaic_eval.dir/score.cpp.o.d"
+  "/root/repo/src/eval/shape.cpp" "src/eval/CMakeFiles/mosaic_eval.dir/shape.cpp.o" "gcc" "src/eval/CMakeFiles/mosaic_eval.dir/shape.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/litho/CMakeFiles/mosaic_litho.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/mosaic_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/mosaic_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mosaic_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mosaic_eval.dir/epe.cpp.o"
+  "CMakeFiles/mosaic_eval.dir/epe.cpp.o.d"
+  "CMakeFiles/mosaic_eval.dir/evaluator.cpp.o"
+  "CMakeFiles/mosaic_eval.dir/evaluator.cpp.o.d"
+  "CMakeFiles/mosaic_eval.dir/mrc.cpp.o"
+  "CMakeFiles/mosaic_eval.dir/mrc.cpp.o.d"
+  "CMakeFiles/mosaic_eval.dir/process_window.cpp.o"
+  "CMakeFiles/mosaic_eval.dir/process_window.cpp.o.d"
+  "CMakeFiles/mosaic_eval.dir/pvband.cpp.o"
+  "CMakeFiles/mosaic_eval.dir/pvband.cpp.o.d"
+  "CMakeFiles/mosaic_eval.dir/score.cpp.o"
+  "CMakeFiles/mosaic_eval.dir/score.cpp.o.d"
+  "CMakeFiles/mosaic_eval.dir/shape.cpp.o"
+  "CMakeFiles/mosaic_eval.dir/shape.cpp.o.d"
+  "libmosaic_eval.a"
+  "libmosaic_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mosaic_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

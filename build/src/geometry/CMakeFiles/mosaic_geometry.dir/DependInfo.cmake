@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/bitmap_ops.cpp" "src/geometry/CMakeFiles/mosaic_geometry.dir/bitmap_ops.cpp.o" "gcc" "src/geometry/CMakeFiles/mosaic_geometry.dir/bitmap_ops.cpp.o.d"
+  "/root/repo/src/geometry/contour.cpp" "src/geometry/CMakeFiles/mosaic_geometry.dir/contour.cpp.o" "gcc" "src/geometry/CMakeFiles/mosaic_geometry.dir/contour.cpp.o.d"
+  "/root/repo/src/geometry/edges.cpp" "src/geometry/CMakeFiles/mosaic_geometry.dir/edges.cpp.o" "gcc" "src/geometry/CMakeFiles/mosaic_geometry.dir/edges.cpp.o.d"
+  "/root/repo/src/geometry/layout.cpp" "src/geometry/CMakeFiles/mosaic_geometry.dir/layout.cpp.o" "gcc" "src/geometry/CMakeFiles/mosaic_geometry.dir/layout.cpp.o.d"
+  "/root/repo/src/geometry/polygon.cpp" "src/geometry/CMakeFiles/mosaic_geometry.dir/polygon.cpp.o" "gcc" "src/geometry/CMakeFiles/mosaic_geometry.dir/polygon.cpp.o.d"
+  "/root/repo/src/geometry/raster.cpp" "src/geometry/CMakeFiles/mosaic_geometry.dir/raster.cpp.o" "gcc" "src/geometry/CMakeFiles/mosaic_geometry.dir/raster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/mosaic_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mosaic_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mosaic_geometry.dir/bitmap_ops.cpp.o"
+  "CMakeFiles/mosaic_geometry.dir/bitmap_ops.cpp.o.d"
+  "CMakeFiles/mosaic_geometry.dir/contour.cpp.o"
+  "CMakeFiles/mosaic_geometry.dir/contour.cpp.o.d"
+  "CMakeFiles/mosaic_geometry.dir/edges.cpp.o"
+  "CMakeFiles/mosaic_geometry.dir/edges.cpp.o.d"
+  "CMakeFiles/mosaic_geometry.dir/layout.cpp.o"
+  "CMakeFiles/mosaic_geometry.dir/layout.cpp.o.d"
+  "CMakeFiles/mosaic_geometry.dir/polygon.cpp.o"
+  "CMakeFiles/mosaic_geometry.dir/polygon.cpp.o.d"
+  "CMakeFiles/mosaic_geometry.dir/raster.cpp.o"
+  "CMakeFiles/mosaic_geometry.dir/raster.cpp.o.d"
+  "libmosaic_geometry.a"
+  "libmosaic_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mosaic_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

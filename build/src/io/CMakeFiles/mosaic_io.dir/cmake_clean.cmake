@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mosaic_io.dir/glp.cpp.o"
+  "CMakeFiles/mosaic_io.dir/glp.cpp.o.d"
+  "libmosaic_io.a"
+  "libmosaic_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mosaic_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/litho/kernel_cache.cpp" "src/litho/CMakeFiles/mosaic_litho.dir/kernel_cache.cpp.o" "gcc" "src/litho/CMakeFiles/mosaic_litho.dir/kernel_cache.cpp.o.d"
+  "/root/repo/src/litho/kernels.cpp" "src/litho/CMakeFiles/mosaic_litho.dir/kernels.cpp.o" "gcc" "src/litho/CMakeFiles/mosaic_litho.dir/kernels.cpp.o.d"
+  "/root/repo/src/litho/pupil.cpp" "src/litho/CMakeFiles/mosaic_litho.dir/pupil.cpp.o" "gcc" "src/litho/CMakeFiles/mosaic_litho.dir/pupil.cpp.o.d"
+  "/root/repo/src/litho/simulator.cpp" "src/litho/CMakeFiles/mosaic_litho.dir/simulator.cpp.o" "gcc" "src/litho/CMakeFiles/mosaic_litho.dir/simulator.cpp.o.d"
+  "/root/repo/src/litho/tcc.cpp" "src/litho/CMakeFiles/mosaic_litho.dir/tcc.cpp.o" "gcc" "src/litho/CMakeFiles/mosaic_litho.dir/tcc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/mosaic_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/mosaic_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mosaic_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mosaic_litho.dir/kernel_cache.cpp.o"
+  "CMakeFiles/mosaic_litho.dir/kernel_cache.cpp.o.d"
+  "CMakeFiles/mosaic_litho.dir/kernels.cpp.o"
+  "CMakeFiles/mosaic_litho.dir/kernels.cpp.o.d"
+  "CMakeFiles/mosaic_litho.dir/pupil.cpp.o"
+  "CMakeFiles/mosaic_litho.dir/pupil.cpp.o.d"
+  "CMakeFiles/mosaic_litho.dir/simulator.cpp.o"
+  "CMakeFiles/mosaic_litho.dir/simulator.cpp.o.d"
+  "CMakeFiles/mosaic_litho.dir/tcc.cpp.o"
+  "CMakeFiles/mosaic_litho.dir/tcc.cpp.o.d"
+  "libmosaic_litho.a"
+  "libmosaic_litho.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mosaic_litho.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mosaic_litho.
+# This may be replaced when dependencies are built.

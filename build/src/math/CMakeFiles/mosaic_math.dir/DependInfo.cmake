@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/convolution.cpp" "src/math/CMakeFiles/mosaic_math.dir/convolution.cpp.o" "gcc" "src/math/CMakeFiles/mosaic_math.dir/convolution.cpp.o.d"
+  "/root/repo/src/math/eigen.cpp" "src/math/CMakeFiles/mosaic_math.dir/eigen.cpp.o" "gcc" "src/math/CMakeFiles/mosaic_math.dir/eigen.cpp.o.d"
+  "/root/repo/src/math/fft.cpp" "src/math/CMakeFiles/mosaic_math.dir/fft.cpp.o" "gcc" "src/math/CMakeFiles/mosaic_math.dir/fft.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mosaic_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mosaic_math.dir/convolution.cpp.o"
+  "CMakeFiles/mosaic_math.dir/convolution.cpp.o.d"
+  "CMakeFiles/mosaic_math.dir/eigen.cpp.o"
+  "CMakeFiles/mosaic_math.dir/eigen.cpp.o.d"
+  "CMakeFiles/mosaic_math.dir/fft.cpp.o"
+  "CMakeFiles/mosaic_math.dir/fft.cpp.o.d"
+  "libmosaic_math.a"
+  "libmosaic_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mosaic_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opc/baselines.cpp" "src/opc/CMakeFiles/mosaic_opc.dir/baselines.cpp.o" "gcc" "src/opc/CMakeFiles/mosaic_opc.dir/baselines.cpp.o.d"
+  "/root/repo/src/opc/edge_opc.cpp" "src/opc/CMakeFiles/mosaic_opc.dir/edge_opc.cpp.o" "gcc" "src/opc/CMakeFiles/mosaic_opc.dir/edge_opc.cpp.o.d"
+  "/root/repo/src/opc/levelset.cpp" "src/opc/CMakeFiles/mosaic_opc.dir/levelset.cpp.o" "gcc" "src/opc/CMakeFiles/mosaic_opc.dir/levelset.cpp.o.d"
+  "/root/repo/src/opc/mask_params.cpp" "src/opc/CMakeFiles/mosaic_opc.dir/mask_params.cpp.o" "gcc" "src/opc/CMakeFiles/mosaic_opc.dir/mask_params.cpp.o.d"
+  "/root/repo/src/opc/mosaic.cpp" "src/opc/CMakeFiles/mosaic_opc.dir/mosaic.cpp.o" "gcc" "src/opc/CMakeFiles/mosaic_opc.dir/mosaic.cpp.o.d"
+  "/root/repo/src/opc/multires.cpp" "src/opc/CMakeFiles/mosaic_opc.dir/multires.cpp.o" "gcc" "src/opc/CMakeFiles/mosaic_opc.dir/multires.cpp.o.d"
+  "/root/repo/src/opc/objective.cpp" "src/opc/CMakeFiles/mosaic_opc.dir/objective.cpp.o" "gcc" "src/opc/CMakeFiles/mosaic_opc.dir/objective.cpp.o.d"
+  "/root/repo/src/opc/optimizer.cpp" "src/opc/CMakeFiles/mosaic_opc.dir/optimizer.cpp.o" "gcc" "src/opc/CMakeFiles/mosaic_opc.dir/optimizer.cpp.o.d"
+  "/root/repo/src/opc/sraf.cpp" "src/opc/CMakeFiles/mosaic_opc.dir/sraf.cpp.o" "gcc" "src/opc/CMakeFiles/mosaic_opc.dir/sraf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/litho/CMakeFiles/mosaic_litho.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/mosaic_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/mosaic_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/mosaic_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mosaic_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mosaic_opc.dir/baselines.cpp.o"
+  "CMakeFiles/mosaic_opc.dir/baselines.cpp.o.d"
+  "CMakeFiles/mosaic_opc.dir/edge_opc.cpp.o"
+  "CMakeFiles/mosaic_opc.dir/edge_opc.cpp.o.d"
+  "CMakeFiles/mosaic_opc.dir/levelset.cpp.o"
+  "CMakeFiles/mosaic_opc.dir/levelset.cpp.o.d"
+  "CMakeFiles/mosaic_opc.dir/mask_params.cpp.o"
+  "CMakeFiles/mosaic_opc.dir/mask_params.cpp.o.d"
+  "CMakeFiles/mosaic_opc.dir/mosaic.cpp.o"
+  "CMakeFiles/mosaic_opc.dir/mosaic.cpp.o.d"
+  "CMakeFiles/mosaic_opc.dir/multires.cpp.o"
+  "CMakeFiles/mosaic_opc.dir/multires.cpp.o.d"
+  "CMakeFiles/mosaic_opc.dir/objective.cpp.o"
+  "CMakeFiles/mosaic_opc.dir/objective.cpp.o.d"
+  "CMakeFiles/mosaic_opc.dir/optimizer.cpp.o"
+  "CMakeFiles/mosaic_opc.dir/optimizer.cpp.o.d"
+  "CMakeFiles/mosaic_opc.dir/sraf.cpp.o"
+  "CMakeFiles/mosaic_opc.dir/sraf.cpp.o.d"
+  "libmosaic_opc.a"
+  "libmosaic_opc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mosaic_opc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

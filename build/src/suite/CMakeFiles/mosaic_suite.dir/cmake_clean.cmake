@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mosaic_suite.dir/testcases.cpp.o"
+  "CMakeFiles/mosaic_suite.dir/testcases.cpp.o.d"
+  "libmosaic_suite.a"
+  "libmosaic_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mosaic_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

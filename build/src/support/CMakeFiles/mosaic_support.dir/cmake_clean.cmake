@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mosaic_support.dir/cli.cpp.o"
+  "CMakeFiles/mosaic_support.dir/cli.cpp.o.d"
+  "CMakeFiles/mosaic_support.dir/image_io.cpp.o"
+  "CMakeFiles/mosaic_support.dir/image_io.cpp.o.d"
+  "CMakeFiles/mosaic_support.dir/log.cpp.o"
+  "CMakeFiles/mosaic_support.dir/log.cpp.o.d"
+  "CMakeFiles/mosaic_support.dir/parallel.cpp.o"
+  "CMakeFiles/mosaic_support.dir/parallel.cpp.o.d"
+  "CMakeFiles/mosaic_support.dir/table.cpp.o"
+  "CMakeFiles/mosaic_support.dir/table.cpp.o.d"
+  "libmosaic_support.a"
+  "libmosaic_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mosaic_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_contour_mrc.cpp" "tests/CMakeFiles/test_contour_mrc.dir/test_contour_mrc.cpp.o" "gcc" "tests/CMakeFiles/test_contour_mrc.dir/test_contour_mrc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/opc/CMakeFiles/mosaic_opc.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/mosaic_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/suite/CMakeFiles/mosaic_suite.dir/DependInfo.cmake"
+  "/root/repo/build/src/litho/CMakeFiles/mosaic_litho.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/mosaic_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/mosaic_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mosaic_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/mosaic_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_contour_mrc.dir/test_contour_mrc.cpp.o"
+  "CMakeFiles/test_contour_mrc.dir/test_contour_mrc.cpp.o.d"
+  "test_contour_mrc"
+  "test_contour_mrc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_contour_mrc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_contour_mrc.
+# This may be replaced when dependencies are built.

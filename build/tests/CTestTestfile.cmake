@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_support "/root/repo/build/tests/test_support")
+set_tests_properties(test_support PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;10;mosaic_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_math "/root/repo/build/tests/test_math")
+set_tests_properties(test_math PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;11;mosaic_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_geometry "/root/repo/build/tests/test_geometry")
+set_tests_properties(test_geometry PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;12;mosaic_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_litho "/root/repo/build/tests/test_litho")
+set_tests_properties(test_litho PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;13;mosaic_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_opc "/root/repo/build/tests/test_opc")
+set_tests_properties(test_opc PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;14;mosaic_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_eval "/root/repo/build/tests/test_eval")
+set_tests_properties(test_eval PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;15;mosaic_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_suite "/root/repo/build/tests/test_suite")
+set_tests_properties(test_suite PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;16;mosaic_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_integration "/root/repo/build/tests/test_integration")
+set_tests_properties(test_integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;17;mosaic_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_io "/root/repo/build/tests/test_io")
+set_tests_properties(test_io PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;18;mosaic_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_contour_mrc "/root/repo/build/tests/test_contour_mrc")
+set_tests_properties(test_contour_mrc PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;19;mosaic_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_opc_methods "/root/repo/build/tests/test_opc_methods")
+set_tests_properties(test_opc_methods PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;20;mosaic_test;/root/repo/tests/CMakeLists.txt;0;")
