@@ -5,6 +5,7 @@
 ///
 /// Subcommands:
 ///   run           OPC a target layout and write the optimized mask
+///   batch         fault-tolerant OPC over the whole benchmark suite
 ///   simulate      forward-simulate a mask at a process corner
 ///   evaluate      contest metrics + MRC for a mask against a target
 ///   export-suite  write the built-in clips B1..B10 as GLP files
@@ -12,14 +13,24 @@
 /// Examples:
 ///   mosaic_cli run --case 4 --method exact --out-mask /tmp/b4_mask.glp
 ///   mosaic_cli run --input clip.glp --method fast --images /tmp
+///   mosaic_cli run --case 2 --checkpoint /tmp/b2.ckpt --checkpoint-every 5
+///   mosaic_cli run --case 2 --resume /tmp/b2.ckpt
+///   mosaic_cli batch --method fast --retries 1
 ///   mosaic_cli simulate --input /tmp/b4_mask.glp --focus 25 --dose 0.98
 ///   mosaic_cli evaluate --input /tmp/b4_mask.glp --target-case 4
 ///   mosaic_cli export-suite --dir /tmp/suite
+///
+/// Fault injection for robustness testing is armed via the
+/// MOSAIC_FAILPOINTS environment variable or the --failpoints option of
+/// `run` and `batch` (see docs/robustness.md).
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <exception>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "eval/evaluator.hpp"
 #include "eval/mrc.hpp"
@@ -34,6 +45,7 @@
 #include "opc/mosaic.hpp"
 #include "suite/testcases.hpp"
 #include "support/cli.hpp"
+#include "support/failpoint.hpp"
 #include "support/image_io.hpp"
 #include "support/log.hpp"
 #include "support/table.hpp"
@@ -100,6 +112,12 @@ int cmdRun(int argc, char** argv) {
   std::string outMask;
   std::string images;
   std::string logLevel = "info";
+  std::string failpoints;
+  std::string checkpoint;
+  int checkpointEvery = 5;
+  std::string resume;
+  double deadline = 0.0;
+  int maxRecoveries = 3;
 
   double maskLow = 0.0;
   CliParser cli("mosaic_cli run", "run OPC on a target layout");
@@ -114,8 +132,20 @@ int cmdRun(int argc, char** argv) {
   cli.addString("out-mask", &outMask, "write optimized mask as GLP");
   cli.addString("images", &images, "directory for PGM dumps");
   cli.addString("log", &logLevel, "log level");
+  cli.addString("failpoints", &failpoints,
+                "arm fail points, e.g. objective.gradient:nan@iter=7");
+  cli.addString("checkpoint", &checkpoint,
+                "write optimizer checkpoints to this file");
+  cli.addInt("checkpoint-every", &checkpointEvery,
+             "iterations between checkpoints");
+  cli.addString("resume", &resume, "resume from an optimizer checkpoint");
+  cli.addDouble("deadline", &deadline,
+                "optimizer wall-clock budget in seconds (0 = unlimited)");
+  cli.addInt("max-recoveries", &maxRecoveries,
+             "non-finite rollbacks before aborting with best-so-far");
   if (!cli.parse(argc, argv)) return 0;
   setLogLevel(parseLogLevel(logLevel));
+  if (!failpoints.empty()) failpoint::configure(failpoints);
 
   const Layout layout = loadTarget(input, caseIndex);
   LithoSimulator sim = makeSim(pixel);
@@ -155,9 +185,22 @@ int cmdRun(int argc, char** argv) {
     IltConfig cfg = defaultIltConfig(m, pixel);
     if (iters > 0) cfg.maxIterations = iters;
     cfg.maskLow = maskLow;
-    const OpcResult res = runOpc(sim, target, m, &cfg);
+    cfg.deadlineSeconds = deadline;
+    cfg.maxRecoveries = maxRecoveries;
+    OptimizeOptions opt;
+    opt.checkpointPath = checkpoint;
+    opt.checkpointEvery = checkpoint.empty() ? 0 : checkpointEvery;
+    opt.resumePath = resume;
+    const OpcResult res = runOpc(sim, target, m, &cfg, {}, {}, opt);
     mask = res.maskTwoLevel;
     runtime = res.runtimeSec;
+    std::printf("stop reason: %s (%d iterations",
+                stopReasonName(res.stopReason).c_str(), res.iterations);
+    if (res.nonFiniteEvents > 0) {
+      std::printf(", %d non-finite events, %d recoveries",
+                  res.nonFiniteEvents, res.recoveries);
+    }
+    std::printf(")\n");
   }
 
   const CaseEvaluation ev = evaluateMask(sim, mask, target, runtime);
@@ -174,6 +217,171 @@ int cmdRun(int argc, char** argv) {
   }
   if (!images.empty()) dumpImages(sim, mask, target, images, layout.name);
   return 0;
+}
+
+// Exit codes of the batch runner: one diverging clip must never take the
+// whole batch down, so partial failure is distinguishable from total.
+constexpr int kBatchAllOk = 0;
+constexpr int kBatchTotalFailure = 1;
+constexpr int kBatchPartialFailure = 2;
+
+/// Parse "1,4,7" into case indices; empty selects the full suite.
+std::vector<int> parseCaseList(const std::string& text) {
+  std::vector<int> cases;
+  if (text.empty()) {
+    for (int i = 1; i <= kTestcaseCount; ++i) cases.push_back(i);
+    return cases;
+  }
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    auto end = text.find(',', begin);
+    if (end == std::string::npos) end = text.size();
+    const std::string token = text.substr(begin, end - begin);
+    MOSAIC_CHECK(!token.empty(), "empty entry in --cases list");
+    int index = 0;
+    try {
+      index = std::stoi(token);
+    } catch (const std::exception&) {
+      throw InvalidArgument("bad case index in --cases: " + token);
+    }
+    MOSAIC_CHECK(index >= 1 && index <= kTestcaseCount,
+                 "case index out of range 1.." << kTestcaseCount << ": "
+                                               << token);
+    cases.push_back(index);
+    begin = end + 1;
+  }
+  return cases;
+}
+
+int cmdBatch(int argc, char** argv) {
+  std::string method = "fast";
+  int pixel = 4;
+  int iters = 0;
+  int retries = 1;
+  std::string cases;
+  std::string outDir;
+  std::string logLevel = "warn";
+  std::string failpoints;
+  double deadline = 0.0;
+  int backoffMs = 50;
+
+  CliParser cli("mosaic_cli batch",
+                "fault-tolerant OPC over the benchmark suite");
+  cli.addString("method", &method, "fast | exact | baseline");
+  cli.addInt("pixel", &pixel, "pixel size in nm");
+  cli.addInt("iters", &iters, "optimizer iterations (0 = method default)");
+  cli.addInt("retries", &retries, "retries per clip on failure");
+  cli.addString("cases", &cases, "comma-separated clip indices (default all)");
+  cli.addString("out-dir", &outDir, "write optimized masks here as GLP");
+  cli.addString("log", &logLevel, "log level");
+  cli.addString("failpoints", &failpoints,
+                "arm fail points, e.g. batch.clip:throw@iter=3");
+  cli.addDouble("deadline", &deadline,
+                "per-clip optimizer wall-clock budget in seconds");
+  cli.addInt("backoff-ms", &backoffMs, "retry backoff in milliseconds");
+  if (!cli.parse(argc, argv)) return 0;
+  setLogLevel(parseLogLevel(logLevel));
+  if (!failpoints.empty()) failpoint::configure(failpoints);
+  MOSAIC_CHECK(retries >= 0, "--retries must be >= 0");
+  MOSAIC_CHECK(backoffMs >= 0, "--backoff-ms must be >= 0");
+
+  OpcMethod m;
+  if (method == "fast") {
+    m = OpcMethod::kMosaicFast;
+  } else if (method == "exact") {
+    m = OpcMethod::kMosaicExact;
+  } else if (method == "baseline") {
+    m = OpcMethod::kIltBaseline;
+  } else {
+    throw InvalidArgument("unknown batch method: " + method);
+  }
+  const std::vector<int> caseList = parseCaseList(cases);
+
+  // One simulator for the whole batch: clips share the kernel sets.
+  LithoSimulator sim = makeSim(pixel);
+
+  struct ClipOutcome {
+    std::string name;
+    bool ok = false;
+    int attempts = 0;
+    CaseEvaluation ev;
+    int nonFiniteEvents = 0;
+    int recoveries = 0;
+    double seconds = 0.0;
+    std::string error;
+  };
+  std::vector<ClipOutcome> outcomes;
+
+  for (const int index : caseList) {
+    ClipOutcome outcome;
+    outcome.name = "B" + std::to_string(index);
+    for (int attempt = 1; attempt <= retries + 1; ++attempt) {
+      outcome.attempts = attempt;
+      WallTimer clipTimer;
+      try {
+        // Per-clip isolation: any fault below lands in the catch and the
+        // batch moves on. The fail-point site lets tests force a clip to
+        // fail deterministically.
+        MOSAIC_FAILPOINT("batch.clip");
+        const Layout layout = buildTestcase(index);
+        const BitGrid target = rasterize(layout, pixel);
+        IltConfig cfg = defaultIltConfig(m, pixel);
+        if (iters > 0) cfg.maxIterations = iters;
+        cfg.deadlineSeconds = deadline;
+        const OpcResult res = runOpc(sim, target, m, &cfg);
+        outcome.ev =
+            evaluateMask(sim, res.maskTwoLevel, target, res.runtimeSec);
+        outcome.nonFiniteEvents = res.nonFiniteEvents;
+        outcome.recoveries = res.recoveries;
+        outcome.seconds = clipTimer.seconds();
+        outcome.ok = true;
+        outcome.error.clear();
+        if (!outDir.empty()) {
+          const Layout maskLayout =
+              rasterToLayout(res.maskBinary, pixel, layout.name + "_mask");
+          writeGlpFile(outDir + "/" + layout.name + "_mask.glp", maskLayout);
+        }
+        break;
+      } catch (const std::exception& e) {
+        outcome.seconds = clipTimer.seconds();
+        outcome.error = e.what();
+        LOG_WARN("clip B" << index << " attempt " << attempt
+                          << " failed: " << e.what());
+        if (attempt <= retries) {
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(backoffMs * attempt));
+        }
+      }
+    }
+    outcomes.push_back(std::move(outcome));
+  }
+
+  TextTable t;
+  t.setHeader({"clip", "status", "attempts", "EPE viol", "PV band", "score",
+               "recov", "time (s)", "detail"});
+  int succeeded = 0;
+  for (const ClipOutcome& o : outcomes) {
+    std::string detail = o.error;
+    if (detail.size() > 48) detail = detail.substr(0, 45) + "...";
+    if (o.ok) {
+      ++succeeded;
+      t.addRow({o.name, o.attempts > 1 ? "ok (retried)" : "ok",
+                TextTable::integer(o.attempts),
+                TextTable::integer(o.ev.epeViolations),
+                TextTable::num(o.ev.pvbandAreaNm2, 0),
+                TextTable::num(o.ev.score, 0),
+                TextTable::integer(o.recoveries), TextTable::num(o.seconds, 1),
+                detail});
+    } else {
+      t.addRow({o.name, "FAILED", TextTable::integer(o.attempts), "-", "-",
+                "-", "-", TextTable::num(o.seconds, 1), detail});
+    }
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("%d/%zu clips succeeded\n", succeeded, outcomes.size());
+
+  if (succeeded == static_cast<int>(outcomes.size())) return kBatchAllOk;
+  return succeeded == 0 ? kBatchTotalFailure : kBatchPartialFailure;
 }
 
 int cmdSimulate(int argc, char** argv) {
@@ -281,6 +489,9 @@ void printUsage() {
       "\n"
       "commands:\n"
       "  run           OPC a target layout and write the optimized mask\n"
+      "  batch         fault-tolerant OPC over the benchmark suite\n"
+      "                (exit 0 = all clips ok, 2 = partial failure,\n"
+      "                 1 = total failure)\n"
       "  simulate      forward-simulate a mask at a process corner\n"
       "  evaluate      contest metrics + MRC for a mask against a target\n"
       "  export-suite  write the built-in clips B1..B10 as GLP files\n"
@@ -292,6 +503,7 @@ void printUsage() {
 
 int main(int argc, char** argv) {
   try {
+    failpoint::configureFromEnv();
     if (argc < 2 || std::strcmp(argv[1], "--help") == 0 ||
         std::strcmp(argv[1], "-h") == 0) {
       printUsage();
@@ -299,6 +511,7 @@ int main(int argc, char** argv) {
     }
     const std::string command = argv[1];
     if (command == "run") return cmdRun(argc - 1, argv + 1);
+    if (command == "batch") return cmdBatch(argc - 1, argv + 1);
     if (command == "simulate") return cmdSimulate(argc - 1, argv + 1);
     if (command == "evaluate") return cmdEvaluate(argc - 1, argv + 1);
     if (command == "export-suite") return cmdExportSuite(argc - 1, argv + 1);

@@ -9,6 +9,7 @@
 
 #include "geometry/polygon.hpp"
 #include "support/error.hpp"
+#include "support/failpoint.hpp"
 
 namespace mosaic {
 namespace {
@@ -23,12 +24,24 @@ bool isNumberToken(const std::string& token) {
   return true;
 }
 
+/// Coordinates beyond +-1e9 nm (a meter of silicon) are rejected as
+/// overflow: they cannot be real geometry, and letting them through would
+/// overflow extent/area arithmetic downstream.
+constexpr int kMaxAbsCoordNm = 1000000000;
+
 int parseNumber(const std::string& token) {
+  int value = 0;
   try {
-    return std::stoi(token);
+    value = std::stoi(token);
+  } catch (const std::out_of_range&) {
+    throw InvalidArgument("GLP: coordinate overflow: " + token);
   } catch (const std::exception&) {
     throw InvalidArgument("GLP: bad coordinate token: " + token);
   }
+  if (value > kMaxAbsCoordNm || value < -kMaxAbsCoordNm) {
+    throw InvalidArgument("GLP: coordinate overflow: " + token);
+  }
+  return value;
 }
 
 struct RawShapes {
@@ -61,8 +74,12 @@ RawShapes parseTokens(std::istream& in) {
       const int x1 = parseNumber(tokens[i + 2]);
       const int y1 = parseNumber(tokens[i + 3]);
       i += 4;
-      RectNm rect{std::min(x0, x1), std::min(y0, y1), std::max(x0, x1),
-                  std::max(y0, y1)};
+      // Inverted corners encode negative area; treat them as corruption
+      // rather than silently normalizing.
+      MOSAIC_CHECK(x1 > x0 && y1 > y0,
+                   "GLP: zero/negative-area RECT record ("
+                       << x0 << " " << y0 << " " << x1 << " " << y1 << ")");
+      RectNm rect{x0, y0, x1, y1};
       MOSAIC_CHECK(rect.valid(), "GLP: degenerate RECT record");
       shapes.rects.push_back(rect);
     } else if (keyword == "PGON") {
@@ -77,15 +94,22 @@ RawShapes parseTokens(std::istream& in) {
       }
       MOSAIC_CHECK(!(i < tokens.size() && isNumberToken(tokens[i])),
                    "GLP: odd coordinate count in PGON record");
+      MOSAIC_CHECK(polygon.vertices.size() >= 4,
+                   "GLP: unterminated PGON record ("
+                       << polygon.vertices.size()
+                       << " vertices, need at least 4)");
       for (const auto& rect : decomposeRectilinear(polygon)) {
         shapes.rects.push_back(rect);
       }
     } else if (keyword == "EQUIV") {
       // EQUIV <num> <denom> <unit> <axes> -- ignored (coordinates are
       // consumed verbatim; the contest clips are 1 unit = 1 nm).
+      MOSAIC_CHECK(i + 5 <= tokens.size(), "GLP: truncated EQUIV record");
       i += 5;
     } else if (keyword == "CNAME" || keyword == "LEVEL" ||
                keyword == "CELL") {
+      MOSAIC_CHECK(i + 2 <= tokens.size(),
+                   "GLP: truncated " << keyword << " record");
       i += 2;
     } else if (keyword == "BEGIN" || keyword == "ENDMSG" ||
                keyword == "END") {
@@ -102,6 +126,7 @@ RawShapes parseTokens(std::istream& in) {
 Layout readGlp(std::istream& in, const std::string& name,
                const GlpReadOptions& options) {
   MOSAIC_CHECK(options.clipSizeNm > 0, "clip size must be positive");
+  MOSAIC_FAILPOINT("io.glp.parse");
   RawShapes shapes = parseTokens(in);
   MOSAIC_CHECK(!shapes.rects.empty(), "GLP: no shapes in " << name);
 

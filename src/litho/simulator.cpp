@@ -3,6 +3,7 @@
 #include "litho/kernel_cache.hpp"
 #include "litho/tcc.hpp"
 #include "math/convolution.hpp"
+#include "support/failpoint.hpp"
 #include "support/log.hpp"
 #include "support/timer.hpp"
 
@@ -18,6 +19,7 @@ LithoSimulator::LithoSimulator(OpticsConfig optics, ResistModel resist)
 const KernelSet& LithoSimulator::kernels(double focusNm) const {
   auto it = kernelCache_.find(focusNm);
   if (it == kernelCache_.end()) {
+    MOSAIC_FAILPOINT("litho.kernel_load");
     std::unique_ptr<KernelSet> set;
     const std::string cachePath =
         cacheDir_.empty()

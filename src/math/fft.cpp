@@ -3,6 +3,8 @@
 #include <map>
 #include <mutex>
 
+#include "support/failpoint.hpp"
+
 namespace mosaic {
 
 FftPlan::FftPlan(std::size_t n) : n_(n) {
@@ -105,6 +107,9 @@ void Fft2d::forward(ComplexGrid& grid) const {
                "grid shape " << grid.rows() << "x" << grid.cols()
                              << " does not match plan " << rows_ << "x"
                              << cols_);
+  MOSAIC_FAILPOINT_DATA("fft.forward",
+                        reinterpret_cast<double*>(grid.data()),
+                        grid.size() * 2);
   transformRows(grid, false);
   transformCols(grid, false);
 }

@@ -1,0 +1,166 @@
+/// \file checkpoint.cpp
+/// Versioned binary serialization of the optimizer state (optimizer.hpp's
+/// OptimizerCheckpoint). Doubles are stored verbatim so a resumed run
+/// continues bit-identically. Files are host-endian: checkpoints are local
+/// crash-recovery artifacts, not an interchange format.
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+
+#include "opc/optimizer.hpp"
+#include "support/error.hpp"
+
+namespace mosaic {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4d4f4350u;  // "MOCP"
+constexpr std::uint32_t kVersion = 1;
+
+void writeU32(std::ostream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+void writeI32(std::ostream& out, std::int32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+void writeF64(std::ostream& out, double v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+std::uint32_t readU32(std::istream& in) {
+  std::uint32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof v);
+  MOSAIC_CHECK(in.good(), "checkpoint: truncated file");
+  return v;
+}
+
+std::int32_t readI32(std::istream& in) {
+  std::int32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof v);
+  MOSAIC_CHECK(in.good(), "checkpoint: truncated file");
+  return v;
+}
+
+double readF64(std::istream& in) {
+  double v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof v);
+  MOSAIC_CHECK(in.good(), "checkpoint: truncated file");
+  return v;
+}
+
+void writeGrid(std::ostream& out, const RealGrid& g) {
+  writeI32(out, g.rows());
+  writeI32(out, g.cols());
+  if (!g.empty()) {
+    out.write(reinterpret_cast<const char*>(g.data()),
+              static_cast<std::streamsize>(g.size() * sizeof(double)));
+  }
+}
+
+RealGrid readGrid(std::istream& in) {
+  const std::int32_t rows = readI32(in);
+  const std::int32_t cols = readI32(in);
+  if (rows == 0 && cols == 0) return {};
+  MOSAIC_CHECK(rows > 0 && cols > 0 && rows <= (1 << 15) && cols <= (1 << 15),
+               "checkpoint: implausible grid shape " << rows << "x" << cols);
+  RealGrid g(rows, cols);
+  in.read(reinterpret_cast<char*>(g.data()),
+          static_cast<std::streamsize>(g.size() * sizeof(double)));
+  MOSAIC_CHECK(in.good(), "checkpoint: truncated grid data");
+  return g;
+}
+
+void writeRecord(std::ostream& out, const IterationRecord& r) {
+  writeI32(out, r.iteration);
+  writeF64(out, r.objective);
+  writeF64(out, r.targetTerm);
+  writeF64(out, r.pvbTerm);
+  writeF64(out, r.rmsGradient);
+  writeF64(out, r.stepSize);
+  writeU32(out, (r.improved ? 1u : 0u) | (r.jumped ? 2u : 0u) |
+                    (r.recovered ? 4u : 0u));
+}
+
+IterationRecord readRecord(std::istream& in) {
+  IterationRecord r;
+  r.iteration = readI32(in);
+  r.objective = readF64(in);
+  r.targetTerm = readF64(in);
+  r.pvbTerm = readF64(in);
+  r.rmsGradient = readF64(in);
+  r.stepSize = readF64(in);
+  const std::uint32_t flags = readU32(in);
+  r.improved = (flags & 1u) != 0;
+  r.jumped = (flags & 2u) != 0;
+  r.recovered = (flags & 4u) != 0;
+  return r;
+}
+
+}  // namespace
+
+void saveOptimizerCheckpoint(const std::string& path,
+                             const OptimizerCheckpoint& ckpt) {
+  MOSAIC_CHECK(!ckpt.params.empty(), "cannot checkpoint an empty P-grid");
+  // Write to a sibling temp file, then rename: a crash mid-write never
+  // clobbers the previous good checkpoint.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    MOSAIC_CHECK(out.good(), "cannot open for writing: " << tmp);
+    writeU32(out, kMagic);
+    writeU32(out, kVersion);
+    writeI32(out, ckpt.iteration);
+    writeF64(out, ckpt.step);
+    writeF64(out, ckpt.previousValue);
+    writeI32(out, ckpt.sinceImprovement);
+    writeF64(out, ckpt.bestObjective);
+    writeI32(out, ckpt.bestIteration);
+    writeI32(out, ckpt.nonFiniteEvents);
+    writeI32(out, ckpt.recoveries);
+    writeGrid(out, ckpt.params);
+    writeGrid(out, ckpt.bestMask);
+    writeGrid(out, ckpt.velocity);
+    writeGrid(out, ckpt.adamM);
+    writeGrid(out, ckpt.adamV);
+    writeU32(out, static_cast<std::uint32_t>(ckpt.history.size()));
+    for (const IterationRecord& r : ckpt.history) writeRecord(out, r);
+    MOSAIC_CHECK(out.good(), "write failed: " << tmp);
+  }
+  MOSAIC_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0,
+               "cannot move checkpoint into place: " << path);
+}
+
+OptimizerCheckpoint loadOptimizerCheckpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  MOSAIC_CHECK(in.good(), "cannot open checkpoint: " << path);
+  MOSAIC_CHECK(readU32(in) == kMagic, "checkpoint: bad magic in " << path);
+  MOSAIC_CHECK(readU32(in) == kVersion,
+               "checkpoint: unsupported version in " << path);
+  OptimizerCheckpoint ckpt;
+  ckpt.iteration = readI32(in);
+  ckpt.step = readF64(in);
+  ckpt.previousValue = readF64(in);
+  ckpt.sinceImprovement = readI32(in);
+  ckpt.bestObjective = readF64(in);
+  ckpt.bestIteration = readI32(in);
+  ckpt.nonFiniteEvents = readI32(in);
+  ckpt.recoveries = readI32(in);
+  ckpt.params = readGrid(in);
+  ckpt.bestMask = readGrid(in);
+  ckpt.velocity = readGrid(in);
+  ckpt.adamM = readGrid(in);
+  ckpt.adamV = readGrid(in);
+  MOSAIC_CHECK(!ckpt.params.empty(), "checkpoint: missing P-grid");
+  MOSAIC_CHECK(ckpt.iteration >= 0, "checkpoint: negative iteration");
+  const std::uint32_t count = readU32(in);
+  MOSAIC_CHECK(count <= 1u << 20, "checkpoint: implausible history length");
+  ckpt.history.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ckpt.history.push_back(readRecord(in));
+  }
+  return ckpt;
+}
+
+}  // namespace mosaic

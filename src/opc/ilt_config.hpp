@@ -77,6 +77,17 @@ struct IltConfig {
   double adamBeta2 = 0.999;      ///< Adam second-moment decay
   double adamEpsilon = 1e-8;
 
+  // ---- numerical guardrails (docs/robustness.md) ----
+  /// Non-finite rollbacks allowed before the run aborts with best-so-far.
+  int maxRecoveries = 3;
+  /// Step multiplier applied when rolling back from a non-finite iterate.
+  double recoveryBackoff = 0.5;
+  /// Floor for the rolled-back step (keeps backoff from underflowing).
+  double minRecoveryStep = 1e-8;
+  /// Wall-clock budget in seconds; the optimizer returns the best iterate
+  /// instead of starting an iteration past the deadline. 0 = unlimited.
+  double deadlineSeconds = 0.0;
+
   void validate() const {
     MOSAIC_CHECK(alpha >= 0 && beta >= 0 && regWeight >= 0,
                  "objective weights must be >= 0");
@@ -89,6 +100,11 @@ struct IltConfig {
     MOSAIC_CHECK(inLoopKernels >= 0, "in-loop kernel count must be >= 0");
     MOSAIC_CHECK(maskHigh > maskLow && maskHigh > 0,
                  "mask transmission range is invalid");
+    MOSAIC_CHECK(maxRecoveries >= 0, "max recoveries must be >= 0");
+    MOSAIC_CHECK(recoveryBackoff > 0 && recoveryBackoff <= 1,
+                 "recovery backoff must be in (0, 1]");
+    MOSAIC_CHECK(minRecoveryStep > 0, "recovery step floor must be positive");
+    MOSAIC_CHECK(deadlineSeconds >= 0, "deadline must be >= 0");
   }
 };
 

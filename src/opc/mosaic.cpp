@@ -55,7 +55,8 @@ IltConfig defaultIltConfig(OpcMethod method, int pixelNm) {
 
 OpcResult runOpc(const LithoSimulator& sim, const BitGrid& target,
                  OpcMethod method, const IltConfig* configOverride,
-                 const SrafConfig& sraf, const IterationCallback& callback) {
+                 const SrafConfig& sraf, const IterationCallback& callback,
+                 const OptimizeOptions& optimizeOptions) {
   WallTimer timer;
   const IltConfig cfg = configOverride != nullptr
                             ? *configOverride
@@ -65,7 +66,8 @@ OpcResult runOpc(const LithoSimulator& sim, const BitGrid& target,
   const BitGrid initial = insertSraf(target, sim.optics().pixelNm, sraf);
 
   IltObjective objective(sim, target, cfg);
-  OptimizeResult opt = optimizeMask(objective, toReal(initial), callback);
+  OptimizeResult opt =
+      optimizeMask(objective, toReal(initial), callback, optimizeOptions);
 
   OpcResult result;
   result.method = methodName(method);
@@ -76,6 +78,9 @@ OpcResult runOpc(const LithoSimulator& sim, const BitGrid& target,
   result.history = std::move(opt.history);
   result.iterations = static_cast<int>(result.history.size());
   result.converged = opt.converged;
+  result.stopReason = opt.stopReason;
+  result.nonFiniteEvents = opt.nonFiniteEvents;
+  result.recoveries = opt.recoveries;
   result.runtimeSec = timer.seconds();
   LOG_INFO(result.method << " finished: best F = " << opt.bestObjective
                          << " (iteration " << opt.bestIteration << ") in "

@@ -41,15 +41,20 @@ struct OpcResult {
   double runtimeSec = 0.0;
   int iterations = 0;
   bool converged = false;
+  StopReason stopReason = StopReason::kMaxIterations;
+  int nonFiniteEvents = 0;  ///< non-finite evaluations seen by the optimizer
+  int recoveries = 0;       ///< rollback recoveries performed
 };
 
 /// Run an OPC method end to end: SRAF initialization (Alg. 1 line 2),
 /// gradient-descent ILT, binarization. `configOverride` (optional) replaces
 /// the method's default IltConfig; `sraf` controls initialization;
-/// `callback` observes every iteration (used by the convergence bench).
+/// `callback` observes every iteration (used by the convergence bench);
+/// `optimizeOptions` controls checkpointing/resume (docs/robustness.md).
 OpcResult runOpc(const LithoSimulator& sim, const BitGrid& target,
                  OpcMethod method, const IltConfig* configOverride = nullptr,
                  const SrafConfig& sraf = {},
-                 const IterationCallback& callback = {});
+                 const IterationCallback& callback = {},
+                 const OptimizeOptions& optimizeOptions = {});
 
 }  // namespace mosaic

@@ -5,6 +5,7 @@
 
 #include "math/convolution.hpp"
 #include "math/stats.hpp"
+#include "support/failpoint.hpp"
 
 namespace mosaic {
 namespace {
@@ -286,6 +287,11 @@ IltObjective::Evaluation IltObjective::evaluate(const RealGrid& mask,
 
   eval.value = config_.alpha * targetValue + config_.beta * pvbValue +
                config_.regWeight * eval.regValue;
+  MOSAIC_FAILPOINT_DATA("objective.evaluate", &eval.value, 1);
+  if (needGradient) {
+    MOSAIC_FAILPOINT_DATA("objective.gradient", eval.gradMask.data(),
+                          eval.gradMask.size());
+  }
   return eval;
 }
 

@@ -1,43 +1,163 @@
 #include "opc/optimizer.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "math/stats.hpp"
+#include "support/failpoint.hpp"
 #include "support/log.hpp"
+#include "support/timer.hpp"
 
 namespace mosaic {
+namespace {
+
+bool allFinite(const RealGrid& g) {
+  for (double v : g) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+/// Guardrail screen: objective value, mask gradient, and parameters must
+/// all be finite before the iterate is trusted.
+bool iterateIsFinite(const IltObjective::Evaluation& eval,
+                     const RealGrid& params) {
+  return std::isfinite(eval.value) && allFinite(eval.gradMask) &&
+         allFinite(params);
+}
+
+}  // namespace
+
+std::string stopReasonName(StopReason reason) {
+  switch (reason) {
+    case StopReason::kConverged:
+      return "converged";
+    case StopReason::kMaxIterations:
+      return "max-iterations";
+    case StopReason::kDeadline:
+      return "deadline";
+    case StopReason::kAbortedNonFinite:
+      return "aborted-non-finite";
+  }
+  throw InvalidArgument("unknown stop reason");
+}
 
 OptimizeResult optimizeMask(const IltObjective& objective,
                             const RealGrid& initialMask,
-                            const IterationCallback& callback) {
+                            const IterationCallback& callback,
+                            const OptimizeOptions& options) {
   const IltConfig& cfg = objective.config();
   const MaskTransform transform(cfg.thetaM, cfg.maskLow, cfg.maskHigh);
-
-  RealGrid params = transform.toParams(initialMask);
-  RealGrid mask = transform.toMask(params);
-  IltObjective::Evaluation eval = objective.evaluate(mask, true);
+  WallTimer timer;
 
   OptimizeResult result;
-  result.bestMask = mask;
-  result.bestObjective = eval.value;
-  result.bestIteration = 0;
 
+  RealGrid params;
   double step = cfg.stepSize;
-  double previousValue = eval.value;
+  double previousValue = 0.0;
   int sinceImprovement = 0;
+  int startIter = 1;
 
   // State for the momentum / Adam descent variants.
   RealGrid velocity;
   RealGrid adamM;
   RealGrid adamV;
-  if (cfg.descentVariant == DescentVariant::kMomentum) {
+
+  const bool resumed = !options.resumePath.empty();
+  if (resumed) {
+    OptimizerCheckpoint ckpt = loadOptimizerCheckpoint(options.resumePath);
+    MOSAIC_CHECK(ckpt.params.rows() == initialMask.rows() &&
+                     ckpt.params.cols() == initialMask.cols(),
+                 "checkpoint P-grid is " << ckpt.params.rows() << "x"
+                                         << ckpt.params.cols()
+                                         << ", expected " << initialMask.rows()
+                                         << "x" << initialMask.cols());
+    params = std::move(ckpt.params);
+    step = ckpt.step;
+    previousValue = ckpt.previousValue;
+    sinceImprovement = ckpt.sinceImprovement;
+    startIter = ckpt.iteration + 1;
+    result.bestMask = std::move(ckpt.bestMask);
+    result.bestObjective = ckpt.bestObjective;
+    result.bestIteration = ckpt.bestIteration;
+    result.nonFiniteEvents = ckpt.nonFiniteEvents;
+    result.recoveries = ckpt.recoveries;
+    result.history = std::move(ckpt.history);
+    velocity = std::move(ckpt.velocity);
+    adamM = std::move(ckpt.adamM);
+    adamV = std::move(ckpt.adamV);
+    LOG_INFO("resumed from " << options.resumePath << " at iteration "
+                             << (startIter - 1));
+  } else {
+    params = transform.toParams(initialMask);
+  }
+
+  if (cfg.descentVariant == DescentVariant::kMomentum && velocity.empty()) {
     velocity = RealGrid(params.rows(), params.cols(), 0.0);
-  } else if (cfg.descentVariant == DescentVariant::kAdam) {
+  } else if (cfg.descentVariant == DescentVariant::kAdam && adamM.empty()) {
     adamM = RealGrid(params.rows(), params.cols(), 0.0);
     adamV = RealGrid(params.rows(), params.cols(), 0.0);
   }
 
-  for (int iter = 1; iter <= cfg.maxIterations; ++iter) {
+  RealGrid mask = transform.toMask(params);
+  IltObjective::Evaluation eval = objective.evaluate(mask, true);
+
+  if (!resumed) {
+    result.bestMask = mask;
+    result.bestObjective = eval.value;
+    result.bestIteration = 0;
+    previousValue = eval.value;
+  }
+
+  // A non-finite initial evaluation has nothing to roll back to: abort.
+  if (!iterateIsFinite(eval, params)) {
+    ++result.nonFiniteEvents;
+    result.stopReason = StopReason::kAbortedNonFinite;
+    LOG_WARN("initial evaluation is non-finite; aborting before descent");
+    return result;
+  }
+
+  // Last known-good iterate for rollback (descent state included, so a
+  // diverged momentum/Adam update cannot leak into the retry).
+  RealGrid goodParams = params;
+  RealGrid goodMask = mask;
+  IltObjective::Evaluation goodEval = eval;
+  RealGrid goodVelocity = velocity;
+  RealGrid goodAdamM = adamM;
+  RealGrid goodAdamV = adamV;
+
+  const bool checkpointing =
+      !options.checkpointPath.empty() && options.checkpointEvery > 0;
+  auto writeCheckpoint = [&](int iter) {
+    OptimizerCheckpoint ckpt;
+    ckpt.iteration = iter;
+    ckpt.step = step;
+    ckpt.previousValue = previousValue;
+    ckpt.sinceImprovement = sinceImprovement;
+    ckpt.bestObjective = result.bestObjective;
+    ckpt.bestIteration = result.bestIteration;
+    ckpt.nonFiniteEvents = result.nonFiniteEvents;
+    ckpt.recoveries = result.recoveries;
+    ckpt.params = params;
+    ckpt.bestMask = result.bestMask;
+    ckpt.velocity = velocity;
+    ckpt.adamM = adamM;
+    ckpt.adamV = adamV;
+    ckpt.history = result.history;
+    saveOptimizerCheckpoint(options.checkpointPath, ckpt);
+  };
+
+  for (int iter = startIter; iter <= cfg.maxIterations; ++iter) {
+    if (cfg.deadlineSeconds > 0.0 &&
+        timer.seconds() >= cfg.deadlineSeconds) {
+      result.stopReason = StopReason::kDeadline;
+      LOG_WARN("deadline of " << cfg.deadlineSeconds
+                              << " s reached at iteration " << iter
+                              << "; returning best-so-far");
+      break;
+    }
+    MOSAIC_FAILPOINT("optimizer.step");
+
     // Gradient in P-space via the sigmoid chain rule (Eq. 8).
     RealGrid gradP = eval.gradMask;
     transform.chainRule(mask, gradP);
@@ -54,6 +174,7 @@ OptimizeResult optimizeMask(const IltObjective& objective,
       record.stepSize = step;
       result.history.push_back(record);
       result.converged = true;
+      result.stopReason = StopReason::kConverged;
       if (callback) callback(record, mask);
       break;
     }
@@ -106,6 +227,51 @@ OptimizeResult optimizeMask(const IltObjective& objective,
     mask = transform.toMask(params);
     eval = objective.evaluate(mask, true);
 
+    if (!iterateIsFinite(eval, params)) {
+      ++result.nonFiniteEvents;
+      record.objective = eval.value;
+      record.stepSize = step;
+      if (result.recoveries >= cfg.maxRecoveries) {
+        result.stopReason = StopReason::kAbortedNonFinite;
+        result.history.push_back(record);
+        LOG_WARN("iter " << iter << ": non-finite evaluation with recovery "
+                            "budget exhausted; returning best-so-far");
+        break;
+      }
+      // Roll back to the last good iterate and retry with a shrunk step.
+      ++result.recoveries;
+      params = goodParams;
+      mask = goodMask;
+      eval = goodEval;
+      velocity = goodVelocity;
+      adamM = goodAdamM;
+      adamV = goodAdamV;
+      previousValue = eval.value;
+      step = std::max(step * cfg.recoveryBackoff, cfg.minRecoveryStep);
+      record.recovered = true;
+      record.objective = eval.value;
+      record.targetTerm = eval.targetValue;
+      record.pvbTerm = eval.pvbValue;
+      record.stepSize = step;
+      result.history.push_back(record);
+      LOG_WARN("iter " << iter << ": non-finite evaluation, rolled back to "
+                       << "last good iterate, step -> " << step);
+      if (callback) callback(record, mask);
+      if (checkpointing && iter % options.checkpointEvery == 0) {
+        writeCheckpoint(iter);
+      }
+      continue;
+    }
+    goodParams = params;
+    goodMask = mask;
+    goodEval = eval;
+    if (cfg.descentVariant == DescentVariant::kMomentum) {
+      goodVelocity = velocity;
+    } else if (cfg.descentVariant == DescentVariant::kAdam) {
+      goodAdamM = adamM;
+      goodAdamV = adamV;
+    }
+
     const bool improved = eval.value < previousValue;
     if (improved) {
       step *= cfg.stepGrowth;
@@ -134,6 +300,9 @@ OptimizeResult optimizeMask(const IltObjective& objective,
                       << " |g|=" << gradRms << " step=" << step
                       << (jumped ? " [jump]" : ""));
     if (callback) callback(record, mask);
+    if (checkpointing && iter % options.checkpointEvery == 0) {
+      writeCheckpoint(iter);
+    }
   }
   return result;
 }

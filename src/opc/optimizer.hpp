@@ -4,8 +4,15 @@
 /// step-size "jump" technique of Zhao & Chu [12] to escape local minima.
 /// The returned mask is the iterate with the lowest objective value seen
 /// (Alg. 1 line 9), not necessarily the last one.
+///
+/// The driver carries numerical guardrails (docs/robustness.md): every
+/// evaluation is screened for non-finite values and rolled back to the
+/// last good iterate with a shrunk step, a wall-clock deadline returns the
+/// best iterate instead of running over budget, and the full optimizer
+/// state can be checkpointed to disk and resumed bit-identically.
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "opc/mask_params.hpp"
@@ -23,7 +30,18 @@ struct IterationRecord {
   double stepSize = 0.0;
   bool improved = false;
   bool jumped = false;
+  bool recovered = false;  ///< non-finite iterate rolled back this iteration
 };
+
+/// Why the optimizer stopped.
+enum class StopReason {
+  kConverged,         ///< RMS-gradient rule satisfied
+  kMaxIterations,     ///< iteration budget exhausted
+  kDeadline,          ///< wall-clock budget exhausted
+  kAbortedNonFinite,  ///< non-finite values exceeded cfg.maxRecoveries
+};
+
+[[nodiscard]] std::string stopReasonName(StopReason reason);
 
 struct OptimizeResult {
   RealGrid bestMask;       ///< continuous mask with the lowest objective
@@ -31,6 +49,46 @@ struct OptimizeResult {
   int bestIteration = 0;
   std::vector<IterationRecord> history;
   bool converged = false;  ///< stopped on the RMS-gradient rule
+  StopReason stopReason = StopReason::kMaxIterations;
+  int nonFiniteEvents = 0;  ///< evaluations with a NaN/Inf value/grad/param
+  int recoveries = 0;       ///< rollbacks performed (<= nonFiniteEvents)
+};
+
+/// Full optimizer state between iterations; what a checkpoint stores.
+/// Resuming from a checkpoint reproduces the uninterrupted run's remaining
+/// iterations bit-identically (the objective is deterministic).
+struct OptimizerCheckpoint {
+  int iteration = 0;  ///< last completed iteration
+  double step = 0.0;
+  double previousValue = 0.0;
+  int sinceImprovement = 0;
+  double bestObjective = 0.0;
+  int bestIteration = 0;
+  int nonFiniteEvents = 0;
+  int recoveries = 0;
+  RealGrid params;    ///< current P-grid
+  RealGrid bestMask;
+  RealGrid velocity;  ///< momentum state (empty unless kMomentum)
+  RealGrid adamM;     ///< Adam first moment (empty unless kAdam)
+  RealGrid adamV;     ///< Adam second moment (empty unless kAdam)
+  std::vector<IterationRecord> history;
+};
+
+/// Serialize a checkpoint to a versioned binary file (written atomically:
+/// temp file + rename). Throws on I/O failure.
+void saveOptimizerCheckpoint(const std::string& path,
+                             const OptimizerCheckpoint& ckpt);
+
+/// Load a checkpoint; throws InvalidArgument on missing/corrupt/
+/// version-mismatched files.
+[[nodiscard]] OptimizerCheckpoint loadOptimizerCheckpoint(
+    const std::string& path);
+
+/// Checkpoint/resume controls for optimizeMask.
+struct OptimizeOptions {
+  std::string checkpointPath;  ///< write checkpoints here (empty = off)
+  int checkpointEvery = 0;     ///< iterations between checkpoints (0 = off)
+  std::string resumePath;      ///< resume from this checkpoint (empty = off)
 };
 
 /// Called after every iteration with the current (not best) mask.
@@ -39,9 +97,12 @@ using IterationCallback =
 
 /// Run gradient descent from an initial mask. Steps are taken in P-space
 /// (MaskTransform), with the update normalized by the gradient RMS so the
-/// configured step size is in P units.
+/// configured step size is in P units. When `options.resumePath` is set the
+/// initial mask only fixes the grid shape; all state comes from the
+/// checkpoint.
 OptimizeResult optimizeMask(const IltObjective& objective,
                             const RealGrid& initialMask,
-                            const IterationCallback& callback = {});
+                            const IterationCallback& callback = {},
+                            const OptimizeOptions& options = {});
 
 }  // namespace mosaic

@@ -75,6 +75,19 @@ void CliParser::assign(const std::string& name, const std::string& value) {
 }
 
 bool CliParser::parse(int argc, const char* const* argv) {
+  try {
+    return parseImpl(argc, argv);
+  } catch (const InvalidArgument& e) {
+    // Malformed invocations get the usage screen on stderr so the shell
+    // user sees what was expected; the exception still propagates and the
+    // apps' main() turns it into a non-zero exit.
+    std::fprintf(stderr, "%s: %s\n\n%s", program_.c_str(), e.what(),
+                 usage().c_str());
+    throw;
+  }
+}
+
+bool CliParser::parseImpl(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {

@@ -37,7 +37,8 @@ class CliParser {
   void addFlag(const std::string& name, bool* target, const std::string& help);
 
   /// Parse argv. Returns false if `--help` was requested (usage already
-  /// printed); throws InvalidArgument on malformed input.
+  /// printed); on malformed input (unknown option, bad value) prints the
+  /// usage screen to stderr and throws InvalidArgument.
   bool parse(int argc, const char* const* argv);
 
   /// Render the usage/help screen.
@@ -55,6 +56,7 @@ class CliParser {
   void add(const std::string& name, Kind kind, void* target,
            const std::string& help, std::string defaultValue);
   void assign(const std::string& name, const std::string& value);
+  bool parseImpl(int argc, const char* const* argv);
 
   std::string program_;
   std::string description_;

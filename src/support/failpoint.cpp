@@ -1,0 +1,189 @@
+#include "support/failpoint.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace mosaic {
+namespace failpoint {
+
+namespace detail {
+std::atomic<bool> gActive{false};
+}
+
+namespace {
+
+/// One armed injection at a site.
+struct Spec {
+  Action action = Action::kNone;
+  int hit = 0;          ///< fire on this 1-based hit only; 0 = every hit
+  double delayMs = 0.0; ///< payload for kDelay
+};
+
+struct Site {
+  std::vector<Spec> specs;
+  int hits = 0;
+};
+
+std::mutex& registryMutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::map<std::string, Site>& registry() {
+  static std::map<std::string, Site> sites;
+  return sites;
+}
+
+int parsePositiveInt(const std::string& text, const std::string& context) {
+  try {
+    std::size_t consumed = 0;
+    const int value = std::stoi(text, &consumed);
+    MOSAIC_CHECK(consumed == text.size() && value >= 1,
+                 "failpoint: " << context << " must be a positive integer");
+    return value;
+  } catch (const InvalidArgument&) {
+    throw;
+  } catch (const std::exception&) {
+    throw InvalidArgument("failpoint: bad " + context + ": " + text);
+  }
+}
+
+/// Parse one "site:action[@iter=N]" clause.
+std::pair<std::string, Spec> parseClause(const std::string& clause) {
+  const auto colon = clause.find(':');
+  MOSAIC_CHECK(colon != std::string::npos && colon > 0,
+               "failpoint: expected <site>:<action>, got: " << clause);
+  const std::string site = clause.substr(0, colon);
+  std::string actionText = clause.substr(colon + 1);
+
+  Spec spec;
+  const auto at = actionText.find('@');
+  if (at != std::string::npos) {
+    std::string trigger = actionText.substr(at + 1);
+    actionText = actionText.substr(0, at);
+    const auto eq = trigger.find('=');
+    MOSAIC_CHECK(eq != std::string::npos,
+                 "failpoint: expected @iter=<N>, got: @" << trigger);
+    const std::string key = trigger.substr(0, eq);
+    MOSAIC_CHECK(key == "iter" || key == "hit",
+                 "failpoint: unknown trigger '" << key
+                                                << "' (use iter or hit)");
+    spec.hit = parsePositiveInt(trigger.substr(eq + 1), "trigger index");
+  }
+
+  if (actionText == "nan") {
+    spec.action = Action::kNan;
+  } else if (actionText == "inf") {
+    spec.action = Action::kInf;
+  } else if (actionText == "throw") {
+    spec.action = Action::kThrow;
+  } else if (actionText.rfind("delay=", 0) == 0) {
+    spec.action = Action::kDelay;
+    const std::string ms = actionText.substr(6);
+    try {
+      spec.delayMs = std::stod(ms);
+    } catch (const std::exception&) {
+      throw InvalidArgument("failpoint: bad delay: " + ms);
+    }
+    MOSAIC_CHECK(spec.delayMs >= 0.0, "failpoint: delay must be >= 0");
+  } else {
+    throw InvalidArgument(
+        "failpoint: unknown action '" + actionText +
+        "' (use nan, inf, throw, or delay=<ms>)");
+  }
+  return {site, spec};
+}
+
+}  // namespace
+
+void configure(const std::string& spec) {
+  // Parse every clause before arming any, so a malformed list arms nothing.
+  std::vector<std::pair<std::string, Spec>> parsed;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    auto end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string clause = spec.substr(begin, end - begin);
+    if (!clause.empty()) parsed.push_back(parseClause(clause));
+    begin = end + 1;
+  }
+  if (parsed.empty()) return;
+
+  std::lock_guard<std::mutex> lock(registryMutex());
+  for (auto& [site, armed] : parsed) {
+    registry()[site].specs.push_back(armed);
+  }
+  detail::gActive.store(true, std::memory_order_relaxed);
+}
+
+void configureFromEnv() {
+  const char* env = std::getenv("MOSAIC_FAILPOINTS");
+  if (env != nullptr && env[0] != '\0') configure(env);
+}
+
+void reset() {
+  std::lock_guard<std::mutex> lock(registryMutex());
+  registry().clear();
+  detail::gActive.store(false, std::memory_order_relaxed);
+}
+
+int hitCount(const std::string& site) {
+  std::lock_guard<std::mutex> lock(registryMutex());
+  const auto it = registry().find(site);
+  return it == registry().end() ? 0 : it->second.hits;
+}
+
+bool isArmed(const std::string& site) {
+  std::lock_guard<std::mutex> lock(registryMutex());
+  const auto it = registry().find(site);
+  return it != registry().end() && !it->second.specs.empty();
+}
+
+Action onHit(const char* site) {
+  Action fired = Action::kNone;
+  double delayMs = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(registryMutex());
+    const auto it = registry().find(site);
+    if (it == registry().end()) return Action::kNone;
+    Site& entry = it->second;
+    ++entry.hits;
+    for (const Spec& spec : entry.specs) {
+      if (spec.hit == 0 || spec.hit == entry.hits) {
+        fired = spec.action;
+        delayMs = spec.delayMs;
+        break;
+      }
+    }
+  }
+  switch (fired) {
+    case Action::kThrow:
+      throw Error(std::string("failpoint: injected fault at ") + site);
+    case Action::kDelay:
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(delayMs));
+      return Action::kNone;
+    default:
+      return fired;
+  }
+}
+
+void maybePoison(const char* site, double* data, std::size_t size) {
+  const Action action = onHit(site);
+  if (size == 0 || data == nullptr) return;
+  if (action == Action::kNan) {
+    data[size / 2] = std::numeric_limits<double>::quiet_NaN();
+  } else if (action == Action::kInf) {
+    data[size / 2] = std::numeric_limits<double>::infinity();
+  }
+}
+
+}  // namespace failpoint
+}  // namespace mosaic

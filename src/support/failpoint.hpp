@@ -1,0 +1,100 @@
+#pragma once
+/// \file failpoint.hpp
+/// Deterministic fault injection for robustness testing.
+///
+/// A fail point is a named site in the library (e.g. "objective.gradient",
+/// "io.glp.parse") that can be armed at runtime to inject a fault the Nth
+/// time execution reaches it: poison data with NaN/Inf, throw a
+/// mosaic::Error, or sleep for a configurable delay. Sites are armed via
+/// the MOSAIC_FAILPOINTS environment variable or programmatically:
+///
+///   MOSAIC_FAILPOINTS="objective.gradient:nan@iter=7,io.glp.parse:throw"
+///
+/// Spec grammar (comma-separated list):
+///   <site>:<action>[@iter=<N>]
+///   action := nan | inf | throw | delay=<milliseconds>
+///   @iter=N fires on the Nth hit of the site only (1-based); omitted, the
+///   action fires on every hit. `@hit=N` is accepted as an alias.
+///
+/// When no site is armed the per-site cost is a single relaxed atomic load
+/// (the MOSAIC_FAILPOINT macros), so instrumentation can live on hot paths.
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+
+namespace mosaic {
+namespace failpoint {
+
+/// What an armed fail point does when it fires.
+enum class Action {
+  kNone,   ///< site is not armed (or not armed for this hit)
+  kNan,    ///< caller should poison its data with a quiet NaN
+  kInf,    ///< caller should poison its data with +infinity
+  kThrow,  ///< onHit throws mosaic::Error itself
+  kDelay,  ///< onHit sleeps for the configured delay itself
+};
+
+namespace detail {
+extern std::atomic<bool> gActive;
+}
+
+/// True iff at least one site is armed. Relaxed: the instrumented fast
+/// path needs no ordering, only an eventually-visible flag.
+inline bool active() {
+  return detail::gActive.load(std::memory_order_relaxed);
+}
+
+/// Parse a spec string and arm the listed sites (additive across calls).
+/// Throws InvalidArgument on malformed specs.
+void configure(const std::string& spec);
+
+/// Arm sites from $MOSAIC_FAILPOINTS; no-op when unset or empty.
+void configureFromEnv();
+
+/// Disarm every site and zero all hit counters.
+void reset();
+
+/// Number of times an armed site has been reached (0 for unarmed sites).
+int hitCount(const std::string& site);
+
+/// True iff the site has at least one armed spec.
+bool isArmed(const std::string& site);
+
+/// Slow path behind the macros: count a hit at `site` and fire any spec
+/// armed for this hit. kThrow and kDelay are executed here; kNan/kInf are
+/// returned so the caller can poison its own data.
+Action onHit(const char* site);
+
+/// Convenience for sites with injectable numeric payloads: on kNan/kInf,
+/// overwrite the middle element of [data, data+size).
+void maybePoison(const char* site, double* data, std::size_t size);
+
+/// RAII guard for tests: resets, arms `spec`, and resets again on scope
+/// exit so fail points never leak between test cases.
+class ScopedFailpoints {
+ public:
+  explicit ScopedFailpoints(const std::string& spec) {
+    reset();
+    configure(spec);
+  }
+  ~ScopedFailpoints() { reset(); }
+  ScopedFailpoints(const ScopedFailpoints&) = delete;
+  ScopedFailpoints& operator=(const ScopedFailpoints&) = delete;
+};
+
+}  // namespace failpoint
+}  // namespace mosaic
+
+/// Instrument a control-flow site (throw / delay injection).
+#define MOSAIC_FAILPOINT(site)                                        \
+  do {                                                                \
+    if (::mosaic::failpoint::active()) ::mosaic::failpoint::onHit(site); \
+  } while (false)
+
+/// Instrument a data-producing site (NaN / Inf / throw / delay injection).
+#define MOSAIC_FAILPOINT_DATA(site, ptr, count)                       \
+  do {                                                                \
+    if (::mosaic::failpoint::active())                                \
+      ::mosaic::failpoint::maybePoison(site, ptr, count);             \
+  } while (false)

@@ -1,0 +1,46 @@
+# Integration test for `mosaic_cli batch` fault isolation.
+#
+# Fail-point hits on `batch.clip` are counted globally across clips and
+# attempts: clip 1 is hit 1, clip 2 is hit 2, clip 3's first attempt is hit 3
+# and its retry is hit 4. Arming throws on hits 3 and 4 makes exactly one
+# clip fail permanently, so the run must exit with the partial-failure code
+# (2) while still reporting a status row for every clip.
+#
+# Invoke with:
+#   cmake -DMOSAIC_CLI=<path-to-mosaic_cli> -P batch_runner_test.cmake
+
+if(NOT DEFINED MOSAIC_CLI)
+  message(FATAL_ERROR "pass -DMOSAIC_CLI=<path to mosaic_cli>")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env
+          "MOSAIC_FAILPOINTS=batch.clip:throw@iter=3,batch.clip:throw@iter=4"
+          ${MOSAIC_CLI} batch --method baseline --pixel 16 --iters 1
+          --backoff-ms 1
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE code)
+
+if(NOT code EQUAL 2)
+  message(FATAL_ERROR
+    "expected partial-failure exit code 2, got '${code}'\n"
+    "stdout:\n${out}\nstderr:\n${err}")
+endif()
+
+foreach(clip RANGE 1 10)
+  string(FIND "${out}" "B${clip}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "clip B${clip} missing from batch report:\n${out}")
+  endif()
+endforeach()
+
+string(FIND "${out}" "FAILED" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "expected a FAILED row in the batch report:\n${out}")
+endif()
+
+string(FIND "${out}" "9/10 clips succeeded" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "expected '9/10 clips succeeded' summary:\n${out}")
+endif()

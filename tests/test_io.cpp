@@ -13,6 +13,7 @@
 #include "litho/simulator.hpp"
 #include "math/stats.hpp"
 #include "suite/testcases.hpp"
+#include "support/failpoint.hpp"
 
 namespace mosaic {
 namespace {
@@ -161,6 +162,56 @@ TEST(Glp, RejectsMalformedInput) {
     std::istringstream in("RECT N M1 0 0 5000 5000\n");
     EXPECT_THROW(readGlp(in, "x"), InvalidArgument);
   }
+}
+
+TEST(Glp, RejectsCoordinateOverflow) {
+  {
+    // Does not fit in an int at all.
+    std::istringstream in("RECT N M1 0 0 99999999999999999999 100\n");
+    EXPECT_THROW(readGlp(in, "x"), InvalidArgument);
+  }
+  {
+    // Fits in an int but is beyond any plausible layout extent (> 1 m).
+    std::istringstream in("RECT N M1 0 0 2000000000 100\n");
+    EXPECT_THROW(readGlp(in, "x"), InvalidArgument);
+  }
+}
+
+TEST(Glp, RejectsZeroAndNegativeAreaRects) {
+  {
+    std::istringstream in("RECT N M1 100 100 100 200\n");  // zero width
+    EXPECT_THROW(readGlp(in, "x"), InvalidArgument);
+  }
+  {
+    std::istringstream in("RECT N M1 100 100 200 100\n");  // zero height
+    EXPECT_THROW(readGlp(in, "x"), InvalidArgument);
+  }
+  {
+    std::istringstream in("RECT N M1 300 300 200 400\n");  // inverted x
+    EXPECT_THROW(readGlp(in, "x"), InvalidArgument);
+  }
+}
+
+TEST(Glp, RejectsTruncatedRecords) {
+  {
+    std::istringstream in("BEGIN\nEQUIV 1 1000\nENDMSG\n");
+    EXPECT_THROW(readGlp(in, "x"), InvalidArgument);
+  }
+  {
+    std::istringstream in("BEGIN\nCNAME\nENDMSG\n");
+    EXPECT_THROW(readGlp(in, "x"), InvalidArgument);
+  }
+  {
+    // PGON that ends before forming a closed polygon (< 4 vertices).
+    std::istringstream in("PGON N M1 0 0 100 0\n");
+    EXPECT_THROW(readGlp(in, "x"), InvalidArgument);
+  }
+}
+
+TEST(Glp, ParseFailpointInjectsThrow) {
+  failpoint::ScopedFailpoints sfp("io.glp.parse:throw");
+  std::istringstream in("RECT N M1 100 200 300 400\n");
+  EXPECT_THROW(readGlp(in, "x"), Error);
 }
 
 TEST(Glp, WriteReadRoundTripPreservesGeometry) {

@@ -130,6 +130,28 @@ TEST(Cli, Errors) {
   }
 }
 
+TEST(Cli, MalformedInputPrintsUsageToStderr) {
+  int i = 0;
+  CliParser cli("prog", "a test program");
+  cli.addInt("count", &i, "a count");
+  {
+    const char* argv[] = {"prog", "--unknown", "3"};
+    testing::internal::CaptureStderr();
+    EXPECT_THROW(cli.parse(3, argv), InvalidArgument);
+    const std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("unknown option"), std::string::npos) << err;
+    EXPECT_NE(err.find("prog -- a test program"), std::string::npos) << err;
+    EXPECT_NE(err.find("--count"), std::string::npos) << err;
+  }
+  {
+    const char* argv[] = {"prog", "--count", "notanint"};
+    testing::internal::CaptureStderr();
+    EXPECT_THROW(cli.parse(3, argv), InvalidArgument);
+    const std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("prog -- a test program"), std::string::npos) << err;
+  }
+}
+
 TEST(Cli, DuplicateOptionRejected) {
   int i = 0;
   CliParser cli("prog", "test");
