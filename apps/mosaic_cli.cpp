@@ -6,6 +6,7 @@
 /// Subcommands:
 ///   run           OPC a target layout and write the optimized mask
 ///   batch         fault-tolerant OPC over the whole benchmark suite
+///   chip          full-chip OPC: tile, optimize in parallel, stitch
 ///   simulate      forward-simulate a mask at a process corner
 ///   evaluate      contest metrics + MRC for a mask against a target
 ///   export-suite  write the built-in clips B1..B10 as GLP files
@@ -16,6 +17,8 @@
 ///   mosaic_cli run --case 2 --checkpoint /tmp/b2.ckpt --checkpoint-every 5
 ///   mosaic_cli run --case 2 --resume /tmp/b2.ckpt
 ///   mosaic_cli batch --method fast --retries 1
+///   mosaic_cli chip --input die.glp --chip-size 4096 --threads 8
+///   mosaic_cli chip --case 1 --replicate 2 --pixel 8 --tile-size 1024
 ///   mosaic_cli simulate --input /tmp/b4_mask.glp --focus 25 --dose 0.98
 ///   mosaic_cli evaluate --input /tmp/b4_mask.glp --target-case 4
 ///   mosaic_cli export-suite --dir /tmp/suite
@@ -48,12 +51,20 @@
 #include "support/failpoint.hpp"
 #include "support/image_io.hpp"
 #include "support/log.hpp"
+#include "support/parallel.hpp"
 #include "support/table.hpp"
 #include "support/timer.hpp"
+#include "tile/scheduler.hpp"
 
 namespace {
 
 using namespace mosaic;
+
+/// Apply --threads: 0 keeps the hardware default.
+void applyThreads(int threads) {
+  MOSAIC_CHECK(threads >= 0, "--threads must be >= 0");
+  if (threads > 0) setParallelism(threads);
+}
 
 Layout loadTarget(const std::string& inputGlp, int caseIndex) {
   if (!inputGlp.empty()) return readGlpFile(inputGlp);
@@ -118,6 +129,7 @@ int cmdRun(int argc, char** argv) {
   std::string resume;
   double deadline = 0.0;
   int maxRecoveries = 3;
+  int threads = 0;
 
   double maskLow = 0.0;
   CliParser cli("mosaic_cli run", "run OPC on a target layout");
@@ -143,8 +155,10 @@ int cmdRun(int argc, char** argv) {
                 "optimizer wall-clock budget in seconds (0 = unlimited)");
   cli.addInt("max-recoveries", &maxRecoveries,
              "non-finite rollbacks before aborting with best-so-far");
+  cli.addInt("threads", &threads, "worker threads (0 = hardware default)");
   if (!cli.parse(argc, argv)) return 0;
   setLogLevel(parseLogLevel(logLevel));
+  applyThreads(threads);
   if (!failpoints.empty()) failpoint::configure(failpoints);
 
   const Layout layout = loadTarget(input, caseIndex);
@@ -264,6 +278,7 @@ int cmdBatch(int argc, char** argv) {
   std::string failpoints;
   double deadline = 0.0;
   int backoffMs = 50;
+  int threads = 0;
 
   CliParser cli("mosaic_cli batch",
                 "fault-tolerant OPC over the benchmark suite");
@@ -279,8 +294,10 @@ int cmdBatch(int argc, char** argv) {
   cli.addDouble("deadline", &deadline,
                 "per-clip optimizer wall-clock budget in seconds");
   cli.addInt("backoff-ms", &backoffMs, "retry backoff in milliseconds");
+  cli.addInt("threads", &threads, "worker threads (0 = hardware default)");
   if (!cli.parse(argc, argv)) return 0;
   setLogLevel(parseLogLevel(logLevel));
+  applyThreads(threads);
   if (!failpoints.empty()) failpoint::configure(failpoints);
   MOSAIC_CHECK(retries >= 0, "--retries must be >= 0");
   MOSAIC_CHECK(backoffMs >= 0, "--backoff-ms must be >= 0");
@@ -297,7 +314,10 @@ int cmdBatch(int argc, char** argv) {
   }
   const std::vector<int> caseList = parseCaseList(cases);
 
-  // One simulator for the whole batch: clips share the kernel sets.
+  // One simulator for the whole batch: clips share the kernel sets. The
+  // clips run serially here, but sharing is safe even under concurrency —
+  // LithoSimulator's const interface is thread-safe by contract (see
+  // litho/simulator.hpp), which is what the tile scheduler relies on.
   LithoSimulator sim = makeSim(pixel);
 
   struct ClipOutcome {
@@ -382,6 +402,155 @@ int cmdBatch(int argc, char** argv) {
 
   if (succeeded == static_cast<int>(outcomes.size())) return kBatchAllOk;
   return succeeded == 0 ? kBatchTotalFailure : kBatchPartialFailure;
+}
+
+// Exit codes of the chip runner mirror the batch runner: a degraded chip
+// (some tiles fell back to the uncorrected pattern) is distinguishable
+// from a clean one and from total failure.
+int cmdChip(int argc, char** argv) {
+  std::string input;
+  int chipSize = 0;
+  int caseIndex = 0;
+  int replicate = 2;
+  std::string method = "fast";
+  int pixel = 4;
+  int iters = 0;
+  int tileSize = 1024;
+  int halo = -1;
+  int threads = 0;
+  int retries = 1;
+  int backoffMs = 50;
+  double deadline = 0.0;
+  std::string checkpointDir;
+  int checkpointEvery = 5;
+  bool resume = false;
+  std::string kernelCache;
+  std::string outMask;
+  std::string logLevel = "info";
+  std::string failpoints;
+
+  CliParser cli("mosaic_cli chip",
+                "full-chip OPC: tile, optimize in parallel, stitch");
+  cli.addString("input", &input, "chip layout (GLP)");
+  cli.addInt("chip-size", &chipSize,
+             "chip window in nm for --input (0 = tile-size * replicate)");
+  cli.addInt("case", &caseIndex,
+             "built-in testcase replicated into a synthetic chip (1..10)");
+  cli.addInt("replicate", &replicate,
+             "replication factor for --case (K x K clips)");
+  cli.addString("method", &method, "fast | exact | baseline");
+  cli.addInt("pixel", &pixel, "pixel size in nm");
+  cli.addInt("iters", &iters, "optimizer iterations per tile (0 = default)");
+  cli.addInt("tile-size", &tileSize, "core tile edge in nm");
+  cli.addInt("halo", &halo,
+             "halo margin in nm (-1 = 2x optical interaction radius)");
+  cli.addInt("threads", &threads, "worker threads (0 = hardware default)");
+  cli.addInt("retries", &retries, "retries per tile on failure");
+  cli.addInt("backoff-ms", &backoffMs, "retry backoff in milliseconds");
+  cli.addDouble("deadline", &deadline,
+                "per-tile optimizer wall-clock budget in seconds");
+  cli.addString("checkpoint-dir", &checkpointDir,
+                "directory for per-tile optimizer checkpoints");
+  cli.addInt("checkpoint-every", &checkpointEvery,
+             "iterations between per-tile checkpoints");
+  cli.addFlag("resume", &resume,
+              "resume tiles from existing checkpoints in --checkpoint-dir");
+  cli.addString("kernel-cache", &kernelCache,
+                "directory for on-disk kernel caching");
+  cli.addString("out-mask", &outMask, "write the stitched mask as GLP");
+  cli.addString("log", &logLevel, "log level");
+  cli.addString("failpoints", &failpoints,
+                "arm fail points, e.g. tile.optimize:throw@iter=2");
+  if (!cli.parse(argc, argv)) return 0;
+  setLogLevel(parseLogLevel(logLevel));
+  applyThreads(threads);
+  if (!failpoints.empty()) failpoint::configure(failpoints);
+
+  ChipConfig cfg;
+  cfg.tiling.tileSizeNm = tileSize;
+  cfg.tiling.haloNm = halo;
+  cfg.tiling.pixelNm = pixel;
+  cfg.optics.pixelNm = pixel;
+  if (method == "fast") {
+    cfg.method = OpcMethod::kMosaicFast;
+  } else if (method == "exact") {
+    cfg.method = OpcMethod::kMosaicExact;
+  } else if (method == "baseline") {
+    cfg.method = OpcMethod::kIltBaseline;
+  } else {
+    throw InvalidArgument("unknown chip method: " + method);
+  }
+  cfg.iterations = iters;
+  cfg.retries = retries;
+  cfg.backoffMs = backoffMs;
+  cfg.tileDeadlineSeconds = deadline;
+  cfg.checkpointDir = checkpointDir;
+  cfg.checkpointEvery = checkpointEvery;
+  cfg.resume = resume;
+  cfg.kernelCacheDir = kernelCache;
+
+  Layout chip;
+  if (!input.empty()) {
+    GlpReadOptions glp;
+    glp.clipSizeNm = chipSize > 0 ? chipSize : tileSize * replicate;
+    chip = readGlpFile(input, glp);
+  } else {
+    MOSAIC_CHECK(caseIndex >= 1 && caseIndex <= kTestcaseCount,
+                 "pass --input <chip.glp> or --case 1..10");
+    MOSAIC_CHECK(replicate >= 1, "--replicate must be >= 1");
+    chip = replicateLayout(buildTestcase(caseIndex), replicate, replicate);
+  }
+
+  const ChipResult res = optimizeChip(chip, cfg);
+  const ChipPartition& part = res.partition;
+  std::printf("== chip %s: %d x %d nm, %dx%d tiles of %d nm core + %d nm "
+              "halo (%d px windows), %d threads ==\n",
+              chip.name.c_str(), part.chipSizeNm, part.chipSizeNm,
+              part.tileRows, part.tileCols, part.tileSizeNm, part.haloNm,
+              part.windowGrid(), hardwareParallelism());
+
+  TextTable t;
+  t.setHeader({"tile", "status", "attempts", "iters", "recov", "time (s)",
+               "detail"});
+  for (const TileOutcome& o : res.outcomes) {
+    std::string detail = o.error;
+    if (detail.size() > 48) detail = detail.substr(0, 45) + "...";
+    const std::string name =
+        "r" + std::to_string(o.row) + "c" + std::to_string(o.col);
+    std::string status;
+    if (o.skippedEmpty) {
+      status = "empty";
+    } else if (o.ok) {
+      status = o.attempts > 1 ? "ok (retried)" : "ok";
+    } else {
+      status = "FALLBACK";
+    }
+    t.addRow({name, status, TextTable::integer(o.attempts),
+              TextTable::integer(o.iterations),
+              TextTable::integer(o.recoveries), TextTable::num(o.seconds, 1),
+              detail});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("%d/%d tiles ok in %.1f s\n", res.succeeded, part.tileCount(),
+              res.wallSeconds);
+
+  const SeamReport& seam = res.stitched.report;
+  std::printf("seam consistency: %lld/%lld overlap px disagree (%.4f%%), "
+              "%lld core mismatches, %lld non-finite px\n",
+              seam.disagreeingPixels, seam.overlapPixels,
+              100.0 * seam.disagreementFraction, seam.coreMismatchPixels,
+              seam.nonFinitePixels);
+
+  if (!outMask.empty()) {
+    const Layout maskLayout =
+        rasterToLayout(res.stitched.maskBinary, pixel, chip.name + "_mask");
+    writeGlpFile(outMask, maskLayout);
+    std::printf("wrote stitched mask (%zu rects) to %s\n",
+                maskLayout.rects.size(), outMask.c_str());
+  }
+
+  if (seam.nonFinitePixels > 0 || res.succeeded == 0) return 1;
+  return res.failed == 0 ? 0 : 2;
 }
 
 int cmdSimulate(int argc, char** argv) {
@@ -492,6 +661,9 @@ void printUsage() {
       "  batch         fault-tolerant OPC over the benchmark suite\n"
       "                (exit 0 = all clips ok, 2 = partial failure,\n"
       "                 1 = total failure)\n"
+      "  chip          full-chip OPC: halo-aware tiling, parallel tile\n"
+      "                optimization, seam-consistent stitching (exit codes\n"
+      "                as batch)\n"
       "  simulate      forward-simulate a mask at a process corner\n"
       "  evaluate      contest metrics + MRC for a mask against a target\n"
       "  export-suite  write the built-in clips B1..B10 as GLP files\n"
@@ -512,6 +684,7 @@ int main(int argc, char** argv) {
     const std::string command = argv[1];
     if (command == "run") return cmdRun(argc - 1, argv + 1);
     if (command == "batch") return cmdBatch(argc - 1, argv + 1);
+    if (command == "chip") return cmdChip(argc - 1, argv + 1);
     if (command == "simulate") return cmdSimulate(argc - 1, argv + 1);
     if (command == "evaluate") return cmdEvaluate(argc - 1, argv + 1);
     if (command == "export-suite") return cmdExportSuite(argc - 1, argv + 1);

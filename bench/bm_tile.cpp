@@ -1,0 +1,112 @@
+/// \file bm_tile.cpp
+/// Tiling-engine throughput: optimizes a replicated full chip through the
+/// tile scheduler at 1/2/4 workers, reports tiles/sec and the parallel
+/// speedup, and emits BENCH_tile.json for trend tracking. Kernel sets are
+/// pre-cached on disk before timing so every run measures the scheduler,
+/// not the one-off TCC eigendecomposition.
+
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "suite/testcases.hpp"
+#include "support/cli.hpp"
+#include "support/log.hpp"
+#include "support/parallel.hpp"
+#include "support/table.hpp"
+#include "tile/scheduler.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mosaic;
+  int caseIdx = 1;
+  int replicate = 2;
+  int tileSize = 512;
+  int halo = 128;
+  int pixel = 16;
+  int iterations = 5;
+  std::string cacheDir = "bm_tile_kernels";
+  std::string jsonPath = "BENCH_tile.json";
+  std::string logLevel = "warn";
+
+  CliParser cli("bm_tile", "tile scheduler throughput and parallel speedup");
+  cli.addInt("case", &caseIdx, "testcase replicated into the chip");
+  cli.addInt("replicate", &replicate, "replication factor per axis");
+  cli.addInt("tile-size", &tileSize, "core tile edge in nm");
+  cli.addInt("halo", &halo, "requested halo in nm (-1 = optics default)");
+  cli.addInt("pixel", &pixel, "pixel size in nm");
+  cli.addInt("iters", &iterations, "optimizer iterations per tile");
+  cli.addString("kernel-cache", &cacheDir, "kernel cache directory");
+  cli.addString("json", &jsonPath, "output JSON path");
+  cli.addString("log", &logLevel, "log level");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    setLogLevel(parseLogLevel(logLevel));
+
+    const Layout chip = replicateLayout(buildTestcase(caseIdx), replicate,
+                                        replicate);
+    ChipConfig cfg;
+    cfg.tiling.tileSizeNm = tileSize;
+    cfg.tiling.haloNm = halo;
+    cfg.tiling.pixelNm = pixel;
+    cfg.iterations = iterations;
+    cfg.kernelCacheDir = cacheDir;
+
+    // Untimed warm-up run: populates the on-disk kernel cache and touches
+    // every code path once.
+    setParallelism(1);
+    const ChipResult warm = optimizeChip(chip, cfg);
+    MOSAIC_CHECK(warm.allOk(), "warm-up chip run failed");
+    const int tiles = warm.partition.tileCount();
+
+    struct Run {
+      int workers;
+      double seconds;
+      double tilesPerSec;
+    };
+    std::vector<Run> runs;
+    TextTable table;
+    table.setHeader({"workers", "time (s)", "tiles/s", "speedup"});
+    for (const int workers : {1, 2, 4}) {
+      setParallelism(workers);
+      const ChipResult res = optimizeChip(chip, cfg);
+      MOSAIC_CHECK(res.allOk(), "chip run failed at " << workers
+                                                      << " workers");
+      const double seconds = res.wallSeconds;
+      runs.push_back({workers, seconds, tiles / seconds});
+      table.addRow({std::to_string(workers), TextTable::num(seconds, 2),
+                    TextTable::num(tiles / seconds, 2),
+                    TextTable::num(runs.front().seconds / seconds, 2)});
+    }
+    setParallelism(0);
+
+    std::printf("== bm_tile: %d tiles of %d nm window, %d iters ==\n", tiles,
+                warm.partition.windowNm, iterations);
+    std::printf("%s", table.render().c_str());
+    const double speedup4 = runs.front().seconds / runs.back().seconds;
+    std::printf("speedup at 4 workers: %.2fx (hardware threads: %d)\n",
+                speedup4, hardwareParallelism());
+
+    FILE* json = std::fopen(jsonPath.c_str(), "w");
+    MOSAIC_CHECK(json != nullptr, "cannot write " << jsonPath);
+    std::fprintf(json,
+                 "{\n  \"bench\": \"bm_tile\",\n  \"chip_nm\": %d,\n"
+                 "  \"tiles\": %d,\n  \"window_nm\": %d,\n"
+                 "  \"iterations\": %d,\n  \"runs\": [\n",
+                 chip.sizeNm, tiles, warm.partition.windowNm, iterations);
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      std::fprintf(json,
+                   "    {\"workers\": %d, \"seconds\": %.4f, "
+                   "\"tiles_per_sec\": %.3f}%s\n",
+                   runs[i].workers, runs[i].seconds, runs[i].tilesPerSec,
+                   i + 1 < runs.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n  \"speedup_4\": %.3f\n}\n", speedup4);
+    std::fclose(json);
+    std::printf("wrote %s\n", jsonPath.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bm_tile: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,5 +1,7 @@
 #include "geometry/layout.hpp"
 
+#include <algorithm>
+
 namespace mosaic {
 
 long long Layout::patternArea() const {
@@ -17,6 +19,49 @@ void Layout::validateDisjoint() const {
                              << " overlap");
     }
   }
+}
+
+Layout clipLayout(const Layout& source, const RectNm& windowNm,
+                  const std::string& name) {
+  MOSAIC_CHECK(windowNm.valid(), "clip window is degenerate");
+  MOSAIC_CHECK(windowNm.width() == windowNm.height(),
+               "clip window must be square, got " << windowNm.width() << "x"
+                                                  << windowNm.height());
+  Layout out;
+  out.name = name;
+  out.sizeNm = windowNm.width();
+  for (const RectNm& r : source.rects) {
+    const int x0 = std::max(r.x0, windowNm.x0);
+    const int y0 = std::max(r.y0, windowNm.y0);
+    const int x1 = std::min(r.x1, windowNm.x1);
+    const int y1 = std::min(r.y1, windowNm.y1);
+    if (x1 > x0 && y1 > y0) {
+      out.addRect(x0 - windowNm.x0, y0 - windowNm.y0, x1 - windowNm.x0,
+                  y1 - windowNm.y0);
+    }
+  }
+  return out;
+}
+
+Layout replicateLayout(const Layout& source, int kx, int ky) {
+  MOSAIC_CHECK(kx >= 1 && ky >= 1, "replication counts must be >= 1");
+  MOSAIC_CHECK(source.sizeNm > 0, "cannot replicate an unsized layout");
+  Layout out;
+  out.name = source.name + "_x" + std::to_string(kx) + "y" +
+             std::to_string(ky);
+  // Layout windows are square: a non-square array sits in the max-extent
+  // square with the extra area left empty.
+  out.sizeNm = source.sizeNm * std::max(kx, ky);
+  for (int j = 0; j < ky; ++j) {
+    for (int i = 0; i < kx; ++i) {
+      const int dx = i * source.sizeNm;
+      const int dy = j * source.sizeNm;
+      for (const RectNm& r : source.rects) {
+        out.addRect(r.x0 + dx, r.y0 + dy, r.x1 + dx, r.y1 + dy);
+      }
+    }
+  }
+  return out;
 }
 
 }  // namespace mosaic

@@ -69,4 +69,20 @@ struct Layout {
   void validateDisjoint() const;
 };
 
+/// Clip a layout against an axis-aligned square window given in the
+/// layout's nm coordinates and translate the result to window-local
+/// coordinates ([0, window side) x [0, window side)). Rectangles crossing
+/// the window boundary are cut at it; rects fully outside are dropped.
+/// The window may extend beyond the source layout's bounds (a tile halo
+/// hanging off the chip edge) — those regions are simply empty. This is
+/// the polygon-clipping primitive of the full-chip tiling engine.
+/// \throws InvalidArgument unless the window is square and non-degenerate.
+Layout clipLayout(const Layout& source, const RectNm& windowNm,
+                  const std::string& name);
+
+/// Step-and-repeat a clip into a kx x ky array: copy (i, j) is offset by
+/// (i * pitch, j * pitch) with pitch = source.sizeNm. Used to synthesize
+/// full-chip workloads from single-clip testcases.
+Layout replicateLayout(const Layout& source, int kx, int ky);
+
 }  // namespace mosaic

@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 
 #include "support/error.hpp"
@@ -111,6 +113,63 @@ std::string kernelCacheName(int gridSize, double focusNm) {
   return "kernels_g" + std::to_string(gridSize) + "_f" +
          std::to_string(static_cast<long long>(std::llround(focusNm * 10))) +
          ".bin";
+}
+
+namespace {
+
+/// FNV-1a over the raw bytes of each value. Doubles are hashed through
+/// their bit patterns, which is exact and deterministic for the config
+/// values we care about (all are user-specified literals, not computed).
+class Fnv1a {
+ public:
+  void mix(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    mixBytes(&bits, sizeof bits);
+  }
+  void mix(int v) {
+    const std::int64_t wide = v;
+    mixBytes(&wide, sizeof wide);
+  }
+  [[nodiscard]] std::uint64_t digest() const { return state_; }
+
+ private:
+  void mixBytes(const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      state_ ^= bytes[i];
+      state_ *= 0x100000001b3ull;
+    }
+  }
+  std::uint64_t state_ = 0xcbf29ce484222325ull;
+};
+
+}  // namespace
+
+std::string opticsParameterHash(const OpticsConfig& optics) {
+  Fnv1a h;
+  h.mix(optics.wavelengthNm);
+  h.mix(optics.na);
+  h.mix(optics.sigmaInner);
+  h.mix(optics.sigmaOuter);
+  h.mix(optics.immersionIndex);
+  h.mix(optics.kernelCount);
+  h.mix(optics.sourceOversample);
+  h.mix(optics.aberrations.astigmatism0);
+  h.mix(optics.aberrations.astigmatism45);
+  h.mix(optics.aberrations.comaX);
+  h.mix(optics.aberrations.comaY);
+  h.mix(optics.aberrations.spherical);
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h.digest()));
+  return buf;
+}
+
+std::string kernelCacheName(const OpticsConfig& optics, double focusNm) {
+  return "kernels_g" + std::to_string(optics.gridSize()) + "_f" +
+         std::to_string(static_cast<long long>(std::llround(focusNm * 10))) +
+         "_o" + opticsParameterHash(optics) + ".bin";
 }
 
 }  // namespace mosaic

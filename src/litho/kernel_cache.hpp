@@ -9,6 +9,7 @@
 #include <string>
 
 #include "litho/kernels.hpp"
+#include "litho/optics.hpp"
 
 namespace mosaic {
 
@@ -19,8 +20,22 @@ void saveKernelSet(const std::string& path, const KernelSet& set);
 /// version mismatch.
 KernelSet loadKernelSet(const std::string& path);
 
-/// Deterministic cache filename for an optics/focus combination, e.g.
-/// "kernels_g256_f25.bin" (grid size + focus in tenths of nm).
+/// Deterministic cache filename from grid size + focus only, e.g.
+/// "kernels_g256_f250.bin" (focus in tenths of nm). Legacy key: two
+/// kernel sets built under different pupil/source settings map to the
+/// same name — prefer the OpticsConfig overload for on-disk caches.
 std::string kernelCacheName(int gridSize, double focusNm);
+
+/// Deterministic cache filename covering *every* optical parameter, e.g.
+/// "kernels_g256_f250_o1a2b3c4d5e6f708.bin". The trailing token is an
+/// FNV-1a hash over wavelength, NA, source sigmas, immersion index,
+/// kernel count, source oversampling and the Zernike aberration vector,
+/// so kernel sets computed under different optics can never collide with
+/// a stale cache file. This is the key the simulator's disk cache uses.
+std::string kernelCacheName(const OpticsConfig& optics, double focusNm);
+
+/// The optics-parameter hash used by the cache name (16 lowercase hex
+/// digits); exposed for tests and external cache tooling.
+std::string opticsParameterHash(const OpticsConfig& optics);
 
 }  // namespace mosaic

@@ -17,6 +17,10 @@ LithoSimulator::LithoSimulator(OpticsConfig optics, ResistModel resist)
 }
 
 const KernelSet& LithoSimulator::kernels(double focusNm) const {
+  // Serializing the whole lookup keeps first-use computation race-free at
+  // the cost of blocking other corners briefly; steady-state calls only
+  // pay an uncontended lock + map lookup.
+  std::lock_guard<std::mutex> lock(kernelMutex_);
   auto it = kernelCache_.find(focusNm);
   if (it == kernelCache_.end()) {
     MOSAIC_FAILPOINT("litho.kernel_load");
@@ -24,7 +28,7 @@ const KernelSet& LithoSimulator::kernels(double focusNm) const {
     const std::string cachePath =
         cacheDir_.empty()
             ? std::string()
-            : cacheDir_ + "/" + kernelCacheName(optics_.gridSize(), focusNm);
+            : cacheDir_ + "/" + kernelCacheName(optics_, focusNm);
     if (!cachePath.empty()) {
       try {
         set = std::make_unique<KernelSet>(loadKernelSet(cachePath));
@@ -50,6 +54,11 @@ const KernelSet& LithoSimulator::kernels(double focusNm) const {
     it = kernelCache_.emplace(focusNm, std::move(set)).first;
   }
   return *it->second;
+}
+
+void LithoSimulator::warmKernels(
+    const std::vector<double>& focusValuesNm) const {
+  for (const double focus : focusValuesNm) (void)kernels(focus);
 }
 
 ComplexGrid LithoSimulator::maskSpectrum(const RealGrid& mask) const {

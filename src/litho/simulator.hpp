@@ -6,6 +6,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "litho/kernels.hpp"
 #include "litho/optics.hpp"
@@ -19,6 +20,15 @@ namespace mosaic {
 /// The expensive part of a simulation is the per-kernel inverse FFT; when
 /// evaluating several corners of the same mask, compute the mask spectrum
 /// once via maskSpectrum() and reuse it.
+///
+/// Thread-safety contract: all const member functions are safe to call
+/// concurrently on one shared instance. The lazy per-focus kernel cache is
+/// mutex-protected (first use of a focus value serializes its computation;
+/// the returned KernelSet reference stays valid for the simulator's
+/// lifetime), and the FFT layer keeps no shared mutable scratch. This is
+/// what lets the batch runner and the tile scheduler share one simulator
+/// — and its kernel sets — across workers. Non-const members
+/// (setKernelCacheDir) must not race with concurrent use.
 class LithoSimulator {
  public:
   explicit LithoSimulator(OpticsConfig optics, ResistModel resist = {});
@@ -29,13 +39,21 @@ class LithoSimulator {
 
   /// Directory for on-disk kernel caching (io/kernel_cache format). When
   /// set, kernels(focus) first tries to load the cached decomposition and
-  /// persists freshly computed ones. Empty (default) disables it. Note:
-  /// the cache key covers grid size and focus only -- wipe the directory
-  /// when changing source/NA/aberrations.
+  /// persists freshly computed ones. Empty (default) disables it. The
+  /// cache filename covers grid size, focus and a hash of every optics
+  /// parameter (source, NA, aberrations, ...), so settings changes can
+  /// never resurrect a stale file.
   void setKernelCacheDir(std::string dir) { cacheDir_ = std::move(dir); }
 
   /// Kernel set for a focus offset (computed on first use, then cached).
+  /// Safe to call concurrently; see the class thread-safety contract.
   const KernelSet& kernels(double focusNm) const;
+
+  /// Eagerly compute/load the kernel sets for a list of focus values.
+  /// Purely a warm-up: concurrent first use is already correct, but
+  /// pre-warming keeps the expensive TCC eigendecompositions off the
+  /// worker threads (the tile scheduler calls this before fan-out).
+  void warmKernels(const std::vector<double>& focusValuesNm) const;
 
   /// Forward FFT of a real mask.
   [[nodiscard]] ComplexGrid maskSpectrum(const RealGrid& mask) const;
@@ -66,6 +84,9 @@ class LithoSimulator {
   OpticsConfig optics_;
   ResistModel resist_;
   std::string cacheDir_;
+  /// Guards kernelCache_ (values are unique_ptrs, so references handed out
+  /// under the lock stay stable after it is released).
+  mutable std::mutex kernelMutex_;
   mutable std::map<double, std::unique_ptr<KernelSet>> kernelCache_;
 };
 

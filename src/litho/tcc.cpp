@@ -99,13 +99,21 @@ KernelSet computeKernelSet(const OpticsConfig& optics, double focusNm) {
   LOG_DEBUG("TCC lattice has " << n << " pupil samples (focus " << focusNm
                                << " nm)");
   const auto tcc = buildTcc(optics, focusNm, lattice);
-  const auto eig = jacobiEigenHermitian(tcc, n);
+  const int keep = std::min(optics.kernelCount, n);
+  // Small lattices (every legacy 1024 nm clip) take the exact dense solve;
+  // chip-scale tile windows double the frequency resolution and push the
+  // lattice into the hundreds, where the full Jacobi sweep is O(n^3) and
+  // takes minutes -- there the truncated subspace solve recovers just the
+  // leading SOCS kernels in seconds.
+  constexpr int kDirectEigenLimit = 256;
+  const auto eig =
+      (n <= kDirectEigenLimit)
+          ? jacobiEigenHermitian(tcc, n)
+          : topEigenpairsHermitian(tcc, n, std::min(n, keep + 8));
 
   KernelSet set;
   set.gridSize = optics.gridSize();
   set.focusNm = focusNm;
-
-  const int keep = std::min(optics.kernelCount, n);
   for (int k = 0; k < keep; ++k) {
     const double w = eig.eigenvalues[static_cast<std::size_t>(k)];
     if (w <= 0.0) break;  // TCC is PSD; numerical negatives mark the tail

@@ -75,4 +75,23 @@ struct HermitianEigenResult {
 HermitianEigenResult jacobiEigenHermitian(
     const std::vector<std::complex<double>>& h, int n, int maxSweeps = 64);
 
+/// Top-k eigenpairs of a Hermitian matrix via blocked subspace iteration
+/// with Rayleigh-Ritz extraction. Converges to the k algebraically largest
+/// eigenpairs (the dominant ones for the PSD TCC operator) without paying
+/// the O(n^3)-per-sweep cost of the full Jacobi solve -- the difference
+/// between seconds and many minutes for chip-scale tile windows whose
+/// pupil lattices run to hundreds of samples.
+///
+/// The iteration block is sized internally above k, start vectors come
+/// from a fixed-seed generator, and each returned eigenvector is rotated
+/// so its largest-magnitude component is real positive, so results are
+/// deterministic run to run.
+/// \param h row-major n x n Hermitian matrix.
+/// \param k number of leading eigenpairs to return (1 <= k <= n).
+/// \param maxIters iteration cap (throws if Ritz values have not settled).
+/// \param tol relative Ritz-value settling tolerance.
+HermitianEigenResult topEigenpairsHermitian(
+    const std::vector<std::complex<double>>& h, int n, int k,
+    int maxIters = 600, double tol = 1e-11);
+
 }  // namespace mosaic

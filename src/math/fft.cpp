@@ -73,8 +73,7 @@ Fft2d::Fft2d(int rows, int cols)
     : rows_(rows),
       cols_(cols),
       rowPlan_(static_cast<std::size_t>(cols)),
-      colPlan_(static_cast<std::size_t>(rows)),
-      scratch_(static_cast<std::size_t>(rows)) {
+      colPlan_(static_cast<std::size_t>(rows)) {
   MOSAIC_CHECK(rows > 0 && cols > 0, "FFT grid must be non-empty");
 }
 
@@ -90,7 +89,9 @@ void Fft2d::transformRows(ComplexGrid& grid, bool invert) const {
 }
 
 void Fft2d::transformCols(ComplexGrid& grid, bool invert) const {
-  auto& col = scratch_;
+  // Per-call scratch keeps concurrent transforms on a shared instance
+  // race-free; the allocation is noise next to the O(n^2 log n) butterflies.
+  std::vector<std::complex<double>> col(static_cast<std::size_t>(rows_));
   for (int c = 0; c < cols_; ++c) {
     for (int r = 0; r < rows_; ++r) col[static_cast<std::size_t>(r)] = grid(r, c);
     if (invert) {

@@ -45,8 +45,11 @@ class FftPlan {
 };
 
 /// 2-D FFT over a ComplexGrid (rows then columns). Both dimensions must be
-/// powers of two. Plans and scratch are cached per instance, so reuse one
-/// Fft2d per grid shape in hot loops.
+/// powers of two. Plans are cached per instance, so reuse one Fft2d per
+/// grid shape in hot loops. All member functions are const and safe to
+/// call concurrently on the same instance (each call uses its own column
+/// scratch), which lets the shared fft2dFor instances serve the tile
+/// scheduler's worker threads.
 class Fft2d {
  public:
   Fft2d(int rows, int cols);
@@ -70,12 +73,12 @@ class Fft2d {
   int cols_;
   FftPlan rowPlan_;
   FftPlan colPlan_;
-  mutable std::vector<std::complex<double>> scratch_;
 };
 
 /// Shared plan cache: returns an Fft2d for (rows, cols), constructing it on
-/// first use. Not thread-safe with respect to concurrent first-use of the
-/// same shape; call once per shape up-front in threaded code.
+/// first use. The cache lookup is mutex-protected and the returned
+/// reference stays valid for the process lifetime, so this is safe to call
+/// from concurrent workers.
 const Fft2d& fft2dFor(int rows, int cols);
 
 }  // namespace mosaic

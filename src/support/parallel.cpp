@@ -14,6 +14,17 @@ namespace {
 
 std::atomic<int> g_workers{0};  // 0 == hardware default
 
+/// Set while a thread executes a parallelFor body; nested calls see it and
+/// degrade to serial execution instead of spawning a second tree of
+/// threads (see parallel.hpp).
+thread_local bool t_inParallelRegion = false;
+
+struct RegionGuard {
+  bool previous;
+  RegionGuard() : previous(t_inParallelRegion) { t_inParallelRegion = true; }
+  ~RegionGuard() { t_inParallelRegion = previous; }
+};
+
 int resolveWorkers() {
   const int requested = g_workers.load();
   if (requested > 0) return requested;
@@ -30,12 +41,17 @@ void setParallelism(int workers) {
   g_workers.store(workers);
 }
 
+bool inParallelRegion() { return t_inParallelRegion; }
+
 void parallelFor(std::size_t begin, std::size_t end,
                  const std::function<void(std::size_t)>& fn) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
-  const int workers = std::min<std::size_t>(resolveWorkers(), n);
+  const int workers = t_inParallelRegion
+                          ? 1  // nested call: run serially on this worker
+                          : std::min<std::size_t>(resolveWorkers(), n);
   if (workers <= 1) {
+    RegionGuard region;
     for (std::size_t i = begin; i < end; ++i) fn(i);
     return;
   }
@@ -46,6 +62,7 @@ void parallelFor(std::size_t begin, std::size_t end,
   const std::size_t chunk = std::max<std::size_t>(1, n / (4 * workers));
 
   auto worker = [&] {
+    RegionGuard region;
     for (;;) {
       const std::size_t lo = next.fetch_add(chunk);
       if (lo >= end) return;

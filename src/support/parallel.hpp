@@ -21,7 +21,17 @@ void setParallelism(int workers);
 /// global pool in contiguous chunks; the call returns after all complete.
 /// fn must be safe to call concurrently for distinct i. Exceptions thrown
 /// by fn are rethrown on the calling thread (first one wins).
+///
+/// Nesting: a parallelFor issued from inside another parallelFor's body
+/// runs serially on the calling worker instead of spawning threads. This
+/// keeps the worker count bounded at the outer level (no thread explosion
+/// when library code under a parallel region also calls parallelFor) and
+/// is the documented contract the tile scheduler relies on.
 void parallelFor(std::size_t begin, std::size_t end,
                  const std::function<void(std::size_t)>& fn);
+
+/// True while the calling thread is executing inside a parallelFor body
+/// (i.e. a nested parallelFor would degrade to serial). Exposed for tests.
+bool inParallelRegion();
 
 }  // namespace mosaic

@@ -1,0 +1,98 @@
+#include "tile/tiling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mosaic {
+namespace {
+
+/// Smallest power of two >= n.
+int nextPowerOfTwo(int n) {
+  int p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+int opticalInteractionRadiusNm(const OpticsConfig& optics) {
+  MOSAIC_CHECK(optics.na > 0 && optics.wavelengthNm > 0,
+               "optics must have positive NA and wavelength");
+  return static_cast<int>(std::ceil(optics.wavelengthNm / optics.na));
+}
+
+int defaultHaloNm(const OpticsConfig& optics, int pixelNm) {
+  MOSAIC_CHECK(pixelNm > 0, "pixel size must be positive");
+  const int radius = 2 * opticalInteractionRadiusNm(optics);
+  return ((radius + pixelNm - 1) / pixelNm) * pixelNm;  // round up to pixel
+}
+
+ChipPartition partitionChip(const Layout& chip, const TilingConfig& cfg,
+                            const OpticsConfig& optics) {
+  cfg.validate();
+  MOSAIC_CHECK(chip.sizeNm > 0, "chip layout has no size");
+  MOSAIC_CHECK(chip.sizeNm % cfg.pixelNm == 0,
+               "pixel " << cfg.pixelNm << " nm does not divide chip "
+                        << chip.sizeNm << " nm");
+
+  ChipPartition part;
+  part.chipName = chip.name;
+  part.chipSizeNm = chip.sizeNm;
+  part.pixelNm = cfg.pixelNm;
+  // A tile larger than the chip degenerates to one whole-chip core.
+  part.tileSizeNm = std::min(cfg.tileSizeNm, chip.sizeNm);
+
+  const int requestedHalo =
+      cfg.haloNm >= 0 ? cfg.haloNm : defaultHaloNm(optics, cfg.pixelNm);
+  // The optimizer needs a power-of-two raster. Round the window up to the
+  // next power-of-two grid and fold the slack into the halo, so the
+  // effective halo is always >= the requested one. The core spans an even
+  // pixel count (TilingConfig::validate) and power-of-two grids are even,
+  // so the slack always splits into two equal sides.
+  const int corePx = part.tileSizeNm / cfg.pixelNm;
+  const int requestedHaloPx = (requestedHalo + cfg.pixelNm - 1) / cfg.pixelNm;
+  const int windowPx = nextPowerOfTwo(corePx + 2 * requestedHaloPx);
+  MOSAIC_CHECK((windowPx - corePx) % 2 == 0,
+               "internal: window/core pixel parity mismatch");
+  const int haloPx = (windowPx - corePx) / 2;
+  part.haloNm = haloPx * cfg.pixelNm;
+  part.windowNm = windowPx * cfg.pixelNm;
+  const int radiusPx =
+      (opticalInteractionRadiusNm(optics) + cfg.pixelNm - 1) / cfg.pixelNm;
+  part.blendNm = std::max(1, std::min(haloPx, radiusPx)) * cfg.pixelNm;
+
+  part.tileCols = (chip.sizeNm + part.tileSizeNm - 1) / part.tileSizeNm;
+  part.tileRows = part.tileCols;  // square chip, square tiling
+
+  part.tiles.reserve(static_cast<std::size_t>(part.tileRows) * part.tileCols);
+  for (int row = 0; row < part.tileRows; ++row) {
+    for (int col = 0; col < part.tileCols; ++col) {
+      TilePlan tile;
+      tile.index = row * part.tileCols + col;
+      tile.row = row;
+      tile.col = col;
+      // Core: clamped to the chip so edge cores absorb the remainder.
+      tile.coreNm.x0 = col * part.tileSizeNm;
+      tile.coreNm.y0 = row * part.tileSizeNm;
+      tile.coreNm.x1 = std::min(tile.coreNm.x0 + part.tileSizeNm,
+                                chip.sizeNm);
+      tile.coreNm.y1 = std::min(tile.coreNm.y0 + part.tileSizeNm,
+                                chip.sizeNm);
+      // Window: fixed size for every tile (shared FFT shape), positioned
+      // so the nominal core is centered; it may overhang the chip on any
+      // side — the overhang is simply empty pattern.
+      tile.windowNm.x0 = col * part.tileSizeNm - part.haloNm;
+      tile.windowNm.y0 = row * part.tileSizeNm - part.haloNm;
+      tile.windowNm.x1 = tile.windowNm.x0 + part.windowNm;
+      tile.windowNm.y1 = tile.windowNm.y0 + part.windowNm;
+      tile.window = clipLayout(chip, tile.windowNm,
+                               chip.name + "_t" + std::to_string(tile.row) +
+                                   "_" + std::to_string(tile.col));
+      tile.empty = tile.window.rects.empty();
+      part.tiles.push_back(std::move(tile));
+    }
+  }
+  return part;
+}
+
+}  // namespace mosaic

@@ -1,0 +1,141 @@
+#include "tile/scheduler.hpp"
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "geometry/raster.hpp"
+#include "support/failpoint.hpp"
+#include "support/log.hpp"
+#include "support/parallel.hpp"
+#include "support/timer.hpp"
+
+namespace mosaic {
+namespace {
+
+std::string tileCheckpointPath(const std::string& dir, const TilePlan& tile) {
+  return dir + "/tile_r" + std::to_string(tile.row) + "_c" +
+         std::to_string(tile.col) + ".ckpt";
+}
+
+}  // namespace
+
+ChipResult optimizeChip(const Layout& chip, const ChipConfig& cfg) {
+  MOSAIC_CHECK(cfg.retries >= 0, "chip retries must be >= 0");
+  MOSAIC_CHECK(cfg.backoffMs >= 0, "chip backoff must be >= 0");
+  WallTimer wallTimer;
+
+  ChipResult result;
+  result.partition = partitionChip(chip, cfg.tiling, cfg.optics);
+  const ChipPartition& part = result.partition;
+  result.chipTarget = rasterize(chip, part.pixelNm);
+
+  // One simulator, sized to the shared tile window, for every worker.
+  // Const use is thread-safe (see litho/simulator.hpp); kernels for the
+  // corners the optimizer touches are pre-warmed here so the expensive
+  // eigendecompositions run once, not once per worker.
+  OpticsConfig windowOptics = cfg.optics;
+  windowOptics.clipSizeNm = part.windowNm;
+  windowOptics.pixelNm = part.pixelNm;
+  LithoSimulator sim(windowOptics);
+  if (!cfg.kernelCacheDir.empty()) {
+    std::filesystem::create_directories(cfg.kernelCacheDir);
+    sim.setKernelCacheDir(cfg.kernelCacheDir);
+  }
+  if (!cfg.checkpointDir.empty()) {
+    std::filesystem::create_directories(cfg.checkpointDir);
+  }
+  IltConfig baseConfig = defaultIltConfig(cfg.method, part.pixelNm);
+  if (cfg.iterations > 0) baseConfig.maxIterations = cfg.iterations;
+  baseConfig.deadlineSeconds = cfg.tileDeadlineSeconds;
+  {
+    std::vector<double> focuses{nominalCorner().focusNm};
+    for (const ProcessCorner& corner : baseConfig.pvbCorners) {
+      focuses.push_back(corner.focusNm);
+    }
+    sim.warmKernels(focuses);
+  }
+
+  const std::size_t tileCount = part.tiles.size();
+  std::vector<RealGrid> tileMasks(tileCount);
+  result.outcomes.assign(tileCount, TileOutcome{});
+
+  parallelFor(0, tileCount, [&](std::size_t i) {
+    const TilePlan& tile = part.tiles[i];
+    TileOutcome& outcome = result.outcomes[i];
+    outcome.index = tile.index;
+    outcome.row = tile.row;
+    outcome.col = tile.col;
+    WallTimer tileTimer;
+
+    const BitGrid target = rasterize(tile.window, part.pixelNm);
+    if (tile.empty) {
+      // Nothing to print in this window: the optimal mask is background.
+      tileMasks[i] = RealGrid(part.windowGrid(), part.windowGrid(),
+                              baseConfig.maskLow);
+      outcome.ok = true;
+      outcome.skippedEmpty = true;
+      outcome.seconds = tileTimer.seconds();
+      return;
+    }
+
+    for (int attempt = 1; attempt <= cfg.retries + 1; ++attempt) {
+      outcome.attempts = attempt;
+      try {
+        // Per-tile fault isolation (same contract as the batch runner):
+        // anything thrown below lands here, and only this tile retries.
+        MOSAIC_FAILPOINT("tile.optimize");
+        OptimizeOptions options;
+        if (!cfg.checkpointDir.empty()) {
+          const std::string path =
+              tileCheckpointPath(cfg.checkpointDir, tile);
+          options.checkpointPath = path;
+          options.checkpointEvery = cfg.checkpointEvery;
+          if (cfg.resume && std::ifstream(path).good()) {
+            options.resumePath = path;
+          }
+        }
+        const OpcResult res =
+            runOpc(sim, target, cfg.method, &baseConfig, {}, {}, options);
+        tileMasks[i] = res.maskTwoLevel;
+        outcome.iterations = res.iterations;
+        outcome.nonFiniteEvents = res.nonFiniteEvents;
+        outcome.recoveries = res.recoveries;
+        outcome.ok = true;
+        outcome.error.clear();
+        break;
+      } catch (const std::exception& e) {
+        outcome.error = e.what();
+        LOG_WARN("tile (" << tile.row << "," << tile.col << ") attempt "
+                          << attempt << " failed: " << e.what());
+        if (attempt <= cfg.retries) {
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(cfg.backoffMs * attempt));
+        }
+      }
+    }
+    if (!outcome.ok) {
+      // Last resort: ship the uncorrected pattern for this window so the
+      // chip still stitches. The seam report and the outcome row make the
+      // degradation visible; the caller decides whether to re-run.
+      tileMasks[i] = toReal(target);
+    }
+    outcome.seconds = tileTimer.seconds();
+  });
+
+  for (const TileOutcome& outcome : result.outcomes) {
+    if (outcome.ok) {
+      ++result.succeeded;
+    } else {
+      ++result.failed;
+    }
+  }
+
+  const double threshold = 0.5 * (baseConfig.maskLow + baseConfig.maskHigh);
+  result.stitched = stitchTiles(part, tileMasks, threshold);
+  result.wallSeconds = wallTimer.seconds();
+  return result;
+}
+
+}  // namespace mosaic

@@ -1,0 +1,78 @@
+#pragma once
+/// \file scheduler.hpp
+/// Parallel, fault-isolated tile optimization — the middle of the
+/// full-chip tiling engine (docs/tiling.md).
+///
+/// Tiles produced by partitionChip are optimized concurrently on the
+/// parallelFor pool. All workers share one immutable LithoSimulator (its
+/// const interface is thread-safe; the kernel sets are pre-warmed before
+/// fan-out so workers never pay the TCC eigendecomposition). Each tile is
+/// individually guarded by the PR-1 fault machinery: failures are caught,
+/// retried with backoff, and a tile that exhausts its retries falls back
+/// to the uncorrected target pattern so the chip still stitches — one
+/// diverging tile must never take the whole chip down. The fail-point
+/// site `tile.optimize` lets tests force tile failures deterministically.
+
+#include <string>
+#include <vector>
+
+#include "opc/mosaic.hpp"
+#include "tile/stitch.hpp"
+#include "tile/tiling.hpp"
+
+namespace mosaic {
+
+/// Knobs of the full-chip run.
+struct ChipConfig {
+  TilingConfig tiling;
+  OpticsConfig optics;  ///< clipSizeNm/pixelNm are overridden per window
+  OpcMethod method = OpcMethod::kMosaicFast;
+  int iterations = 0;  ///< optimizer iterations per tile (0 = method default)
+  int retries = 1;     ///< retries per tile on failure
+  int backoffMs = 50;  ///< retry backoff (multiplied by the attempt number)
+  double tileDeadlineSeconds = 0.0;  ///< per-tile wall-clock budget (0 = off)
+  /// Directory for per-tile optimizer checkpoints (empty = off). Files are
+  /// named tile_r<row>_c<col>.ckpt. With `resume`, tiles whose checkpoint
+  /// exists continue from it — a killed chip run can be restarted and only
+  /// re-pays the unfinished iterations.
+  std::string checkpointDir;
+  int checkpointEvery = 5;
+  bool resume = false;
+  /// On-disk kernel cache directory shared by all tiles (empty = off).
+  std::string kernelCacheDir;
+};
+
+/// Outcome of one tile's optimization.
+struct TileOutcome {
+  int index = 0;
+  int row = 0;
+  int col = 0;
+  bool ok = false;
+  bool skippedEmpty = false;  ///< no pattern in the window; trivial mask
+  int attempts = 0;
+  int iterations = 0;
+  int nonFiniteEvents = 0;
+  int recoveries = 0;
+  double seconds = 0.0;
+  std::string error;  ///< last failure message (empty when ok)
+};
+
+/// A finished full-chip run.
+struct ChipResult {
+  ChipPartition partition;
+  std::vector<TileOutcome> outcomes;  ///< same order as partition.tiles
+  StitchResult stitched;
+  BitGrid chipTarget;  ///< chip-grid rasterization of the input layout
+  double wallSeconds = 0.0;
+  int succeeded = 0;  ///< tiles that optimized (or were trivially empty)
+  int failed = 0;     ///< tiles that fell back to the uncorrected pattern
+
+  [[nodiscard]] bool allOk() const { return failed == 0; }
+};
+
+/// Partition, optimize concurrently, stitch. The worker count is whatever
+/// setParallelism() / the hardware default dictates; call setParallelism
+/// first for explicit control.
+ChipResult optimizeChip(const Layout& chip, const ChipConfig& cfg);
+
+}  // namespace mosaic

@@ -1,0 +1,175 @@
+#include "tile/stitch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mosaic {
+namespace {
+
+/// Iterate over the chip-grid pixels covered by a tile window, invoking
+/// visit(chipRow, chipCol, windowRow, windowCol). Window pixels hanging
+/// off the chip are skipped.
+template <typename Visitor>
+void forEachWindowPixel(const ChipPartition& part, const TilePlan& tile,
+                        Visitor&& visit) {
+  const int px = part.pixelNm;
+  const int chipGrid = part.chipGrid();
+  const int windowGrid = part.windowGrid();
+  const int c0 = tile.windowNm.x0 / px;  // window origin in chip pixels
+  const int r0 = tile.windowNm.y0 / px;
+  const int rLo = std::max(0, -r0);
+  const int rHi = std::min(windowGrid, chipGrid - r0);
+  const int cLo = std::max(0, -c0);
+  const int cHi = std::min(windowGrid, chipGrid - c0);
+  for (int wr = rLo; wr < rHi; ++wr) {
+    for (int wc = cLo; wc < cHi; ++wc) {
+      visit(r0 + wr, c0 + wc, wr, wc);
+    }
+  }
+}
+
+/// Per-axis blend ramp: full weight inside the core span [lo, hi), linear
+/// decay to zero at blendNm outside it. Keeping the ramp no wider than the
+/// optical interaction radius confines cross-tile mixing to a narrow band
+/// around each core boundary — outside it the stitched mask is exactly the
+/// owning tile's solution, which is where that tile optimized with full
+/// context.
+double rampAxis(double centerNm, int lo, int hi, double blendNm) {
+  if (centerNm < lo) return std::max(0.0, 1.0 - (lo - centerNm) / blendNm);
+  if (centerNm >= hi) return std::max(0.0, 1.0 - (centerNm - hi) / blendNm);
+  return 1.0;
+}
+
+/// Separable core-distance weight of a tile at a chip pixel center.
+double blendWeight(const TilePlan& tile, double xNm, double yNm,
+                   double blendNm) {
+  return rampAxis(xNm, tile.coreNm.x0, tile.coreNm.x1, blendNm) *
+         rampAxis(yNm, tile.coreNm.y0, tile.coreNm.y1, blendNm);
+}
+
+}  // namespace
+
+BitGrid seamBand(const ChipPartition& part) {
+  const int n = part.chipGrid();
+  Grid<int> blended(n, n, 0);
+  for (const TilePlan& tile : part.tiles) {
+    forEachWindowPixel(part, tile, [&](int r, int c, int, int) {
+      if (blendWeight(tile, (c + 0.5) * part.pixelNm,
+                      (r + 0.5) * part.pixelNm, part.blendNm) > 0.0) {
+        blended(r, c) += 1;
+      }
+    });
+  }
+  BitGrid band(n, n, 0);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      band(r, c) = blended(r, c) >= 2 ? 1u : 0u;
+    }
+  }
+  return band;
+}
+
+StitchResult stitchTiles(const ChipPartition& part,
+                         const std::vector<RealGrid>& tileMasks,
+                         double binarizeThreshold) {
+  MOSAIC_CHECK(tileMasks.size() == part.tiles.size(),
+               "stitch: " << tileMasks.size() << " masks for "
+                          << part.tiles.size() << " tiles");
+  const int windowGrid = part.windowGrid();
+  for (std::size_t i = 0; i < tileMasks.size(); ++i) {
+    MOSAIC_CHECK(tileMasks[i].rows() == windowGrid &&
+                     tileMasks[i].cols() == windowGrid,
+                 "stitch: tile " << i << " mask is " << tileMasks[i].rows()
+                                 << "x" << tileMasks[i].cols()
+                                 << ", expected " << windowGrid << "x"
+                                 << windowGrid);
+  }
+
+  const int n = part.chipGrid();
+  RealGrid weighted(n, n, 0.0);
+  RealGrid weightSum(n, n, 0.0);
+  Grid<int> coverage(n, n, 0);
+  // Track binary agreement across tiles that actually contribute to the
+  // blend (positive stitch weight): the first contributor to a pixel
+  // records its vote; later contributors mark the pixel on mismatch.
+  // Zero-weight window coverage is deliberately excluded -- deep-halo mask
+  // detail exists only as optimizer context and legitimately diverges.
+  Grid<signed char> firstVote(n, n, -1);
+  BitGrid disagrees(n, n, 0);
+
+  for (std::size_t i = 0; i < part.tiles.size(); ++i) {
+    const TilePlan& tile = part.tiles[i];
+    const RealGrid& mask = tileMasks[i];
+    forEachWindowPixel(part, tile, [&](int r, int c, int wr, int wc) {
+      const double value = mask(wr, wc);
+      const double w = blendWeight(tile, (c + 0.5) * part.pixelNm,
+                                   (r + 0.5) * part.pixelNm, part.blendNm);
+      if (w <= 0.0) return;  // context-only halo pixel for this tile
+      weighted(r, c) += w * value;
+      weightSum(r, c) += w;
+      coverage(r, c) += 1;
+      const signed char vote = value > binarizeThreshold ? 1 : 0;
+      if (firstVote(r, c) < 0) {
+        firstVote(r, c) = vote;
+      } else if (firstVote(r, c) != vote) {
+        disagrees(r, c) = 1;
+      }
+    });
+  }
+
+  StitchResult result;
+  result.maskContinuous = RealGrid(n, n, 0.0);
+  result.maskBinary = BitGrid(n, n, 0);
+  SeamReport& report = result.report;
+
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      const int cov = coverage(r, c);
+      report.maxCoverage = std::max(report.maxCoverage, cov);
+      if (cov >= 2) {
+        report.overlapPixels += 1;
+        if (disagrees(r, c)) report.disagreeingPixels += 1;
+      }
+      // Every chip pixel lies in at least its owning tile's core, so
+      // coverage >= 1 and the weight sum is positive.
+      MOSAIC_CHECK(cov >= 1 && weightSum(r, c) > 0.0,
+                   "stitch: chip pixel (" << r << "," << c
+                                          << ") not covered by any tile");
+      const double value = weighted(r, c) / weightSum(r, c);
+      result.maskContinuous(r, c) = value;
+      if (!std::isfinite(value)) {
+        report.nonFinitePixels += 1;
+        continue;  // leave the binary pixel clear
+      }
+      result.maskBinary(r, c) = value > binarizeThreshold ? 1u : 0u;
+    }
+  }
+  report.disagreementFraction =
+      report.overlapPixels == 0
+          ? 0.0
+          : static_cast<double>(report.disagreeingPixels) /
+                static_cast<double>(report.overlapPixels);
+
+  // Core-consistency pass: inside each tile's core, the stitched binary
+  // should match the tile's own solution unless a neighbor's blended
+  // contribution flipped the pixel.
+  for (std::size_t i = 0; i < part.tiles.size(); ++i) {
+    const TilePlan& tile = part.tiles[i];
+    const RealGrid& mask = tileMasks[i];
+    const int px = part.pixelNm;
+    const RectNm& core = tile.coreNm;
+    forEachWindowPixel(part, tile, [&](int r, int c, int wr, int wc) {
+      const int chipX = c * px;
+      const int chipY = r * px;
+      if (chipX < core.x0 || chipX >= core.x1 || chipY < core.y0 ||
+          chipY >= core.y1) {
+        return;  // halo pixel, owned by a neighbor
+      }
+      const unsigned char own = mask(wr, wc) > binarizeThreshold ? 1u : 0u;
+      if (own != result.maskBinary(r, c)) report.coreMismatchPixels += 1;
+    });
+  }
+  return result;
+}
+
+}  // namespace mosaic

@@ -1,0 +1,67 @@
+#pragma once
+/// \file stitch.hpp
+/// Seam-consistent assembly of per-tile masks into one full-chip mask —
+/// the back half of the full-chip tiling engine (docs/tiling.md).
+///
+/// Neighboring tile windows overlap by 2x the halo. In the overlap the
+/// tiles generally disagree slightly (each optimized its own window), so
+/// the stitcher blends them with distance weights — a separable ramp that
+/// is 1 inside a tile's core and decays linearly to 0 one blend margin
+/// (ChipPartition::blendNm, about one optical interaction radius) outside
+/// it. Cross-tile mixing is thus confined to a narrow band straddling each
+/// core boundary, symmetric between the two tiles; everywhere else the
+/// stitched mask is exactly the owning tile's solution. The blended mask
+/// is then re-binarized, and a seam-consistency report quantifies how much
+/// the tiles disagreed so callers can detect under-sized halos.
+
+#include "math/grid.hpp"
+#include "tile/tiling.hpp"
+
+namespace mosaic {
+
+/// How consistent the per-tile solutions were where the stitch blends
+/// them. All counts are restricted to the blend band (pixels within the
+/// blend margin of a core boundary) — window overlap beyond it is
+/// context-only and legitimately diverges between tiles.
+struct SeamReport {
+  /// Chip pixels receiving positive stitch weight from >= 2 tiles.
+  long long overlapPixels = 0;
+  /// Overlap pixels where the contributing binarized masks disagree.
+  long long disagreeingPixels = 0;
+  /// disagreeingPixels / overlapPixels (0 when there is no overlap).
+  double disagreementFraction = 0.0;
+  /// Non-finite values in the stitched continuous mask (must be 0; a
+  /// nonzero count means a tile solution leaked NaN/Inf past the
+  /// scheduler's guardrails).
+  long long nonFinitePixels = 0;
+  /// Stitched-binary pixels that differ from the owning tile's own
+  /// binarized solution inside that tile's core. Nonzero only where
+  /// blending with a neighbor flipped a core pixel — the sharpest signal
+  /// of an under-sized halo.
+  long long coreMismatchPixels = 0;
+  /// Highest number of tiles contributing blend weight to one chip pixel.
+  int maxCoverage = 0;
+};
+
+/// A stitched full-chip mask plus its seam diagnostics.
+struct StitchResult {
+  RealGrid maskContinuous;  ///< distance-weighted blend, chip grid
+  BitGrid maskBinary;       ///< re-binarized at the threshold
+  SeamReport report;
+};
+
+/// Blend per-tile masks into one chip mask. `tileMasks[i]` is the
+/// optimized (two-level) mask of `part.tiles[i]` on the window grid.
+/// \param binarizeThreshold threshold for the re-binarization pass and for
+///        the per-tile agreement checks (0.5 for binary masks; use the
+///        midpoint of the transmission range for PSM).
+StitchResult stitchTiles(const ChipPartition& part,
+                         const std::vector<RealGrid>& tileMasks,
+                         double binarizeThreshold = 0.5);
+
+/// Chip-grid mask of the seam band: pixels where >= 2 tiles contribute
+/// positive blend weight. Used to restrict EPE measurements to the
+/// stitched seams.
+BitGrid seamBand(const ChipPartition& part);
+
+}  // namespace mosaic

@@ -1,0 +1,108 @@
+#pragma once
+/// \file tiling.hpp
+/// Halo-aware partitioning of a full-chip layout into overlapping tiles —
+/// the front half of the full-chip tiling engine (docs/tiling.md).
+///
+/// The single-clip MOSAIC optimizer works on a power-of-two raster of one
+/// square window. To scale to arbitrarily large layouts, the chip is split
+/// into a grid of *core* tiles that cover it disjointly; each core is
+/// inflated by a *halo* margin so the optical neighborhood seen by the
+/// optimizer is complete, and the resulting *window* is what actually gets
+/// optimized. Halo regions overlap between neighboring tiles; the stitcher
+/// (stitch.hpp) resolves them afterwards.
+///
+/// Geometry invariants established here:
+///  - cores tile [0, chipSizeNm)^2 disjointly (edge cores may be smaller
+///    when the chip is not a multiple of the tile size);
+///  - every window has the same size, and windowNm / pixelNm is a power of
+///    two, so all tiles share one FFT shape and one simulator;
+///  - the effective halo is at least the requested one — the window is
+///    rounded *up* to the next power-of-two grid and the slack is turned
+///    into extra halo, never less context.
+
+#include <string>
+#include <vector>
+
+#include "geometry/layout.hpp"
+#include "litho/optics.hpp"
+
+namespace mosaic {
+
+/// User-facing knobs of the partitioner.
+struct TilingConfig {
+  int tileSizeNm = 1024;  ///< core tile edge (the contest clip size)
+  /// Requested halo margin in nm. Negative = derive the default from the
+  /// optics: 2x the optical interaction radius (see
+  /// opticalInteractionRadiusNm). The effective halo is >= this after
+  /// power-of-two rounding of the window.
+  int haloNm = -1;
+  int pixelNm = 4;  ///< raster pitch shared by tiles and the chip grid
+
+  void validate() const {
+    MOSAIC_CHECK(tileSizeNm > 0, "tile size must be positive");
+    MOSAIC_CHECK(pixelNm > 0, "pixel size must be positive");
+    MOSAIC_CHECK(tileSizeNm % pixelNm == 0,
+                 "pixel " << pixelNm << " nm does not divide tile size "
+                          << tileSizeNm << " nm");
+    MOSAIC_CHECK((tileSizeNm / pixelNm) % 2 == 0,
+                 "tile size must span an even number of pixels");
+  }
+};
+
+/// Radius in nm beyond which a mask edit has negligible optical influence,
+/// derived from the SOCS kernel support: the pupil is band-limited to
+/// NA / lambda, so kernel energy is concentrated within a few coherence
+/// lengths lambda / NA of the origin. Returned as ceil(lambda / NA)
+/// rounded up — callers size halos as a multiple of this.
+int opticalInteractionRadiusNm(const OpticsConfig& optics);
+
+/// The default halo: 2x the optical interaction radius, rounded up to a
+/// whole pixel.
+int defaultHaloNm(const OpticsConfig& optics, int pixelNm);
+
+/// One tile of the partition.
+struct TilePlan {
+  int index = 0;  ///< row-major position in the tile grid
+  int row = 0;
+  int col = 0;
+  RectNm coreNm;    ///< chip-coordinate core (disjoint cover of the chip)
+  RectNm windowNm;  ///< chip-coordinate optimization window (may overhang)
+  Layout window;    ///< chip pattern clipped to windowNm, window-local nm
+  bool empty = false;  ///< no pattern anywhere in the window
+};
+
+/// A full partition of one chip.
+struct ChipPartition {
+  std::string chipName;
+  int chipSizeNm = 0;
+  int pixelNm = 0;
+  int tileSizeNm = 0;   ///< requested core edge
+  int haloNm = 0;       ///< *effective* halo after power-of-two rounding
+  int windowNm = 0;     ///< window edge = tileSizeNm + 2 * haloNm
+  /// Width of the stitcher's blend ramp on each side of a core boundary:
+  /// one optical interaction radius (capped by the halo). Beyond it a
+  /// tile's solution gets zero stitch weight — mask detail deep in a halo
+  /// only exists to give the optimizer context, not to be printed.
+  int blendNm = 0;
+  int tileRows = 0;
+  int tileCols = 0;
+  std::vector<TilePlan> tiles;  ///< row-major, tileRows * tileCols entries
+
+  [[nodiscard]] int tileCount() const {
+    return static_cast<int>(tiles.size());
+  }
+  /// Side of the full-chip raster (not necessarily a power of two — the
+  /// chip grid is only blended/compared on, never FFT'd).
+  [[nodiscard]] int chipGrid() const { return chipSizeNm / pixelNm; }
+  /// Side of the per-tile raster; always a power of two.
+  [[nodiscard]] int windowGrid() const { return windowNm / pixelNm; }
+};
+
+/// Split a chip layout into overlapping tiles. The chip size is taken from
+/// layout.sizeNm and must be a positive multiple of the pixel size; tile
+/// windows are clipped out of the layout via geometry/clipLayout.
+/// \param optics used only to derive the default halo when cfg.haloNm < 0.
+ChipPartition partitionChip(const Layout& chip, const TilingConfig& cfg,
+                            const OpticsConfig& optics = {});
+
+}  // namespace mosaic

@@ -292,6 +292,35 @@ TEST(KernelCache, CacheNameEncodesGridAndFocus) {
   EXPECT_EQ(kernelCacheName(128, 0.0), "kernels_g128_f0.bin");
 }
 
+TEST(KernelCache, OpticsAwareNameSeparatesPupilAndSourceSettings) {
+  OpticsConfig base;
+  base.pixelNm = 16;
+  const std::string name = kernelCacheName(base, 25.0);
+  EXPECT_EQ(name.find("kernels_g64_f250_o"), 0u) << name;
+  EXPECT_EQ(name, kernelCacheName(base, 25.0)) << "name must be deterministic";
+
+  // Every optical knob must change the name, so a cache directory can
+  // never serve kernels computed under different settings.
+  OpticsConfig na = base;
+  na.na = 1.2;
+  EXPECT_NE(kernelCacheName(na, 25.0), name);
+  OpticsConfig source = base;
+  source.sigmaOuter = 0.8;
+  EXPECT_NE(kernelCacheName(source, 25.0), name);
+  OpticsConfig aberrated = base;
+  aberrated.aberrations.comaX = 0.02;
+  EXPECT_NE(kernelCacheName(aberrated, 25.0), name);
+  OpticsConfig truncated = base;
+  truncated.kernelCount = 12;
+  EXPECT_NE(kernelCacheName(truncated, 25.0), name);
+
+  // ...while grid-equivalent but differently-expressed geometry matches.
+  EXPECT_EQ(opticsParameterHash(base), opticsParameterHash(base));
+  EXPECT_EQ(kernelCacheName(base, -25.0), "kernels_g64_f-250_o" +
+                                              opticsParameterHash(base) +
+                                              ".bin");
+}
+
 TEST(KernelCache, SavingEmptySetThrows) {
   KernelSet empty;
   EXPECT_THROW(saveKernelSet("/tmp/should_not_matter.bin", empty),
@@ -303,7 +332,7 @@ TEST(KernelCache, SimulatorUsesTheDiskCache) {
   optics.pixelNm = 16;
   const auto dir = std::filesystem::temp_directory_path() / "mosaic_kcache";
   std::filesystem::create_directories(dir);
-  const auto file = dir / kernelCacheName(64, 0.0);
+  const auto file = dir / kernelCacheName(optics, 0.0);
   std::filesystem::remove(file);
 
   LithoSimulator first(optics);

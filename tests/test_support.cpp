@@ -3,10 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <set>
+#include <vector>
 
 #include "support/cli.hpp"
 #include "support/error.hpp"
@@ -344,9 +346,56 @@ TEST(Parallel, ExceptionPropagates) {
                InvalidArgument);
 }
 
+TEST(Parallel, ExceptionFromMidRangeStillCompletesOtherIterations) {
+  // A throw from one chunk must propagate exactly once while the pool
+  // shuts down cleanly (no hang, no crash); iterations that already ran
+  // keep their side effects.
+  std::vector<std::atomic<int>> hits(512);
+  for (auto& h : hits) h.store(0);
+  EXPECT_THROW(parallelFor(0, hits.size(),
+                           [&](std::size_t i) {
+                             hits[i].fetch_add(1);
+                             if (i == 200) throw InvalidArgument("mid-range");
+                           }),
+               InvalidArgument);
+  for (const auto& h : hits) EXPECT_LE(h.load(), 1);
+  EXPECT_EQ(hits[200].load(), 1);
+}
+
+TEST(Parallel, RangeSmallerThanWorkerCount) {
+  setParallelism(8);
+  std::vector<std::atomic<int>> hits(3);
+  for (auto& h : hits) h.store(0);
+  parallelFor(0, hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  setParallelism(0);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
 TEST(Parallel, WorkerCountPositive) {
   EXPECT_GE(hardwareParallelism(), 1);
   EXPECT_THROW(setParallelism(-1), InvalidArgument);
+}
+
+TEST(Parallel, NestedParallelForDegradesToSerial) {
+  // The documented contract: a parallelFor inside a parallelFor body runs
+  // serially on the calling worker. Every (outer, inner) pair must still
+  // execute exactly once, and the inner calls must report being nested.
+  setParallelism(4);
+  constexpr std::size_t kOuter = 8, kInner = 64;
+  std::vector<std::atomic<int>> cells(kOuter * kInner);
+  for (auto& c : cells) c.store(0);
+  std::atomic<int> nestedSeen{0};
+  EXPECT_FALSE(inParallelRegion());
+  parallelFor(0, kOuter, [&](std::size_t outer) {
+    if (inParallelRegion()) nestedSeen.fetch_add(1);
+    parallelFor(0, kInner, [&](std::size_t inner) {
+      cells[outer * kInner + inner].fetch_add(1);
+    });
+  });
+  setParallelism(0);
+  EXPECT_FALSE(inParallelRegion());
+  EXPECT_EQ(nestedSeen.load(), static_cast<int>(kOuter));
+  for (const auto& c : cells) EXPECT_EQ(c.load(), 1);
 }
 
 }  // namespace
