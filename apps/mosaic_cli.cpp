@@ -27,10 +27,13 @@
 /// MOSAIC_FAILPOINTS environment variable or the --failpoints option of
 /// `run` and `batch` (see docs/robustness.md).
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <exception>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -53,6 +56,9 @@
 #include "support/log.hpp"
 #include "support/parallel.hpp"
 #include "support/table.hpp"
+#include "support/telemetry/metrics.hpp"
+#include "support/telemetry/runlog.hpp"
+#include "support/telemetry/trace.hpp"
 #include "support/timer.hpp"
 #include "tile/scheduler.hpp"
 
@@ -65,6 +71,61 @@ void applyThreads(int threads) {
   MOSAIC_CHECK(threads >= 0, "--threads must be >= 0");
   if (threads > 0) setParallelism(threads);
 }
+
+/// Shared telemetry wiring of the long-running subcommands
+/// (docs/observability.md): --metrics-out, --trace-out, --run-log and
+/// --log-format. begin() arms the sinks after CLI parsing; finish() flushes
+/// the trace and the metrics snapshot (stamped with the process resource
+/// usage) and prints the end-of-run summary table.
+struct TelemetryFlags {
+  std::string metricsOut;
+  std::string traceOut;
+  std::string runLogPath;
+  std::string logFormat = "text";
+
+  void addOptions(CliParser& cli) {
+    cli.addString("metrics-out", &metricsOut,
+                  "write the metrics snapshot (JSON) here at exit");
+    cli.addString("trace-out", &traceOut,
+                  "write a Chrome trace_event JSON (Perfetto-loadable) here");
+    cli.addString("run-log", &runLogPath,
+                  "append one JSONL telemetry record per iteration/tile here");
+    cli.addString("log-format", &logFormat, "log sink format: text | json");
+  }
+
+  [[nodiscard]] std::unique_ptr<telemetry::RunLog> begin() const {
+    setLogFormat(parseLogFormat(logFormat));
+    if (!traceOut.empty()) telemetry::setTraceEnabled(true);
+    if (runLogPath.empty()) return nullptr;
+    return std::make_unique<telemetry::RunLog>(runLogPath);
+  }
+
+  void finish(const telemetry::RunLog* runLog) const {
+    if (!traceOut.empty()) {
+      telemetry::writeChromeTrace(traceOut);
+      std::printf("wrote trace (%llu spans) to %s\n",
+                  static_cast<unsigned long long>(telemetry::traceEventCount()),
+                  traceOut.c_str());
+    }
+    if (runLog) {
+      std::printf("wrote %lld run-log records to %s\n",
+                  runLog->recordsWritten(), runLog->path().c_str());
+    }
+    if (!metricsOut.empty()) {
+      const ResourceProbe probe = ResourceProbe::sample();
+      telemetry::metrics().gauge("process.peak_rss_mb").set(probe.peakRssMb);
+      telemetry::metrics().gauge("process.user_cpu_s").set(probe.userCpuSec);
+      telemetry::metrics().gauge("process.sys_cpu_s").set(probe.sysCpuSec);
+      const telemetry::MetricsSnapshot snap = telemetry::metrics().snapshot();
+      std::ofstream out(metricsOut, std::ios::trunc);
+      MOSAIC_CHECK(out.good(), "cannot open for writing: " << metricsOut);
+      out << snap.toJson() << "\n";
+      MOSAIC_CHECK(out.good(), "write failed: " << metricsOut);
+      std::printf("== metrics (written to %s) ==\n%s", metricsOut.c_str(),
+                  snap.summaryTable().c_str());
+    }
+  }
+};
 
 Layout loadTarget(const std::string& inputGlp, int caseIndex) {
   if (!inputGlp.empty()) return readGlpFile(inputGlp);
@@ -130,6 +191,7 @@ int cmdRun(int argc, char** argv) {
   double deadline = 0.0;
   int maxRecoveries = 3;
   int threads = 0;
+  TelemetryFlags tele;
 
   double maskLow = 0.0;
   CliParser cli("mosaic_cli run", "run OPC on a target layout");
@@ -156,10 +218,12 @@ int cmdRun(int argc, char** argv) {
   cli.addInt("max-recoveries", &maxRecoveries,
              "non-finite rollbacks before aborting with best-so-far");
   cli.addInt("threads", &threads, "worker threads (0 = hardware default)");
+  tele.addOptions(cli);
   if (!cli.parse(argc, argv)) return 0;
   setLogLevel(parseLogLevel(logLevel));
   applyThreads(threads);
   if (!failpoints.empty()) failpoint::configure(failpoints);
+  const std::unique_ptr<telemetry::RunLog> runLog = tele.begin();
 
   const Layout layout = loadTarget(input, caseIndex);
   LithoSimulator sim = makeSim(pixel);
@@ -205,6 +269,8 @@ int cmdRun(int argc, char** argv) {
     opt.checkpointPath = checkpoint;
     opt.checkpointEvery = checkpoint.empty() ? 0 : checkpointEvery;
     opt.resumePath = resume;
+    opt.runLog = runLog.get();
+    opt.runLogScope = layout.name;
     const OpcResult res = runOpc(sim, target, m, &cfg, {}, {}, opt);
     mask = res.maskTwoLevel;
     runtime = res.runtimeSec;
@@ -230,6 +296,7 @@ int cmdRun(int argc, char** argv) {
                 outMask.c_str());
   }
   if (!images.empty()) dumpImages(sim, mask, target, images, layout.name);
+  tele.finish(runLog.get());
   return 0;
 }
 
@@ -279,6 +346,7 @@ int cmdBatch(int argc, char** argv) {
   double deadline = 0.0;
   int backoffMs = 50;
   int threads = 0;
+  TelemetryFlags tele;
 
   CliParser cli("mosaic_cli batch",
                 "fault-tolerant OPC over the benchmark suite");
@@ -295,12 +363,14 @@ int cmdBatch(int argc, char** argv) {
                 "per-clip optimizer wall-clock budget in seconds");
   cli.addInt("backoff-ms", &backoffMs, "retry backoff in milliseconds");
   cli.addInt("threads", &threads, "worker threads (0 = hardware default)");
+  tele.addOptions(cli);
   if (!cli.parse(argc, argv)) return 0;
   setLogLevel(parseLogLevel(logLevel));
   applyThreads(threads);
   if (!failpoints.empty()) failpoint::configure(failpoints);
   MOSAIC_CHECK(retries >= 0, "--retries must be >= 0");
   MOSAIC_CHECK(backoffMs >= 0, "--backoff-ms must be >= 0");
+  const std::unique_ptr<telemetry::RunLog> runLog = tele.begin();
 
   OpcMethod m;
   if (method == "fast") {
@@ -348,7 +418,10 @@ int cmdBatch(int argc, char** argv) {
         IltConfig cfg = defaultIltConfig(m, pixel);
         if (iters > 0) cfg.maxIterations = iters;
         cfg.deadlineSeconds = deadline;
-        const OpcResult res = runOpc(sim, target, m, &cfg);
+        OptimizeOptions opt;
+        opt.runLog = runLog.get();
+        opt.runLogScope = outcome.name;
+        const OpcResult res = runOpc(sim, target, m, &cfg, {}, {}, opt);
         outcome.ev =
             evaluateMask(sim, res.maskTwoLevel, target, res.runtimeSec);
         outcome.nonFiniteEvents = res.nonFiniteEvents;
@@ -372,6 +445,23 @@ int cmdBatch(int argc, char** argv) {
               std::chrono::milliseconds(backoffMs * attempt));
         }
       }
+    }
+    if (runLog) {
+      telemetry::JsonObject obj;
+      obj.set("type", "clip");
+      obj.set("clip", outcome.name);
+      obj.set("status", outcome.ok ? "ok" : "failed");
+      obj.set("attempts", outcome.attempts);
+      obj.set("recoveries", outcome.recoveries);
+      obj.set("non_finite", outcome.nonFiniteEvents);
+      obj.set("wall_ms", outcome.seconds * 1000.0);
+      if (outcome.ok) {
+        obj.set("epe_violations", outcome.ev.epeViolations);
+        obj.set("pvband_nm2", outcome.ev.pvbandAreaNm2);
+        obj.set("score", outcome.ev.score);
+      }
+      if (!outcome.error.empty()) obj.set("error", outcome.error);
+      runLog->write(obj);
     }
     outcomes.push_back(std::move(outcome));
   }
@@ -397,8 +487,43 @@ int cmdBatch(int argc, char** argv) {
                 "-", "-", TextTable::num(o.seconds, 1), detail});
     }
   }
+  // Wall-time spread + total retries across the batch: the quick answer to
+  // "was one clip pathologically slow" without opening the run log.
+  double minSec = 0.0;
+  double maxSec = 0.0;
+  double sumSec = 0.0;
+  int totalRetries = 0;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const ClipOutcome& o = outcomes[i];
+    minSec = i == 0 ? o.seconds : std::min(minSec, o.seconds);
+    maxSec = std::max(maxSec, o.seconds);
+    sumSec += o.seconds;
+    totalRetries += std::max(0, o.attempts - 1);
+  }
+  const double meanSec =
+      outcomes.empty() ? 0.0 : sumSec / static_cast<double>(outcomes.size());
+  t.addRow({"(all)", std::to_string(succeeded) + "/" +
+                         std::to_string(outcomes.size()) + " ok",
+            TextTable::integer(totalRetries) + " retries", "-", "-", "-", "-",
+            TextTable::num(minSec, 1) + "/" + TextTable::num(meanSec, 1) +
+                "/" + TextTable::num(maxSec, 1),
+            "min/mean/max time"});
   std::printf("%s", t.render().c_str());
   std::printf("%d/%zu clips succeeded\n", succeeded, outcomes.size());
+  std::printf("%s\n", ResourceProbe::sample().oneLine().c_str());
+
+  if (runLog) {
+    telemetry::JsonObject obj;
+    obj.set("type", "batch_summary");
+    obj.set("clips", static_cast<long long>(outcomes.size()));
+    obj.set("succeeded", succeeded);
+    obj.set("total_retries", totalRetries);
+    obj.set("min_wall_s", minSec);
+    obj.set("mean_wall_s", meanSec);
+    obj.set("max_wall_s", maxSec);
+    runLog->write(obj);
+  }
+  tele.finish(runLog.get());
 
   if (succeeded == static_cast<int>(outcomes.size())) return kBatchAllOk;
   return succeeded == 0 ? kBatchTotalFailure : kBatchPartialFailure;
@@ -428,6 +553,7 @@ int cmdChip(int argc, char** argv) {
   std::string outMask;
   std::string logLevel = "info";
   std::string failpoints;
+  TelemetryFlags tele;
 
   CliParser cli("mosaic_cli chip",
                 "full-chip OPC: tile, optimize in parallel, stitch");
@@ -461,10 +587,12 @@ int cmdChip(int argc, char** argv) {
   cli.addString("log", &logLevel, "log level");
   cli.addString("failpoints", &failpoints,
                 "arm fail points, e.g. tile.optimize:throw@iter=2");
+  tele.addOptions(cli);
   if (!cli.parse(argc, argv)) return 0;
   setLogLevel(parseLogLevel(logLevel));
   applyThreads(threads);
   if (!failpoints.empty()) failpoint::configure(failpoints);
+  const std::unique_ptr<telemetry::RunLog> runLog = tele.begin();
 
   ChipConfig cfg;
   cfg.tiling.tileSizeNm = tileSize;
@@ -488,6 +616,7 @@ int cmdChip(int argc, char** argv) {
   cfg.checkpointEvery = checkpointEvery;
   cfg.resume = resume;
   cfg.kernelCacheDir = kernelCache;
+  cfg.runLog = runLog.get();
 
   Layout chip;
   if (!input.empty()) {
@@ -533,6 +662,7 @@ int cmdChip(int argc, char** argv) {
   std::printf("%s", t.render().c_str());
   std::printf("%d/%d tiles ok in %.1f s\n", res.succeeded, part.tileCount(),
               res.wallSeconds);
+  std::printf("%s\n", ResourceProbe::sample().oneLine().c_str());
 
   const SeamReport& seam = res.stitched.report;
   std::printf("seam consistency: %lld/%lld overlap px disagree (%.4f%%), "
@@ -548,6 +678,8 @@ int cmdChip(int argc, char** argv) {
     std::printf("wrote stitched mask (%zu rects) to %s\n",
                 maskLayout.rects.size(), outMask.c_str());
   }
+
+  tele.finish(runLog.get());
 
   if (seam.nonFinitePixels > 0 || res.succeeded == 0) return 1;
   return res.failed == 0 ? 0 : 2;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "support/error.hpp"
+#include "support/telemetry/trace.hpp"
 
 namespace mosaic {
 namespace {
@@ -37,6 +38,7 @@ EpeResult measureEpe(const BitGrid& printed, const BitGrid& target,
   MOSAIC_CHECK(printed.sameShape(target), "printed/target shape mismatch");
   MOSAIC_CHECK(pixelNm > 0, "pixel size must be positive");
   MOSAIC_CHECK(thresholdNm > 0, "EPE threshold must be positive");
+  MOSAIC_SPAN("eval.epe");
   if (searchRangeNm <= 0.0) searchRangeNm = 4.0 * thresholdNm;
   const int searchPx =
       std::max(1, static_cast<int>(std::lround(searchRangeNm / pixelNm)));

@@ -2,12 +2,14 @@
 
 #include "geometry/edges.hpp"
 #include "support/error.hpp"
+#include "support/telemetry/trace.hpp"
 
 namespace mosaic {
 
 CaseEvaluation evaluateMask(const LithoSimulator& sim, const RealGrid& mask,
                             const BitGrid& target, double runtimeSec,
                             const EvalConfig& config) {
+  MOSAIC_SPAN("eval.case");
   const int pixelNm = sim.optics().pixelNm;
   MOSAIC_CHECK(config.sampleSpacingNm >= pixelNm,
                "sample spacing below pixel pitch");

@@ -1,12 +1,14 @@
 #include "eval/pvband.hpp"
 
 #include "geometry/bitmap_ops.hpp"
+#include "support/telemetry/trace.hpp"
 
 namespace mosaic {
 
 PvBandResult computePvBand(const LithoSimulator& sim, const RealGrid& mask,
                            const std::vector<ProcessCorner>& corners) {
   MOSAIC_CHECK(!corners.empty(), "PV band needs at least one corner");
+  MOSAIC_SPAN("eval.pvband");
   const ComplexGrid spectrum = sim.maskSpectrum(mask);
   PvBandResult result;
   bool first = true;

@@ -10,6 +10,7 @@
 #include "geometry/polygon.hpp"
 #include "support/error.hpp"
 #include "support/failpoint.hpp"
+#include "support/telemetry/trace.hpp"
 
 namespace mosaic {
 namespace {
@@ -126,6 +127,7 @@ RawShapes parseTokens(std::istream& in) {
 Layout readGlp(std::istream& in, const std::string& name,
                const GlpReadOptions& options) {
   MOSAIC_CHECK(options.clipSizeNm > 0, "clip size must be positive");
+  MOSAIC_SPAN("io.glp.read");
   MOSAIC_FAILPOINT("io.glp.parse");
   RawShapes shapes = parseTokens(in);
   MOSAIC_CHECK(!shapes.rects.empty(), "GLP: no shapes in " << name);
@@ -174,6 +176,7 @@ Layout readGlpFile(const std::string& path, const GlpReadOptions& options) {
 }
 
 void writeGlp(std::ostream& out, const Layout& layout) {
+  MOSAIC_SPAN("io.glp.write");
   out << "BEGIN\n";
   out << "EQUIV  1  1000  MICRON  +X,+Y\n";
   out << "CNAME " << layout.name << "\n";

@@ -5,6 +5,7 @@
 #include "math/convolution.hpp"
 #include "support/failpoint.hpp"
 #include "support/log.hpp"
+#include "support/telemetry/trace.hpp"
 #include "support/timer.hpp"
 
 namespace mosaic {
@@ -38,6 +39,7 @@ const KernelSet& LithoSimulator::kernels(double focusNm) const {
       }
     }
     if (!set) {
+      MOSAIC_SPAN("litho.kernels.compute");
       WallTimer timer;
       set = std::make_unique<KernelSet>(computeKernelSet(optics_, focusNm));
       LOG_INFO("computed " << set->kernels.size()
@@ -66,6 +68,7 @@ ComplexGrid LithoSimulator::maskSpectrum(const RealGrid& mask) const {
   MOSAIC_CHECK(mask.rows() == n && mask.cols() == n,
                "mask is " << mask.rows() << "x" << mask.cols()
                           << ", expected " << n << "x" << n);
+  MOSAIC_SPAN("litho.mask_spectrum");
   return fft2dFor(n, n).forwardReal(mask);
 }
 
@@ -81,6 +84,7 @@ RealGrid LithoSimulator::aerialFromSpectrum(const ComplexGrid& spectrum,
   const int n = gridSize();
   MOSAIC_CHECK(spectrum.rows() == n && spectrum.cols() == n,
                "spectrum grid mismatch");
+  MOSAIC_SPAN("litho.aerial");
   const KernelSet& set = kernels(corner.focusNm);
   const int count = (maxKernels <= 0)
                         ? set.kernelCount()

@@ -1,5 +1,7 @@
 #include "math/convolution.hpp"
 
+#include "support/telemetry/trace.hpp"
+
 namespace mosaic {
 
 ComplexGrid multiplySpectra(const ComplexGrid& a, const ComplexGrid& b) {
@@ -72,6 +74,7 @@ ComplexGrid convolveWithSpectrum(const ComplexGrid& signal,
                                  const ComplexGrid& kernelSpectrum) {
   MOSAIC_CHECK(signal.sameShape(kernelSpectrum),
                "signal/kernel spectrum shape mismatch");
+  MOSAIC_SPAN("conv.spectrum");
   const Fft2d& fft = fft2dFor(signal.rows(), signal.cols());
   ComplexGrid out = signal;
   fft.forward(out);
@@ -90,6 +93,7 @@ ComplexGrid convolveSpectrumWithSpectrum(const ComplexGrid& signalSpectrum,
 
 RealGrid gaussianBlur(const RealGrid& grid, double sigmaPx) {
   if (sigmaPx <= 0.0) return grid;
+  MOSAIC_SPAN("conv.gaussian_blur");
   const int rows = grid.rows();
   const int cols = grid.cols();
   const Fft2d& fft = fft2dFor(rows, cols);

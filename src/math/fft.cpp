@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "support/failpoint.hpp"
+#include "support/telemetry/trace.hpp"
 
 namespace mosaic {
 
@@ -111,6 +112,7 @@ void Fft2d::forward(ComplexGrid& grid) const {
   MOSAIC_FAILPOINT_DATA("fft.forward",
                         reinterpret_cast<double*>(grid.data()),
                         grid.size() * 2);
+  MOSAIC_SPAN("fft.forward");
   transformRows(grid, false);
   transformCols(grid, false);
 }
@@ -118,6 +120,7 @@ void Fft2d::forward(ComplexGrid& grid) const {
 void Fft2d::inverse(ComplexGrid& grid) const {
   MOSAIC_CHECK(grid.rows() == rows_ && grid.cols() == cols_,
                "grid shape mismatch in inverse FFT");
+  MOSAIC_SPAN("fft.inverse");
   transformRows(grid, true);
   transformCols(grid, true);
 }

@@ -10,12 +10,15 @@
 
 #include "opc/optimizer.hpp"
 #include "support/error.hpp"
+#include "support/telemetry/trace.hpp"
 
 namespace mosaic {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x4d4f4350u;  // "MOCP"
-constexpr std::uint32_t kVersion = 1;
+// v2: IterationRecord gained wallMs. Older files are rejected, not migrated:
+// checkpoints are crash-recovery artifacts tied to the writing binary.
+constexpr std::uint32_t kVersion = 2;
 
 void writeU32(std::ostream& out, std::uint32_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof v);
@@ -79,6 +82,7 @@ void writeRecord(std::ostream& out, const IterationRecord& r) {
   writeF64(out, r.pvbTerm);
   writeF64(out, r.rmsGradient);
   writeF64(out, r.stepSize);
+  writeF64(out, r.wallMs);
   writeU32(out, (r.improved ? 1u : 0u) | (r.jumped ? 2u : 0u) |
                     (r.recovered ? 4u : 0u));
 }
@@ -91,6 +95,7 @@ IterationRecord readRecord(std::istream& in) {
   r.pvbTerm = readF64(in);
   r.rmsGradient = readF64(in);
   r.stepSize = readF64(in);
+  r.wallMs = readF64(in);
   const std::uint32_t flags = readU32(in);
   r.improved = (flags & 1u) != 0;
   r.jumped = (flags & 2u) != 0;
@@ -102,6 +107,7 @@ IterationRecord readRecord(std::istream& in) {
 
 void saveOptimizerCheckpoint(const std::string& path,
                              const OptimizerCheckpoint& ckpt) {
+  MOSAIC_SPAN("checkpoint.save");
   MOSAIC_CHECK(!ckpt.params.empty(), "cannot checkpoint an empty P-grid");
   // Write to a sibling temp file, then rename: a crash mid-write never
   // clobbers the previous good checkpoint.
@@ -133,6 +139,7 @@ void saveOptimizerCheckpoint(const std::string& path,
 }
 
 OptimizerCheckpoint loadOptimizerCheckpoint(const std::string& path) {
+  MOSAIC_SPAN("checkpoint.load");
   std::ifstream in(path, std::ios::binary);
   MOSAIC_CHECK(in.good(), "cannot open checkpoint: " << path);
   MOSAIC_CHECK(readU32(in) == kMagic, "checkpoint: bad magic in " << path);

@@ -6,6 +6,7 @@
 #include "math/convolution.hpp"
 #include "math/stats.hpp"
 #include "support/failpoint.hpp"
+#include "support/telemetry/trace.hpp"
 
 namespace mosaic {
 namespace {
@@ -136,6 +137,7 @@ void IltObjective::accumulateGradient(const ComplexGrid& maskSpectrum,
                                       const KernelSet& kernels,
                                       const RealGrid& gField,
                                       RealGrid& grad) const {
+  MOSAIC_SPAN("objective.gradient");
   const int n = kernels.gridSize;
   const Fft2d& fft = fft2dFor(n, n);
 
@@ -176,6 +178,7 @@ IltObjective::Evaluation IltObjective::evaluate(const RealGrid& mask,
                                                 bool needGradient) const {
   const int n = sim_.gridSize();
   MOSAIC_CHECK(mask.rows() == n && mask.cols() == n, "mask grid mismatch");
+  MOSAIC_SPAN("objective.evaluate");
 
   Evaluation eval;
   const ComplexGrid maskSpectrum = sim_.maskSpectrum(mask);

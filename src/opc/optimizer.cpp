@@ -6,10 +6,33 @@
 #include "math/stats.hpp"
 #include "support/failpoint.hpp"
 #include "support/log.hpp"
+#include "support/telemetry/metrics.hpp"
+#include "support/telemetry/runlog.hpp"
+#include "support/telemetry/trace.hpp"
 #include "support/timer.hpp"
 
 namespace mosaic {
 namespace {
+
+/// One JSONL record per optimizer iteration (schema: docs/observability.md).
+void emitIterationRecord(telemetry::RunLog* runLog, const std::string& scope,
+                         const IterationRecord& record) {
+  if (!runLog) return;
+  telemetry::JsonObject obj;
+  obj.set("type", "iteration");
+  if (!scope.empty()) obj.set("scope", scope);
+  obj.set("iter", record.iteration);
+  obj.set("F", record.objective);
+  obj.set("F_target", record.targetTerm);
+  obj.set("F_pvb", record.pvbTerm);
+  obj.set("grad_rms", record.rmsGradient);
+  obj.set("step", record.stepSize);
+  obj.set("improved", record.improved);
+  obj.set("jumped", record.jumped);
+  obj.set("recovered", record.recovered);
+  obj.set("wall_ms", record.wallMs);
+  runLog->write(obj);
+}
 
 bool allFinite(const RealGrid& g) {
   for (double v : g) {
@@ -148,6 +171,8 @@ OptimizeResult optimizeMask(const IltObjective& objective,
   };
 
   for (int iter = startIter; iter <= cfg.maxIterations; ++iter) {
+    MOSAIC_SPAN("opt.iteration");
+    WallTimer iterTimer;
     if (cfg.deadlineSeconds > 0.0 &&
         timer.seconds() >= cfg.deadlineSeconds) {
       result.stopReason = StopReason::kDeadline;
@@ -172,7 +197,9 @@ OptimizeResult optimizeMask(const IltObjective& objective,
       record.targetTerm = eval.targetValue;
       record.pvbTerm = eval.pvbValue;
       record.stepSize = step;
+      record.wallMs = iterTimer.seconds() * 1000.0;
       result.history.push_back(record);
+      emitIterationRecord(options.runLog, options.runLogScope, record);
       result.converged = true;
       result.stopReason = StopReason::kConverged;
       if (callback) callback(record, mask);
@@ -229,17 +256,21 @@ OptimizeResult optimizeMask(const IltObjective& objective,
 
     if (!iterateIsFinite(eval, params)) {
       ++result.nonFiniteEvents;
+      telemetry::metrics().counter("optimizer.non_finite").add();
       record.objective = eval.value;
       record.stepSize = step;
       if (result.recoveries >= cfg.maxRecoveries) {
         result.stopReason = StopReason::kAbortedNonFinite;
+        record.wallMs = iterTimer.seconds() * 1000.0;
         result.history.push_back(record);
+        emitIterationRecord(options.runLog, options.runLogScope, record);
         LOG_WARN("iter " << iter << ": non-finite evaluation with recovery "
                             "budget exhausted; returning best-so-far");
         break;
       }
       // Roll back to the last good iterate and retry with a shrunk step.
       ++result.recoveries;
+      telemetry::metrics().counter("optimizer.recoveries").add();
       params = goodParams;
       mask = goodMask;
       eval = goodEval;
@@ -253,7 +284,9 @@ OptimizeResult optimizeMask(const IltObjective& objective,
       record.targetTerm = eval.targetValue;
       record.pvbTerm = eval.pvbValue;
       record.stepSize = step;
+      record.wallMs = iterTimer.seconds() * 1000.0;
       result.history.push_back(record);
+      emitIterationRecord(options.runLog, options.runLogScope, record);
       LOG_WARN("iter " << iter << ": non-finite evaluation, rolled back to "
                        << "last good iterate, step -> " << step);
       if (callback) callback(record, mask);
@@ -294,7 +327,9 @@ OptimizeResult optimizeMask(const IltObjective& objective,
     record.stepSize = step;
     record.improved = improved;
     record.jumped = jumped;
+    record.wallMs = iterTimer.seconds() * 1000.0;
     result.history.push_back(record);
+    emitIterationRecord(options.runLog, options.runLogScope, record);
     LOG_DEBUG("iter " << iter << " F=" << eval.value << " target="
                       << eval.targetValue << " pvb=" << eval.pvbValue
                       << " |g|=" << gradRms << " step=" << step

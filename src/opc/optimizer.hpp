@@ -20,7 +20,12 @@
 
 namespace mosaic {
 
-/// Telemetry for one optimizer iteration (drives the paper's Fig. 6).
+namespace telemetry {
+class RunLog;
+}
+
+/// Telemetry for one optimizer iteration (drives the paper's Fig. 6 and
+/// the JSONL run log, docs/observability.md).
 struct IterationRecord {
   int iteration = 0;
   double objective = 0.0;
@@ -28,6 +33,7 @@ struct IterationRecord {
   double pvbTerm = 0.0;
   double rmsGradient = 0.0;
   double stepSize = 0.0;
+  double wallMs = 0.0;  ///< wall-clock time this iteration took
   bool improved = false;
   bool jumped = false;
   bool recovered = false;  ///< non-finite iterate rolled back this iteration
@@ -84,11 +90,18 @@ void saveOptimizerCheckpoint(const std::string& path,
 [[nodiscard]] OptimizerCheckpoint loadOptimizerCheckpoint(
     const std::string& path);
 
-/// Checkpoint/resume controls for optimizeMask.
+/// Checkpoint/resume and telemetry controls for optimizeMask.
 struct OptimizeOptions {
   std::string checkpointPath;  ///< write checkpoints here (empty = off)
   int checkpointEvery = 0;     ///< iterations between checkpoints (0 = off)
   std::string resumePath;      ///< resume from this checkpoint (empty = off)
+  /// When set, one JSONL record per iteration is appended here (type
+  /// "iteration", docs/observability.md). Not owned; must outlive the run.
+  telemetry::RunLog* runLog = nullptr;
+  /// Scope label stamped into every run-log record (e.g. the clip name or
+  /// "tile_r2_c3") so concurrent optimizers sharing one log stay
+  /// distinguishable.
+  std::string runLogScope;
 };
 
 /// Called after every iteration with the current (not best) mask.

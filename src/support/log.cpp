@@ -3,16 +3,18 @@
 #include <algorithm>
 #include <atomic>
 #include <cctype>
-#include <chrono>
 #include <cstdio>
 #include <mutex>
 
 #include "support/error.hpp"
+#include "support/telemetry/json.hpp"
+#include "support/telemetry/trace.hpp"
 
 namespace mosaic {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<int> g_format{static_cast<int>(LogFormat::kText)};
 std::mutex g_sinkMutex;
 
 const char* levelTag(LogLevel level) {
@@ -27,6 +29,21 @@ const char* levelTag(LogLevel level) {
       return "ERROR";
     default:
       return "?????";
+  }
+}
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    default:
+      return "unknown";
   }
 }
 
@@ -48,16 +65,49 @@ LogLevel parseLogLevel(const std::string& name) {
   throw InvalidArgument("unknown log level: " + name);
 }
 
+void setLogFormat(LogFormat format) {
+  g_format.store(static_cast<int>(format));
+}
+
+LogFormat logFormat() { return static_cast<LogFormat>(g_format.load()); }
+
+LogFormat parseLogFormat(const std::string& name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "text") return LogFormat::kText;
+  if (lower == "json") return LogFormat::kJson;
+  throw InvalidArgument("unknown log format: " + name);
+}
+
 namespace detail {
 
 void logEmit(LogLevel level, const std::string& message) {
-  using Clock = std::chrono::steady_clock;
-  static const Clock::time_point start = Clock::now();
-  const double elapsed =
-      std::chrono::duration<double>(Clock::now() - start).count();
+  // Monotonic timestamp on the telemetry clock so log lines line up with
+  // trace spans from the same run.
+  const double elapsed = static_cast<double>(telemetry::nowNs()) * 1e-9;
+  const int tid = telemetry::threadId();
+
+  std::string line;
+  if (logFormat() == LogFormat::kJson) {
+    telemetry::JsonObject o;
+    o.set("ts", elapsed)
+        .set("level", levelName(level))
+        .set("tid", tid)
+        .set("msg", message);
+    line = o.str();
+    line += '\n';
+  } else {
+    char prefix[64];
+    std::snprintf(prefix, sizeof prefix, "[%9.3fs %s t%02d] ", elapsed,
+                  levelTag(level), tid);
+    line = prefix;
+    line += message;
+    line += '\n';
+  }
+  // One write per record: parallel emitters cannot interleave fragments.
   std::lock_guard<std::mutex> lock(g_sinkMutex);
-  std::fprintf(stderr, "[%9.3fs %s] %s\n", elapsed, levelTag(level),
-               message.c_str());
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace detail

@@ -3,6 +3,16 @@
 /// Minimal leveled logger. Single global sink (stderr) with a runtime level
 /// threshold; formatting is plain ostream based so the library carries no
 /// formatting dependency.
+///
+/// Every record carries a monotonic timestamp (seconds since the telemetry
+/// epoch, shared with the trace clock so log lines align with trace spans)
+/// and the small dense id of the emitting thread. Emission is atomic: the
+/// full line is assembled first and written with one call under the sink
+/// mutex, so records from parallel tile workers never interleave.
+///
+/// Two output formats (setLogFormat / --log-format):
+///   text  [    0.123s INFO  t00] message
+///   json  {"ts":0.123,"level":"info","tid":0,"msg":"message"}
 
 #include <sstream>
 #include <string>
@@ -17,6 +27,15 @@ LogLevel logLevel();
 
 /// Parse "debug"/"info"/"warn"/"error"/"off" (case-insensitive).
 LogLevel parseLogLevel(const std::string& name);
+
+/// Output format of the stderr sink.
+enum class LogFormat { kText = 0, kJson = 1 };
+
+void setLogFormat(LogFormat format);
+LogFormat logFormat();
+
+/// Parse "text"/"json" (case-insensitive).
+LogFormat parseLogFormat(const std::string& name);
 
 namespace detail {
 void logEmit(LogLevel level, const std::string& message);

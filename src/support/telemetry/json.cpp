@@ -1,0 +1,102 @@
+#include "support/telemetry/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace mosaic {
+namespace telemetry {
+
+std::string jsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string jsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", value);
+  return buf;
+}
+
+JsonObject& JsonObject::set(std::string_view key, double value) {
+  return setRaw(key, jsonNumber(value));
+}
+
+JsonObject& JsonObject::set(std::string_view key, long long value) {
+  return setRaw(key, std::to_string(value));
+}
+
+JsonObject& JsonObject::set(std::string_view key, unsigned long long value) {
+  return setRaw(key, std::to_string(value));
+}
+
+JsonObject& JsonObject::set(std::string_view key, int value) {
+  return setRaw(key, std::to_string(value));
+}
+
+JsonObject& JsonObject::set(std::string_view key, bool value) {
+  return setRaw(key, value ? "true" : "false");
+}
+
+JsonObject& JsonObject::set(std::string_view key, std::string_view value) {
+  std::string quoted;
+  quoted += '"';
+  quoted += jsonEscape(value);
+  quoted += '"';
+  return setRaw(key, std::move(quoted));
+}
+
+JsonObject& JsonObject::set(std::string_view key, const char* value) {
+  return set(key, std::string_view(value));
+}
+
+JsonObject& JsonObject::setRaw(std::string_view key, std::string rawJson) {
+  fields_.emplace_back(std::string(key), std::move(rawJson));
+  return *this;
+}
+
+std::string JsonObject::str() const {
+  std::string out;
+  out += '{';
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '"';
+    out += jsonEscape(fields_[i].first);
+    out += "\":";
+    out += fields_[i].second;
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace telemetry
+}  // namespace mosaic

@@ -1,0 +1,48 @@
+#pragma once
+/// \file json.hpp
+/// Minimal JSON emission helpers shared by the telemetry sinks (metrics
+/// snapshots, Chrome trace export, JSONL run logs) and the structured log
+/// sink. Emission only -- the library never parses JSON, so this stays a
+/// few dozen lines instead of a dependency.
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mosaic {
+namespace telemetry {
+
+/// Escape a string for use inside a JSON string literal (quotes not
+/// included). Control characters become \u00XX.
+[[nodiscard]] std::string jsonEscape(std::string_view s);
+
+/// Render a double as a JSON number. Non-finite values (which JSON cannot
+/// represent) render as null so a NaN in telemetry never produces an
+/// unparseable file.
+[[nodiscard]] std::string jsonNumber(double value);
+
+/// Order-preserving flat JSON object builder: one heap string per record,
+/// rendered with a single pass. Values are serialized on insertion, so a
+/// built object is just a join.
+class JsonObject {
+ public:
+  JsonObject& set(std::string_view key, double value);
+  JsonObject& set(std::string_view key, long long value);
+  JsonObject& set(std::string_view key, unsigned long long value);
+  JsonObject& set(std::string_view key, int value);
+  JsonObject& set(std::string_view key, bool value);
+  JsonObject& set(std::string_view key, std::string_view value);
+  JsonObject& set(std::string_view key, const char* value);
+  /// Insert a pre-rendered JSON value (array/object) verbatim.
+  JsonObject& setRaw(std::string_view key, std::string rawJson);
+
+  /// Render as {"k":v,...}.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+}  // namespace telemetry
+}  // namespace mosaic

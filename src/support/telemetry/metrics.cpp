@@ -1,0 +1,259 @@
+#include "support/telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "support/table.hpp"
+#include "support/telemetry/json.hpp"
+
+namespace mosaic {
+namespace telemetry {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void atomicAdd(std::atomic<double>& target, double delta) {
+  double old = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(old, old + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomicMin(std::atomic<double>& target, double v) {
+  double old = target.load(std::memory_order_relaxed);
+  while (v < old &&
+         !target.compare_exchange_weak(old, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomicMax(std::atomic<double>& target, double v) {
+  double old = target.load(std::memory_order_relaxed);
+  while (v > old &&
+         !target.compare_exchange_weak(old, v, std::memory_order_relaxed)) {
+  }
+}
+
+/// Percentile estimate from bucket counts: find the bucket holding the
+/// target rank, interpolate linearly inside it, clamp to [min, max].
+double percentileFromBuckets(
+    const std::array<std::uint64_t, Histogram::kBuckets>& counts,
+    std::uint64_t total, double fraction, double minUs, double maxUs) {
+  if (total == 0) return 0.0;
+  const double targetRank =
+      std::max(1.0, std::ceil(fraction * static_cast<double>(total)));
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    const double prev = static_cast<double>(cumulative);
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) >= targetRank) {
+      const double lo = i == 0 ? 0.0 : Histogram::bucketUpperUs(i - 1);
+      const double hi = Histogram::bucketUpperUs(i);
+      const double within =
+          (targetRank - prev) / static_cast<double>(counts[i]);
+      const double estimate = lo + within * (hi - lo);
+      return std::clamp(estimate, minUs, maxUs);
+    }
+  }
+  return maxUs;
+}
+
+}  // namespace
+
+int Histogram::bucketIndex(double micros) {
+  if (!(micros >= 1.0)) return 0;  // also catches NaN
+  const auto u = static_cast<std::uint64_t>(micros);
+  const int index = std::bit_width(u);  // 1 + floor(log2(u))
+  return std::min(index, kBuckets - 1);
+}
+
+double Histogram::bucketUpperUs(int index) { return std::ldexp(1.0, index); }
+
+void Histogram::record(double micros) {
+  if (!(micros >= 0.0)) micros = 0.0;  // NaN / negative clock glitches
+  buckets_[static_cast<std::size_t>(bucketIndex(micros))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomicAdd(sumUs_, micros);
+  atomicMin(minUs_, micros);
+  atomicMax(maxUs_, micros);
+}
+
+HistogramStats Histogram::stats() const {
+  HistogramStats s;
+  std::array<std::uint64_t, kBuckets> counts{};
+  for (int i = 0; i < kBuckets; ++i) {
+    counts[static_cast<std::size_t>(i)] =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  if (s.count == 0) return s;
+  s.sumUs = sumUs_.load(std::memory_order_relaxed);
+  s.minUs = minUs_.load(std::memory_order_relaxed);
+  s.maxUs = maxUs_.load(std::memory_order_relaxed);
+  s.meanUs = s.sumUs / static_cast<double>(s.count);
+  s.p50Us = percentileFromBuckets(counts, s.count, 0.50, s.minUs, s.maxUs);
+  s.p95Us = percentileFromBuckets(counts, s.count, 0.95, s.minUs, s.maxUs);
+  s.p99Us = percentileFromBuckets(counts, s.count, 0.99, s.minUs, s.maxUs);
+  return s;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sumUs_.store(0.0, std::memory_order_relaxed);
+  minUs_.store(kInf, std::memory_order_relaxed);
+  maxUs_.store(-kInf, std::memory_order_relaxed);
+}
+
+MetricsRegistry::Shard& MetricsRegistry::shardFor(std::string_view name) {
+  return shards_[std::hash<std::string_view>{}(name) % kShards];
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  Shard& shard = shardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.counters.find(name);
+  if (it == shard.counters.end()) {
+    it = shard.counters
+             .emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  Shard& shard = shardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.gauges.find(name);
+  if (it == shard.gauges.end()) {
+    it = shard.gauges.emplace(std::string(name), std::make_unique<Gauge>())
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  Shard& shard = shardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.histograms.find(name);
+  if (it == shard.histograms.end()) {
+    it = shard.histograms
+             .emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [name, counter] : shard.counters) {
+      snap.counters[name] = counter->value();
+    }
+    for (const auto& [name, gauge] : shard.gauges) {
+      snap.gauges[name] = gauge->value();
+    }
+    for (const auto& [name, hist] : shard.histograms) {
+      snap.histograms[name] = hist->stats();
+    }
+  }
+  return snap;
+}
+
+void MetricsRegistry::resetAll() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto& [name, counter] : shard.counters) counter->reset();
+    for (auto& [name, gauge] : shard.gauges) gauge->reset();
+    for (auto& [name, hist] : shard.histograms) hist->reset();
+  }
+}
+
+std::string MetricsSnapshot::toJson() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + jsonEscape(name) + "\": " + std::to_string(value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + jsonEscape(name) + "\": " + jsonNumber(value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out += first ? "\n" : ",\n";
+    JsonObject o;
+    o.set("count", static_cast<unsigned long long>(h.count))
+        .set("sum_us", h.sumUs)
+        .set("min_us", h.minUs)
+        .set("max_us", h.maxUs)
+        .set("mean_us", h.meanUs)
+        .set("p50_us", h.p50Us)
+        .set("p95_us", h.p95Us)
+        .set("p99_us", h.p99Us);
+    out += "    \"" + jsonEscape(name) + "\": " + o.str();
+    first = false;
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+std::string MetricsSnapshot::summaryTable() const {
+  std::string out;
+  if (!histograms.empty()) {
+    std::vector<std::pair<std::string, HistogramStats>> rows(
+        histograms.begin(), histograms.end());
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+      return a.second.sumUs > b.second.sumUs;
+    });
+    TextTable t;
+    t.setHeader({"span", "count", "total ms", "mean us", "p50 us", "p95 us",
+                 "p99 us", "max us"});
+    for (const auto& [name, h] : rows) {
+      t.addRow({name, TextTable::integer(static_cast<long long>(h.count)),
+                TextTable::num(h.sumUs / 1e3, 1), TextTable::num(h.meanUs, 1),
+                TextTable::num(h.p50Us, 1), TextTable::num(h.p95Us, 1),
+                TextTable::num(h.p99Us, 1), TextTable::num(h.maxUs, 1)});
+    }
+    out += t.render();
+  }
+  if (!counters.empty()) {
+    TextTable t;
+    t.setHeader({"counter", "value"});
+    for (const auto& [name, value] : counters) {
+      t.addRow({name, TextTable::integer(static_cast<long long>(value))});
+    }
+    out += t.render();
+  }
+  if (!gauges.empty()) {
+    TextTable t;
+    t.setHeader({"gauge", "value"});
+    for (const auto& [name, value] : gauges) {
+      t.addRow({name, TextTable::num(value, 2)});
+    }
+    out += t.render();
+  }
+  return out;
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace telemetry
+}  // namespace mosaic

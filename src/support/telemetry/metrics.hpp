@@ -1,0 +1,145 @@
+#pragma once
+/// \file metrics.hpp
+/// Process-wide metrics registry: counters, gauges, and fixed-bucket
+/// latency histograms (docs/observability.md).
+///
+/// Design constraints, in order:
+///   1. Recording must be cheap enough for per-FFT-call use: counter adds
+///      and histogram records are a handful of relaxed atomics, no locks.
+///   2. Registration is lock-sharded by name hash, so concurrent workers
+///      registering different metrics rarely contend; call sites cache the
+///      returned reference (MOSAIC_SPAN does this via a function-local
+///      static) so the map lookup is paid once per site, not per call.
+///   3. Snapshots are wait-free for writers: readers just load the atomics.
+///
+/// Returned Counter/Gauge/Histogram references stay valid for the process
+/// lifetime.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace mosaic {
+namespace telemetry {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  alignas(64) std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (e.g. peak RSS at snapshot time).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  alignas(64) std::atomic<double> value_{0.0};
+};
+
+/// Derived statistics of one histogram at snapshot time. Latencies are in
+/// microseconds throughout.
+struct HistogramStats {
+  std::uint64_t count = 0;
+  double sumUs = 0.0;
+  double minUs = 0.0;
+  double maxUs = 0.0;
+  double meanUs = 0.0;
+  double p50Us = 0.0;
+  double p95Us = 0.0;
+  double p99Us = 0.0;
+};
+
+/// Concurrent fixed-bucket latency histogram. Buckets are powers of two in
+/// microseconds: bucket 0 holds [0, 1) us, bucket i holds [2^(i-1), 2^i) us,
+/// the last bucket is open-ended (~= 9 hours). Percentiles are estimated by
+/// linear interpolation inside the selected bucket and clamped to the
+/// observed [min, max], so a histogram whose samples all share one value
+/// reports that value exactly.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 46;
+
+  /// Bucket index for a latency in microseconds (clamped to the range).
+  [[nodiscard]] static int bucketIndex(double micros);
+  /// Upper bound (exclusive) of a bucket in microseconds.
+  [[nodiscard]] static double bucketUpperUs(int index);
+
+  void record(double micros);
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] HistogramStats stats() const;
+  void reset();
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  alignas(64) std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sumUs_{0.0};
+  std::atomic<double> minUs_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> maxUs_{-std::numeric_limits<double>::infinity()};
+};
+
+/// Immutable copy of every registered metric, taken without stopping
+/// writers (values are relaxed loads; a snapshot concurrent with updates
+/// is a consistent-enough point-in-time view for reporting).
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramStats> histograms;
+
+  /// Pretty-printed JSON document (stable key order).
+  [[nodiscard]] std::string toJson() const;
+  /// Human-readable summary reusing support/table: histograms sorted by
+  /// total time, then counters and gauges.
+  [[nodiscard]] std::string summaryTable() const;
+};
+
+/// Lock-sharded name -> metric registry.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zero every registered metric (objects stay valid; cached references
+  /// keep working). For benches and tests.
+  void resetAll();
+
+ private:
+  static constexpr std::size_t kShards = 16;
+  struct Shard {
+    mutable std::mutex mutex;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+  };
+  [[nodiscard]] Shard& shardFor(std::string_view name);
+
+  std::array<Shard, kShards> shards_;
+};
+
+/// The process-wide registry.
+MetricsRegistry& metrics();
+
+}  // namespace telemetry
+}  // namespace mosaic

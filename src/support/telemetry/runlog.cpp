@@ -1,0 +1,35 @@
+#include "support/telemetry/runlog.hpp"
+
+#include "support/error.hpp"
+
+namespace mosaic {
+namespace telemetry {
+
+RunLog::RunLog(const std::string& path) : path_(path) {
+  file_ = std::fopen(path.c_str(), "w");
+  MOSAIC_CHECK(file_ != nullptr, "cannot open run log for writing: " << path);
+}
+
+RunLog::~RunLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void RunLog::write(const JsonObject& record) {
+  std::string line = record.str();
+  line += '\n';
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t written =
+      std::fwrite(line.data(), 1, line.size(), file_);
+  MOSAIC_CHECK(written == line.size(),
+               "short write on run log: " << path_);
+  std::fflush(file_);
+  ++records_;
+}
+
+long long RunLog::recordsWritten() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+}  // namespace telemetry
+}  // namespace mosaic

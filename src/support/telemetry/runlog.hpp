@@ -1,0 +1,43 @@
+#pragma once
+/// \file runlog.hpp
+/// JSON-lines run telemetry sink (docs/observability.md). One RunLog is
+/// one append-only .jsonl file; every write() emits exactly one line with
+/// a single OS write, so records from parallel tile workers never
+/// interleave. Record schemas are owned by the emitters (optimizer
+/// iteration records, tile scheduler tile/chip records, batch runner clip
+/// records); this class only guarantees atomic, flushed line emission.
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "support/telemetry/json.hpp"
+
+namespace mosaic {
+namespace telemetry {
+
+class RunLog {
+ public:
+  /// Opens (truncates) the file. Throws InvalidArgument on failure.
+  explicit RunLog(const std::string& path);
+  ~RunLog();
+  RunLog(const RunLog&) = delete;
+  RunLog& operator=(const RunLog&) = delete;
+
+  /// Serialize the record and append it as one line. Thread-safe; the
+  /// line is written with a single fwrite and flushed so a crashed run
+  /// keeps everything emitted before the crash.
+  void write(const JsonObject& record);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] long long recordsWritten() const;
+
+ private:
+  std::string path_;
+  FILE* file_ = nullptr;
+  mutable std::mutex mutex_;
+  long long records_ = 0;
+};
+
+}  // namespace telemetry
+}  // namespace mosaic

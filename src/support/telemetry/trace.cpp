@@ -1,0 +1,212 @@
+#include "support/telemetry/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/telemetry/json.hpp"
+
+namespace mosaic {
+namespace telemetry {
+namespace {
+
+/// One completed span. `name` must point at a string literal.
+struct SpanEvent {
+  const char* name = nullptr;
+  std::uint64_t startNs = 0;
+  std::uint64_t durNs = 0;
+};
+
+/// Per-thread ring of completed spans. The owning thread appends under the
+/// buffer mutex (uncontended except during export); when full, the oldest
+/// event is overwritten so a long run keeps its most recent window.
+struct ThreadTraceBuffer {
+  static constexpr std::size_t kCapacity = 1 << 16;
+
+  explicit ThreadTraceBuffer(int id) : tid(id) { events.reserve(1024); }
+
+  std::mutex mutex;
+  int tid;
+  std::vector<SpanEvent> events;  // grows up to kCapacity, then wraps
+  std::size_t next = 0;           // overwrite cursor once at capacity
+  std::uint64_t overwritten = 0;
+
+  void push(const SpanEvent& e) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (events.size() < kCapacity) {
+      events.push_back(e);
+    } else {
+      events[next] = e;
+      next = (next + 1) % kCapacity;
+      ++overwritten;
+    }
+  }
+};
+
+struct TraceState {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadTraceBuffer>> buffers;
+  std::atomic<int> nextTid{0};
+};
+
+TraceState& traceState() {
+  static TraceState* state = new TraceState();  // leaked: outlives threads
+  return *state;
+}
+
+std::atomic<bool> g_traceEnabled{false};
+
+ThreadTraceBuffer& threadBuffer() {
+  thread_local std::shared_ptr<ThreadTraceBuffer> buffer = [] {
+    TraceState& state = traceState();
+    auto b = std::make_shared<ThreadTraceBuffer>(
+        state.nextTid.fetch_add(1, std::memory_order_relaxed));
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+}  // namespace
+
+int threadId() { return threadBuffer().tid; }
+
+std::uint64_t nowNs() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           epoch)
+          .count());
+}
+
+bool traceEnabled() { return g_traceEnabled.load(std::memory_order_relaxed); }
+
+void setTraceEnabled(bool enabled) {
+  (void)nowNs();  // pin the epoch before the first span
+  g_traceEnabled.store(enabled, std::memory_order_relaxed);
+}
+
+void clearTrace() {
+  TraceState& state = traceState();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  for (auto& buffer : state.buffers) {
+    std::lock_guard<std::mutex> bufferLock(buffer->mutex);
+    buffer->events.clear();
+    buffer->next = 0;
+    buffer->overwritten = 0;
+  }
+}
+
+std::uint64_t traceEventCount() {
+  TraceState& state = traceState();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  std::uint64_t total = 0;
+  for (auto& buffer : state.buffers) {
+    std::lock_guard<std::mutex> bufferLock(buffer->mutex);
+    total += buffer->events.size();
+  }
+  return total;
+}
+
+std::uint64_t traceDroppedCount() {
+  TraceState& state = traceState();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  std::uint64_t total = 0;
+  for (auto& buffer : state.buffers) {
+    std::lock_guard<std::mutex> bufferLock(buffer->mutex);
+    total += buffer->overwritten;
+  }
+  return total;
+}
+
+namespace detail {
+
+void recordSpan(const char* name, std::uint64_t startNs,
+                std::uint64_t durNs) {
+  threadBuffer().push({name, startNs, durNs});
+}
+
+}  // namespace detail
+
+std::string chromeTraceJson() {
+  struct TaggedEvent {
+    SpanEvent event;
+    int tid;
+  };
+  std::vector<TaggedEvent> all;
+  std::vector<int> tids;
+  {
+    TraceState& state = traceState();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    for (auto& buffer : state.buffers) {
+      std::lock_guard<std::mutex> bufferLock(buffer->mutex);
+      tids.push_back(buffer->tid);
+      for (const SpanEvent& e : buffer->events) {
+        all.push_back({e, buffer->tid});
+      }
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const TaggedEvent& a, const TaggedEvent& b) {
+              return a.event.startNs < b.event.startNs;
+            });
+
+  // Chrome trace_event "X" (complete) events; ts/dur are microseconds.
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  {
+    JsonObject meta;
+    meta.set("name", "process_name")
+        .set("ph", "M")
+        .set("pid", 1)
+        .setRaw("args", "{\"name\":\"mosaic\"}");
+    out += meta.str();
+    first = false;
+  }
+  std::sort(tids.begin(), tids.end());
+  for (const int tid : tids) {
+    JsonObject meta;
+    meta.set("name", "thread_name")
+        .set("ph", "M")
+        .set("pid", 1)
+        .set("tid", tid)
+        .setRaw("args",
+                "{\"name\":\"worker-" + std::to_string(tid) + "\"}");
+    out += ",\n" + meta.str();
+  }
+  for (const TaggedEvent& te : all) {
+    JsonObject o;
+    o.set("name", te.event.name)
+        .set("cat", "mosaic")
+        .set("ph", "X")
+        .set("ts", static_cast<double>(te.event.startNs) * 1e-3)
+        .set("dur", static_cast<double>(te.event.durNs) * 1e-3)
+        .set("pid", 1)
+        .set("tid", te.tid);
+    if (!first) out += ",\n";
+    out += o.str();
+    first = false;
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+void writeChromeTrace(const std::string& path) {
+  const std::string json = chromeTraceJson();
+  FILE* f = std::fopen(path.c_str(), "w");
+  MOSAIC_CHECK(f != nullptr, "cannot write trace file: " << path);
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int closed = std::fclose(f);
+  MOSAIC_CHECK(written == json.size() && closed == 0,
+               "short write on trace file: " << path);
+}
+
+}  // namespace telemetry
+}  // namespace mosaic

@@ -1,0 +1,105 @@
+#pragma once
+/// \file trace.hpp
+/// Scoped trace spans with Chrome trace_event export
+/// (docs/observability.md).
+///
+/// MOSAIC_SPAN("fft.forward") at the top of a scope does two things when
+/// the scope exits:
+///   1. records the elapsed time into the latency histogram of the same
+///      name (always on -- a few relaxed atomics), and
+///   2. if tracing is enabled (setTraceEnabled), pushes a completed-span
+///      event into the calling thread's ring buffer.
+/// The recorded events export as Chrome trace_event JSON that loads in
+/// chrome://tracing and https://ui.perfetto.dev.
+///
+/// Cost model: with tracing disabled a span is one steady_clock read on
+/// entry and one read + histogram update + relaxed flag check on exit
+/// (tens of nanoseconds -- see bench/bm_telemetry). Building with
+/// -DMOSAIC_TELEMETRY=OFF compiles MOSAIC_SPAN out entirely.
+///
+/// Span names must be string literals (or otherwise outlive the process):
+/// the ring buffers store the pointer, not a copy.
+
+#include <cstdint>
+#include <string>
+
+#include "support/telemetry/metrics.hpp"
+
+namespace mosaic {
+namespace telemetry {
+
+/// Small dense id of the calling thread (0 for the first thread that asks,
+/// then 1, 2, ...). Stable for the thread's lifetime; used by the trace
+/// export and the structured log sink.
+int threadId();
+
+/// Nanoseconds on the steady clock since the process-wide trace epoch
+/// (the first call in the process).
+std::uint64_t nowNs();
+
+/// Runtime switch for span *recording*. Off by default; histograms are
+/// collected regardless.
+bool traceEnabled();
+void setTraceEnabled(bool enabled);
+
+/// Drop all recorded events (and overwrite counts) from every thread.
+void clearTrace();
+
+/// Events recorded so far, across all threads.
+std::uint64_t traceEventCount();
+/// Events lost to ring-buffer overwriting (oldest-first) so far.
+std::uint64_t traceDroppedCount();
+
+/// Render everything recorded so far as a Chrome trace_event JSON
+/// document ({"traceEvents": [...]}). Safe to call while spans are still
+/// being recorded (per-thread buffers are locked one at a time).
+std::string chromeTraceJson();
+
+/// chromeTraceJson() to a file. Throws on I/O failure.
+void writeChromeTrace(const std::string& path);
+
+/// One instrumentation site: the literal name plus its latency histogram,
+/// resolved once (function-local static in MOSAIC_SPAN).
+struct SpanSite {
+  explicit SpanSite(const char* spanName)
+      : name(spanName), histogram(metrics().histogram(spanName)) {}
+  const char* name;
+  Histogram& histogram;
+};
+
+namespace detail {
+void recordSpan(const char* name, std::uint64_t startNs, std::uint64_t durNs);
+}
+
+/// RAII span: times the enclosing scope, feeds the site histogram, and
+/// (when tracing) the thread ring buffer.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(SpanSite& site) : site_(site), startNs_(nowNs()) {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() {
+    const std::uint64_t durNs = nowNs() - startNs_;
+    site_.histogram.record(static_cast<double>(durNs) * 1e-3);
+    if (traceEnabled()) detail::recordSpan(site_.name, startNs_, durNs);
+  }
+
+ private:
+  SpanSite& site_;
+  std::uint64_t startNs_;
+};
+
+}  // namespace telemetry
+}  // namespace mosaic
+
+#if defined(MOSAIC_TELEMETRY_DISABLED)
+#define MOSAIC_SPAN(name) static_cast<void>(0)
+#else
+#define MOSAIC_SPAN_CONCAT2(a, b) a##b
+#define MOSAIC_SPAN_CONCAT(a, b) MOSAIC_SPAN_CONCAT2(a, b)
+#define MOSAIC_SPAN(name)                                                    \
+  static ::mosaic::telemetry::SpanSite MOSAIC_SPAN_CONCAT(mosaicSpanSite_,   \
+                                                          __LINE__){name};   \
+  ::mosaic::telemetry::ScopedSpan MOSAIC_SPAN_CONCAT(mosaicSpan_, __LINE__)( \
+      MOSAIC_SPAN_CONCAT(mosaicSpanSite_, __LINE__))
+#endif

@@ -1,9 +1,17 @@
 #pragma once
 /// \file timer.hpp
 /// Wall-clock timing utilities used by the optimizer telemetry and the
-/// runtime tables (paper Table 3).
+/// runtime tables (paper Table 3), plus a getrusage-based resource probe
+/// for the batch/chip status reports and the metrics snapshot.
 
 #include <chrono>
+#include <cstdio>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#define MOSAIC_HAS_GETRUSAGE 1
+#endif
 
 namespace mosaic {
 
@@ -26,6 +34,44 @@ class WallTimer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// Point-in-time process resource usage: peak resident set size and
+/// cumulative user/system CPU time. Values are zero on platforms without
+/// getrusage, so callers can report unconditionally.
+struct ResourceProbe {
+  double peakRssMb = 0.0;
+  double userCpuSec = 0.0;
+  double sysCpuSec = 0.0;
+
+  /// Sample the calling process (RUSAGE_SELF).
+  [[nodiscard]] static ResourceProbe sample() {
+    ResourceProbe probe;
+#if defined(MOSAIC_HAS_GETRUSAGE)
+    struct rusage usage {};
+    if (getrusage(RUSAGE_SELF, &usage) == 0) {
+#if defined(__APPLE__)
+      probe.peakRssMb = static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);
+#else
+      probe.peakRssMb = static_cast<double>(usage.ru_maxrss) / 1024.0;
+#endif
+      probe.userCpuSec = static_cast<double>(usage.ru_utime.tv_sec) +
+                         static_cast<double>(usage.ru_utime.tv_usec) * 1e-6;
+      probe.sysCpuSec = static_cast<double>(usage.ru_stime.tv_sec) +
+                        static_cast<double>(usage.ru_stime.tv_usec) * 1e-6;
+    }
+#endif
+    return probe;
+  }
+
+  /// One-line human-readable summary for status reports.
+  [[nodiscard]] std::string oneLine() const {
+    char buf[96];
+    std::snprintf(buf, sizeof buf,
+                  "peak RSS %.1f MB, user CPU %.1f s, sys CPU %.1f s",
+                  peakRssMb, userCpuSec, sysCpuSec);
+    return buf;
+  }
 };
 
 }  // namespace mosaic

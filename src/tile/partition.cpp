@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "support/telemetry/trace.hpp"
+
 namespace mosaic {
 namespace {
 
@@ -29,6 +31,7 @@ int defaultHaloNm(const OpticsConfig& optics, int pixelNm) {
 
 ChipPartition partitionChip(const Layout& chip, const TilingConfig& cfg,
                             const OpticsConfig& optics) {
+  MOSAIC_SPAN("tile.partition");
   cfg.validate();
   MOSAIC_CHECK(chip.sizeNm > 0, "chip layout has no size");
   MOSAIC_CHECK(chip.sizeNm % cfg.pixelNm == 0,

@@ -9,6 +9,9 @@
 #include "support/failpoint.hpp"
 #include "support/log.hpp"
 #include "support/parallel.hpp"
+#include "support/telemetry/metrics.hpp"
+#include "support/telemetry/runlog.hpp"
+#include "support/telemetry/trace.hpp"
 #include "support/timer.hpp"
 
 namespace mosaic {
@@ -17,6 +20,49 @@ namespace {
 std::string tileCheckpointPath(const std::string& dir, const TilePlan& tile) {
   return dir + "/tile_r" + std::to_string(tile.row) + "_c" +
          std::to_string(tile.col) + ".ckpt";
+}
+
+std::string tileScope(const TilePlan& tile) {
+  return "tile_r" + std::to_string(tile.row) + "_c" +
+         std::to_string(tile.col);
+}
+
+/// One JSONL record per finished tile (schema: docs/observability.md).
+void emitTileRecord(telemetry::RunLog* runLog, const TileOutcome& outcome) {
+  if (!runLog) return;
+  telemetry::JsonObject obj;
+  obj.set("type", "tile");
+  obj.set("row", outcome.row);
+  obj.set("col", outcome.col);
+  obj.set("status", outcome.skippedEmpty ? "empty"
+                    : outcome.ok         ? "ok"
+                                         : "fallback");
+  obj.set("attempts", outcome.attempts);
+  obj.set("iterations", outcome.iterations);
+  obj.set("recoveries", outcome.recoveries);
+  obj.set("non_finite", outcome.nonFiniteEvents);
+  obj.set("wall_ms", outcome.seconds * 1000.0);
+  if (!outcome.error.empty()) obj.set("error", outcome.error);
+  runLog->write(obj);
+}
+
+/// Chip-level summary record carrying the seam statistics — seam quality
+/// is a property of the stitched whole, so it cannot go on tile records.
+void emitChipRecord(telemetry::RunLog* runLog, const ChipResult& result) {
+  if (!runLog) return;
+  const SeamReport& seam = result.stitched.report;
+  telemetry::JsonObject obj;
+  obj.set("type", "chip");
+  obj.set("tiles", static_cast<long long>(result.outcomes.size()));
+  obj.set("succeeded", result.succeeded);
+  obj.set("failed", result.failed);
+  obj.set("seam_overlap_px", seam.overlapPixels);
+  obj.set("seam_disagree_px", seam.disagreeingPixels);
+  obj.set("seam_disagree_frac", seam.disagreementFraction);
+  obj.set("seam_core_mismatch_px", seam.coreMismatchPixels);
+  obj.set("seam_non_finite_px", seam.nonFinitePixels);
+  obj.set("wall_s", result.wallSeconds);
+  runLog->write(obj);
 }
 
 }  // namespace
@@ -77,9 +123,11 @@ ChipResult optimizeChip(const Layout& chip, const ChipConfig& cfg) {
       outcome.ok = true;
       outcome.skippedEmpty = true;
       outcome.seconds = tileTimer.seconds();
+      emitTileRecord(cfg.runLog, outcome);
       return;
     }
 
+    MOSAIC_SPAN("tile.optimize");
     for (int attempt = 1; attempt <= cfg.retries + 1; ++attempt) {
       outcome.attempts = attempt;
       try {
@@ -87,6 +135,8 @@ ChipResult optimizeChip(const Layout& chip, const ChipConfig& cfg) {
         // anything thrown below lands here, and only this tile retries.
         MOSAIC_FAILPOINT("tile.optimize");
         OptimizeOptions options;
+        options.runLog = cfg.runLog;
+        options.runLogScope = tileScope(tile);
         if (!cfg.checkpointDir.empty()) {
           const std::string path =
               tileCheckpointPath(cfg.checkpointDir, tile);
@@ -120,8 +170,10 @@ ChipResult optimizeChip(const Layout& chip, const ChipConfig& cfg) {
       // chip still stitches. The seam report and the outcome row make the
       // degradation visible; the caller decides whether to re-run.
       tileMasks[i] = toReal(target);
+      telemetry::metrics().counter("tile.fallbacks").add();
     }
     outcome.seconds = tileTimer.seconds();
+    emitTileRecord(cfg.runLog, outcome);
   });
 
   for (const TileOutcome& outcome : result.outcomes) {
@@ -135,6 +187,7 @@ ChipResult optimizeChip(const Layout& chip, const ChipConfig& cfg) {
   const double threshold = 0.5 * (baseConfig.maskLow + baseConfig.maskHigh);
   result.stitched = stitchTiles(part, tileMasks, threshold);
   result.wallSeconds = wallTimer.seconds();
+  emitChipRecord(cfg.runLog, result);
   return result;
 }
 

@@ -22,6 +22,10 @@
 
 namespace mosaic {
 
+namespace telemetry {
+class RunLog;
+}
+
 /// Knobs of the full-chip run.
 struct ChipConfig {
   TilingConfig tiling;
@@ -40,6 +44,10 @@ struct ChipConfig {
   bool resume = false;
   /// On-disk kernel cache directory shared by all tiles (empty = off).
   std::string kernelCacheDir;
+  /// When set, every tile appends per-iteration and per-tile JSONL records
+  /// here, plus one chip-level summary record with the seam statistics
+  /// (docs/observability.md). Not owned; must outlive the run.
+  telemetry::RunLog* runLog = nullptr;
 };
 
 /// Outcome of one tile's optimization.

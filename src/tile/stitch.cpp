@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "support/telemetry/trace.hpp"
+
 namespace mosaic {
 namespace {
 
@@ -72,6 +74,7 @@ BitGrid seamBand(const ChipPartition& part) {
 StitchResult stitchTiles(const ChipPartition& part,
                          const std::vector<RealGrid>& tileMasks,
                          double binarizeThreshold) {
+  MOSAIC_SPAN("tile.stitch");
   MOSAIC_CHECK(tileMasks.size() == part.tiles.size(),
                "stitch: " << tileMasks.size() << " masks for "
                           << part.tiles.size() << " tiles");

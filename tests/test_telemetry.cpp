@@ -1,0 +1,601 @@
+/// Tests for the telemetry layer (docs/observability.md): metrics registry
+/// (counters, gauges, latency histograms), scoped trace spans + Chrome
+/// trace export, the JSONL run log, the structured log sink, and the
+/// telemetry-off determinism guarantee.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "geometry/raster.hpp"
+#include "litho/simulator.hpp"
+#include "opc/mosaic.hpp"
+#include "opc/objective.hpp"
+#include "opc/optimizer.hpp"
+#include "suite/testcases.hpp"
+#include "support/error.hpp"
+#include "support/log.hpp"
+#include "support/parallel.hpp"
+#include "support/telemetry/json.hpp"
+#include "support/telemetry/metrics.hpp"
+#include "support/telemetry/runlog.hpp"
+#include "support/telemetry/trace.hpp"
+#include "support/timer.hpp"
+
+namespace mosaic {
+namespace {
+
+using telemetry::Histogram;
+using telemetry::HistogramStats;
+using telemetry::JsonObject;
+using telemetry::MetricsRegistry;
+using telemetry::MetricsSnapshot;
+
+// ------------------------------------------------- tiny JSON validator
+//
+// The telemetry library only emits JSON, so the tests carry a minimal
+// recursive-descent parser to prove the emitted documents are well-formed
+// (no third-party JSON dependency in the repo).
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  bool valid() {
+    pos_ = 0;
+    skipWs();
+    if (!parseValue()) return false;
+    skipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool parseValue() {
+    skipWs();
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return parseObject();
+      case '[':
+        return parseArray();
+      case '"':
+        return parseString();
+      case 't':
+        return parseLiteral("true");
+      case 'f':
+        return parseLiteral("false");
+      case 'n':
+        return parseLiteral("null");
+      default:
+        return parseNumber();
+    }
+  }
+  bool parseObject() {
+    if (!consume('{')) return false;
+    skipWs();
+    if (consume('}')) return true;
+    while (true) {
+      skipWs();
+      if (!parseString()) return false;
+      skipWs();
+      if (!consume(':')) return false;
+      if (!parseValue()) return false;
+      skipWs();
+      if (consume('}')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+  bool parseArray() {
+    if (!consume('[')) return false;
+    skipWs();
+    if (consume(']')) return true;
+    while (true) {
+      if (!parseValue()) return false;
+      skipWs();
+      if (consume(']')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+  bool parseString() {
+    if (!consume('"')) return false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + i >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
+              return false;
+            }
+          }
+          pos_ += 4;
+        } else if (std::string_view("\"\\/bfnrt").find(esc) ==
+                   std::string_view::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+  bool parseLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+  bool parseNumber() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+bool isValidJson(std::string_view text) { return JsonChecker(text).valid(); }
+
+/// Extract a numeric field value from one flat JSON record.
+double jsonField(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto at = line.find(needle);
+  EXPECT_NE(at, std::string::npos) << key << " missing in: " << line;
+  if (at == std::string::npos) return std::nan("");
+  return std::stod(line.substr(at + needle.size()));
+}
+
+bool jsonHasField(const std::string& line, const std::string& key) {
+  return line.find("\"" + key + "\":") != std::string::npos;
+}
+
+std::string tempPath(const std::string& stem) {
+  return (std::filesystem::temp_directory_path() / stem).string();
+}
+
+// ------------------------------------------------------------ JSON emit
+
+TEST(TelemetryJson, EscapesAndRendersValidObjects) {
+  JsonObject obj;
+  obj.set("plain", "value");
+  obj.set("quote", "say \"hi\"");
+  obj.set("control", std::string_view("a\nb\tc\x01" "d", 7));
+  obj.set("backslash", "C:\\tmp");
+  obj.set("int", 42);
+  obj.set("neg", -7);
+  obj.set("float", 2.5);
+  obj.set("flag", true);
+  const std::string text = obj.str();
+  EXPECT_TRUE(isValidJson(text)) << text;
+  EXPECT_NE(text.find("\\n"), std::string::npos);
+  EXPECT_NE(text.find("\\u0001"), std::string::npos);
+  EXPECT_NE(text.find("\\\""), std::string::npos);
+}
+
+TEST(TelemetryJson, NonFiniteNumbersBecomeNull) {
+  JsonObject obj;
+  obj.set("nan", std::nan(""));
+  obj.set("inf", std::numeric_limits<double>::infinity());
+  const std::string text = obj.str();
+  EXPECT_TRUE(isValidJson(text)) << text;
+  EXPECT_EQ(text, "{\"nan\":null,\"inf\":null}");
+}
+
+// ------------------------------------------------------------ histogram
+
+TEST(TelemetryHistogram, BucketBoundaries) {
+  EXPECT_EQ(Histogram::bucketIndex(0.0), 0);
+  EXPECT_EQ(Histogram::bucketIndex(0.99), 0);
+  EXPECT_EQ(Histogram::bucketIndex(1.0), 1);
+  EXPECT_EQ(Histogram::bucketIndex(1.99), 1);
+  EXPECT_EQ(Histogram::bucketIndex(2.0), 2);
+  EXPECT_EQ(Histogram::bucketIndex(3.99), 2);
+  EXPECT_EQ(Histogram::bucketIndex(4.0), 3);
+  EXPECT_EQ(Histogram::bucketIndex(1024.0), 11);
+  // Far beyond the last boundary: clamped to the open-ended bucket.
+  EXPECT_EQ(Histogram::bucketIndex(1e18), Histogram::kBuckets - 1);
+  // Upper bounds are the powers of two.
+  EXPECT_DOUBLE_EQ(Histogram::bucketUpperUs(0), 1.0);
+  EXPECT_DOUBLE_EQ(Histogram::bucketUpperUs(11), 2048.0);
+}
+
+TEST(TelemetryHistogram, SingleValueReportsExactPercentiles) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(300.0);
+  const HistogramStats s = h.stats();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.minUs, 300.0);
+  EXPECT_DOUBLE_EQ(s.maxUs, 300.0);
+  EXPECT_DOUBLE_EQ(s.meanUs, 300.0);
+  // Clamping to [min, max] makes a single-valued distribution exact.
+  EXPECT_DOUBLE_EQ(s.p50Us, 300.0);
+  EXPECT_DOUBLE_EQ(s.p95Us, 300.0);
+  EXPECT_DOUBLE_EQ(s.p99Us, 300.0);
+}
+
+TEST(TelemetryHistogram, PercentilesOrderedAndBounded) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i));
+  const HistogramStats s = h.stats();
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_DOUBLE_EQ(s.minUs, 1.0);
+  EXPECT_DOUBLE_EQ(s.maxUs, 1000.0);
+  EXPECT_NEAR(s.meanUs, 500.5, 1e-9);
+  EXPECT_LE(s.minUs, s.p50Us);
+  EXPECT_LE(s.p50Us, s.p95Us);
+  EXPECT_LE(s.p95Us, s.p99Us);
+  EXPECT_LE(s.p99Us, s.maxUs);
+  // Power-of-two buckets: p50 can be off by at most one bucket width.
+  EXPECT_GE(s.p50Us, 256.0);
+  EXPECT_LE(s.p50Us, 1000.0);
+}
+
+TEST(TelemetryHistogram, ResetClears) {
+  Histogram h;
+  h.record(5.0);
+  h.reset();
+  const HistogramStats s = h.stats();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.sumUs, 0.0);
+}
+
+// ------------------------------------------------------------- registry
+
+TEST(TelemetryRegistry, SameNameSameObject) {
+  MetricsRegistry reg;
+  EXPECT_EQ(&reg.counter("a.b"), &reg.counter("a.b"));
+  EXPECT_EQ(&reg.histogram("a.b"), &reg.histogram("a.b"));
+  EXPECT_NE(static_cast<void*>(&reg.counter("x")),
+            static_cast<void*>(&reg.counter("y")));
+}
+
+TEST(TelemetryRegistry, ConcurrentRecordingIsLossless) {
+  MetricsRegistry reg;
+  constexpr int kTasks = 64;
+  constexpr int kPerTask = 500;
+  parallelFor(0, kTasks, [&](std::size_t task) {
+    // Half the tasks resolve by name each time, half reuse a reference --
+    // both paths must be safe under concurrency.
+    if (task % 2 == 0) {
+      auto& counter = reg.counter("hot.counter");
+      auto& histogram = reg.histogram("hot.histogram");
+      for (int i = 0; i < kPerTask; ++i) {
+        counter.add();
+        histogram.record(static_cast<double>(i % 64));
+      }
+    } else {
+      for (int i = 0; i < kPerTask; ++i) {
+        reg.counter("hot.counter").add();
+        reg.histogram("hot.histogram").record(static_cast<double>(i % 64));
+      }
+    }
+  });
+  EXPECT_EQ(reg.counter("hot.counter").value(),
+            static_cast<std::uint64_t>(kTasks) * kPerTask);
+  EXPECT_EQ(reg.histogram("hot.histogram").count(),
+            static_cast<std::uint64_t>(kTasks) * kPerTask);
+}
+
+TEST(TelemetryRegistry, SnapshotJsonAndTable) {
+  MetricsRegistry reg;
+  reg.counter("events.total").add(3);
+  reg.gauge("queue.depth").set(2.5);
+  reg.histogram("latency").record(100.0);
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("events.total"), 3u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("queue.depth"), 2.5);
+  EXPECT_EQ(snap.histograms.at("latency").count, 1u);
+
+  const std::string json = snap.toJson();
+  EXPECT_TRUE(isValidJson(json)) << json;
+  EXPECT_NE(json.find("\"events.total\""), std::string::npos);
+
+  const std::string table = snap.summaryTable();
+  EXPECT_NE(table.find("latency"), std::string::npos);
+  EXPECT_NE(table.find("queue.depth"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- spans
+
+TEST(TelemetrySpans, NestedSpansRecordAndExport) {
+  telemetry::clearTrace();
+  telemetry::setTraceEnabled(true);
+  constexpr int kOuter = 5;
+  for (int i = 0; i < kOuter; ++i) {
+    MOSAIC_SPAN("test.outer");
+    {
+      MOSAIC_SPAN("test.inner");
+      volatile double sink = 0;
+      for (int j = 0; j < 100; ++j) sink = sink + j;
+    }
+  }
+  telemetry::setTraceEnabled(false);
+  EXPECT_GE(telemetry::traceEventCount(), 2u * kOuter);
+
+  const std::string json = telemetry::chromeTraceJson();
+  EXPECT_TRUE(isValidJson(json)) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"test.outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  telemetry::clearTrace();
+}
+
+TEST(TelemetrySpans, DisabledTracingStillFeedsHistograms) {
+  telemetry::clearTrace();
+  ASSERT_FALSE(telemetry::traceEnabled());
+  const std::uint64_t before =
+      telemetry::metrics().histogram("test.hist_only").count();
+  {
+    MOSAIC_SPAN("test.hist_only");
+  }
+  EXPECT_EQ(telemetry::metrics().histogram("test.hist_only").count(),
+            before + 1);
+  EXPECT_EQ(telemetry::traceEventCount(), 0u);
+}
+
+TEST(TelemetrySpans, WriteChromeTraceFile) {
+  telemetry::clearTrace();
+  telemetry::setTraceEnabled(true);
+  {
+    MOSAIC_SPAN("test.file_span");
+  }
+  telemetry::setTraceEnabled(false);
+  const std::string path = tempPath("mosaic_trace_test.json");
+  telemetry::writeChromeTrace(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_TRUE(isValidJson(buffer.str()));
+  EXPECT_NE(buffer.str().find("test.file_span"), std::string::npos);
+  std::filesystem::remove(path);
+  telemetry::clearTrace();
+}
+
+// -------------------------------------------------------------- run log
+
+TEST(TelemetryRunLog, ParallelWritersNeverInterleaveLines) {
+  const std::string path = tempPath("mosaic_runlog_parallel.jsonl");
+  constexpr int kTasks = 16;
+  constexpr int kPerTask = 50;
+  {
+    telemetry::RunLog log(path);
+    parallelFor(0, kTasks, [&](std::size_t task) {
+      for (int i = 0; i < kPerTask; ++i) {
+        JsonObject obj;
+        obj.set("task", static_cast<int>(task));
+        obj.set("i", i);
+        obj.set("padding", "xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx");
+        log.write(obj);
+      }
+    });
+    EXPECT_EQ(log.recordsWritten(), kTasks * kPerTask);
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  int lines = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    ASSERT_TRUE(isValidJson(line)) << "corrupt line " << lines << ": " << line;
+    ++lines;
+  }
+  EXPECT_EQ(lines, kTasks * kPerTask);
+  std::filesystem::remove(path);
+}
+
+TEST(TelemetryRunLog, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(telemetry::RunLog("/nonexistent-dir-xyz/log.jsonl"), Error);
+}
+
+// ---------------------------------------------- optimizer run-log schema
+
+/// Small, fast objective shared by the optimizer-level tests: 64 x 64 grid
+/// (16 nm pixels), same idiom as test_robustness.
+const LithoSimulator& testSim() {
+  static LithoSimulator* sim = [] {
+    OpticsConfig optics;
+    optics.pixelNm = 16;
+    return new LithoSimulator(optics);
+  }();
+  return *sim;
+}
+
+const BitGrid& testTarget() {
+  static BitGrid* target = new BitGrid(rasterize(buildTestcase(1), 16));
+  return *target;
+}
+
+TEST(TelemetryRunLog, OptimizerEmitsOneValidRecordPerIteration) {
+  IltConfig cfg = defaultIltConfig(OpcMethod::kIltBaseline, 16);
+  cfg.maxIterations = 6;
+  const IltObjective objective(testSim(), testTarget(), cfg);
+  const RealGrid initial = toReal(testTarget());
+
+  const std::string path = tempPath("mosaic_runlog_opt.jsonl");
+  OptimizeOptions options;
+  telemetry::RunLog log(path);
+  options.runLog = &log;
+  options.runLogScope = "unit";
+  const OptimizeResult result = optimizeMask(objective, initial, {}, options);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), result.history.size());
+
+  int previousIter = 0;
+  for (const std::string& record : lines) {
+    ASSERT_TRUE(isValidJson(record)) << record;
+    EXPECT_NE(record.find("\"type\":\"iteration\""), std::string::npos);
+    EXPECT_NE(record.find("\"scope\":\"unit\""), std::string::npos);
+    const double f = jsonField(record, "F");
+    EXPECT_TRUE(std::isfinite(f)) << record;
+    EXPECT_GT(f, 0.0);
+    EXPECT_TRUE(std::isfinite(jsonField(record, "grad_rms")));
+    EXPECT_GE(jsonField(record, "wall_ms"), 0.0);
+    const int iter = static_cast<int>(jsonField(record, "iter"));
+    EXPECT_GT(iter, previousIter) << "iteration ids must be monotone";
+    previousIter = iter;
+    for (const char* key : {"F_target", "F_pvb", "step", "improved",
+                            "jumped", "recovered"}) {
+      EXPECT_TRUE(jsonHasField(record, key)) << key << " missing: " << record;
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+// ------------------------------------------------- determinism guarantee
+
+TEST(TelemetryDeterminism, InstrumentedRunIsBitIdenticalToQuietRun) {
+  IltConfig cfg = defaultIltConfig(OpcMethod::kIltBaseline, 16);
+  cfg.maxIterations = 5;
+  const IltObjective objective(testSim(), testTarget(), cfg);
+  const RealGrid initial = toReal(testTarget());
+
+  // Quiet run: no tracing, no run log.
+  telemetry::clearTrace();
+  const OptimizeResult quiet = optimizeMask(objective, initial);
+
+  // Fully instrumented run.
+  const std::string path = tempPath("mosaic_runlog_det.jsonl");
+  telemetry::setTraceEnabled(true);
+  OptimizeOptions options;
+  telemetry::RunLog log(path);
+  options.runLog = &log;
+  const OptimizeResult traced = optimizeMask(objective, initial, {}, options);
+  telemetry::setTraceEnabled(false);
+  telemetry::clearTrace();
+
+  // Telemetry observes; it must never perturb the optimization.
+  ASSERT_EQ(quiet.bestMask.size(), traced.bestMask.size());
+  for (std::size_t i = 0; i < quiet.bestMask.size(); ++i) {
+    ASSERT_EQ(quiet.bestMask.data()[i], traced.bestMask.data()[i])
+        << "mask diverged at pixel " << i;
+  }
+  EXPECT_EQ(quiet.bestObjective, traced.bestObjective);
+  EXPECT_EQ(quiet.history.size(), traced.history.size());
+  std::filesystem::remove(path);
+}
+
+// ------------------------------------------------------- checkpoint v2
+
+TEST(TelemetryCheckpoint, WallMsSurvivesRoundTrip) {
+  OptimizerCheckpoint ckpt;
+  ckpt.iteration = 3;
+  ckpt.params = RealGrid(4, 4, 0.5);
+  ckpt.bestMask = RealGrid(4, 4, 1.0);
+  IterationRecord rec;
+  rec.iteration = 3;
+  rec.objective = 12.5;
+  rec.wallMs = 41.75;
+  ckpt.history.push_back(rec);
+
+  const std::string path = tempPath("mosaic_ckpt_wallms.ckpt");
+  saveOptimizerCheckpoint(path, ckpt);
+  const OptimizerCheckpoint loaded = loadOptimizerCheckpoint(path);
+  ASSERT_EQ(loaded.history.size(), 1u);
+  EXPECT_DOUBLE_EQ(loaded.history[0].wallMs, 41.75);
+  std::filesystem::remove(path);
+}
+
+// ------------------------------------------------------- structured log
+
+TEST(TelemetryLog, JsonSinkEmitsValidRecords) {
+  const LogLevel levelBefore = logLevel();
+  setLogLevel(LogLevel::kInfo);
+  setLogFormat(LogFormat::kJson);
+  testing::internal::CaptureStderr();
+  LOG_INFO("structured " << 42);
+  const std::string err = testing::internal::GetCapturedStderr();
+  setLogFormat(LogFormat::kText);
+  setLogLevel(levelBefore);
+
+  ASSERT_FALSE(err.empty());
+  const std::string line = err.substr(0, err.find('\n'));
+  EXPECT_TRUE(isValidJson(line)) << line;
+  EXPECT_NE(line.find("\"level\":\"info\""), std::string::npos);
+  EXPECT_NE(line.find("\"msg\":\"structured 42\""), std::string::npos);
+  EXPECT_TRUE(jsonHasField(line, "ts"));
+  EXPECT_TRUE(jsonHasField(line, "tid"));
+}
+
+TEST(TelemetryLog, ParseFormat) {
+  EXPECT_EQ(parseLogFormat("text"), LogFormat::kText);
+  EXPECT_EQ(parseLogFormat("JSON"), LogFormat::kJson);
+  EXPECT_THROW(parseLogFormat("xml"), InvalidArgument);
+}
+
+// -------------------------------------------------------- resource probe
+
+TEST(TelemetryResourceProbe, SamplesPlausibleValues) {
+  // Touch some memory so the peak is clearly nonzero.
+  std::vector<double> ballast(1 << 20, 1.0);
+  const ResourceProbe probe = ResourceProbe::sample();
+#if defined(__unix__) || defined(__APPLE__)
+  EXPECT_GT(probe.peakRssMb, 0.0);
+  EXPECT_GE(probe.userCpuSec + probe.sysCpuSec, 0.0);
+#endif
+  const std::string line = probe.oneLine();
+  EXPECT_NE(line.find("RSS"), std::string::npos);
+  EXPECT_NE(line.find("CPU"), std::string::npos);
+  EXPECT_GT(ballast[123], 0.0);
+}
+
+// --------------------------------------------------------- thread ids
+
+TEST(TelemetryTrace, ThreadIdsAreSmallAndStable) {
+  const int self = telemetry::threadId();
+  EXPECT_GE(self, 0);
+  EXPECT_EQ(telemetry::threadId(), self);
+  int other = -1;
+  std::thread t([&] { other = telemetry::threadId(); });
+  t.join();
+  EXPECT_GE(other, 0);
+  EXPECT_NE(other, self);
+}
+
+TEST(TelemetryTrace, NowNsIsMonotone) {
+  const std::uint64_t a = telemetry::nowNs();
+  const std::uint64_t b = telemetry::nowNs();
+  EXPECT_LE(a, b);
+}
+
+}  // namespace
+}  // namespace mosaic
