@@ -1,99 +1,225 @@
 /// \file bm_fft.cpp
-/// Microbenchmarks of the math substrate: 1-D/2-D FFT throughput, spectrum
-/// products and full cyclic convolutions. These bound every cost in the
-/// optimizer (one ILT iteration is a fixed number of these transforms).
+/// Legacy-vs-new FFT engine benchmark (docs/performance.md). Times the
+/// 2-D forward+inverse pair on the frozen legacy transforms (the seed
+/// implementation: per-stage radix-2 butterflies, per-column
+/// gather/scatter) against the rebuilt engine (fused stage pairs,
+/// row-vector column butterflies) and its real-input/real-output fast
+/// path, across grid sizes and thread counts. Each thread transforms its
+/// own grid through the shared plan, which is the tile scheduler's access
+/// pattern. Emits BENCH_fft.json; with --min-speedup S it exits nonzero
+/// when the new engine is not at least S times faster than legacy at the
+/// gate size (enforced at 1.0 -- "never slower" -- by the fft_perf_smoke
+/// ctest; the recorded full-run numbers are the >= 2x evidence).
 
-#include <benchmark/benchmark.h>
+#include <complex>
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <thread>
+#include <vector>
 
-#include "math/convolution.hpp"
 #include "math/fft.hpp"
+#include "math/grid.hpp"
+#include "support/cli.hpp"
 #include "support/rng.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
 
 namespace {
 
-using mosaic::ComplexGrid;
+using namespace mosaic;
 
 ComplexGrid randomGrid(int n, std::uint64_t seed) {
-  mosaic::Rng rng(seed);
+  Rng rng(seed);
   ComplexGrid g(n, n);
   for (auto& v : g) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
   return g;
 }
 
-void BM_Fft1d(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  mosaic::FftPlan plan(n);
-  mosaic::Rng rng(1);
-  std::vector<std::complex<double>> data(n);
-  for (auto& v : data) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
-  for (auto _ : state) {
-    plan.forward(data.data());
-    benchmark::DoNotOptimize(data.data());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(n));
-}
-BENCHMARK(BM_Fft1d)->Arg(256)->Arg(512)->Arg(1024)->Arg(4096);
-
-void BM_Fft2dForward(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  mosaic::Fft2d fft(n, n);
-  ComplexGrid g = randomGrid(n, 2);
-  for (auto _ : state) {
-    fft.forward(g);
-    benchmark::DoNotOptimize(g.data());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n *
-                          n);
-}
-BENCHMARK(BM_Fft2dForward)->Arg(128)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
-
-void BM_Fft2dRoundTrip(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  mosaic::Fft2d fft(n, n);
-  ComplexGrid g = randomGrid(n, 3);
-  for (auto _ : state) {
-    fft.forward(g);
-    fft.inverse(g);
-    benchmark::DoNotOptimize(g.data());
-  }
-}
-BENCHMARK(BM_Fft2dRoundTrip)->Arg(128)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
-
-void BM_CyclicConvolve(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  const ComplexGrid a = randomGrid(n, 4);
-  const ComplexGrid b = randomGrid(n, 5);
-  for (auto _ : state) {
-    auto out = mosaic::cyclicConvolve(a, b);
-    benchmark::DoNotOptimize(out.data());
-  }
-}
-BENCHMARK(BM_CyclicConvolve)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
-
-void BM_GaussianBlur(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  mosaic::Rng rng(9);
-  mosaic::RealGrid g(n, n);
+RealGrid randomRealGrid(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  RealGrid g(n, n);
   for (auto& v : g) v = rng.uniform(0, 1);
-  for (auto _ : state) {
-    auto out = mosaic::gaussianBlur(g, 2.5);
-    benchmark::DoNotOptimize(out.data());
-  }
+  return g;
 }
-BENCHMARK(BM_GaussianBlur)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
 
-void BM_SpectrumProduct(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  ComplexGrid a = randomGrid(n, 6);
-  const ComplexGrid b = randomGrid(n, 7);
-  for (auto _ : state) {
-    mosaic::multiplySpectraInPlace(a, b);
-    benchmark::DoNotOptimize(a.data());
+/// Runs `pair` (one forward+inverse round trip on a per-thread grid)
+/// `iters` times on each of `threads` concurrent workers and returns the
+/// best-of-`reps` wall time of one whole batch, in seconds.
+template <typename PairFn>
+double timeBatch(int threads, int iters, int reps, const PairFn& pair) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer timer;
+    if (threads <= 1) {
+      for (int i = 0; i < iters; ++i) pair(0);
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(static_cast<std::size_t>(threads));
+      for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t] {
+          for (int i = 0; i < iters; ++i) pair(t);
+        });
+      }
+      for (auto& th : pool) th.join();
+    }
+    const double s = timer.seconds();
+    if (r == 0 || s < best) best = s;
   }
+  return best;
 }
-BENCHMARK(BM_SpectrumProduct)->Arg(256)->Arg(512);
+
+struct Row {
+  int size = 0;
+  int threads = 0;
+  double legacyMs = 0.0;
+  double newMs = 0.0;
+  double realMs = 0.0;
+};
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  int reps = 3;
+  int gateSize = 1024;
+  double minSpeedup = -1.0;
+  bool smoke = false;
+  std::string jsonPath = "BENCH_fft.json";
+
+  CliParser cli("bm_fft",
+                "legacy vs rebuilt FFT engine: 2-D forward+inverse pair");
+  cli.addInt("reps", &reps, "repetitions per config (minimum is reported)");
+  cli.addInt("gate-size", &gateSize, "grid size the --min-speedup gate uses");
+  cli.addDouble("min-speedup", &minSpeedup,
+                "fail when new is not this many times faster than legacy "
+                "at the gate size, single thread (<0 = off)");
+  cli.addFlag("smoke", &smoke,
+              "gate size only, single thread (the tier-1 perf smoke)");
+  cli.addString("json", &jsonPath, "output JSON path");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    MOSAIC_CHECK(reps > 0, "reps must be positive");
+    MOSAIC_CHECK(Fft2d(gateSize, gateSize).rows() == gateSize,
+                 "gate size must be a power of two");
+
+    const std::vector<int> sizes =
+        smoke ? std::vector<int>{gateSize}
+              : std::vector<int>{256, 512, 1024, 2048};
+    const std::vector<int> threadCounts =
+        smoke ? std::vector<int>{1} : std::vector<int>{1, 2, 4};
+
+    std::vector<Row> rows;
+    double gateLegacyMs = 0.0;
+    double gateNewMs = 0.0;
+
+    for (const int n : sizes) {
+      const Fft2d& fft = fft2dFor(n, n);
+      // Keep each batch around the cost of a few 1024^2 pairs so small
+      // sizes are timed over many iterations and large ones stay quick.
+      const long long px = static_cast<long long>(n) * n;
+      const int iters =
+          std::max(1, static_cast<int>((1024LL * 1024 * 2) / px));
+
+      const int maxThreads = threadCounts.back();
+      std::vector<ComplexGrid> complexGrids;
+      std::vector<RealGrid> realGrids;
+      std::vector<ComplexGrid> spectra;
+      std::vector<RealGrid> realOut;
+      for (int t = 0; t < maxThreads; ++t) {
+        complexGrids.push_back(randomGrid(n, 100u + static_cast<unsigned>(t)));
+        realGrids.push_back(randomRealGrid(n, 200u + static_cast<unsigned>(t)));
+        spectra.emplace_back(n, n);
+        realOut.emplace_back(n, n);
+      }
+
+      for (const int threads : threadCounts) {
+        Row row;
+        row.size = n;
+        row.threads = threads;
+        const double scale = 1000.0 / iters;
+
+        row.legacyMs = scale * timeBatch(threads, iters, reps, [&](int t) {
+          auto& g = complexGrids[static_cast<std::size_t>(t)];
+          fft.forwardLegacy(g);
+          fft.inverseLegacy(g);
+        });
+        row.newMs = scale * timeBatch(threads, iters, reps, [&](int t) {
+          auto& g = complexGrids[static_cast<std::size_t>(t)];
+          fft.forward(g);
+          fft.inverse(g);
+        });
+        row.realMs = scale * timeBatch(threads, iters, reps, [&](int t) {
+          const std::size_t i = static_cast<std::size_t>(t);
+          fft.forwardRealInto(realGrids[i], spectra[i]);
+          fft.inverseRealInto(spectra[i], realOut[i]);
+        });
+        rows.push_back(row);
+        if (n == gateSize && threads == 1) {
+          gateLegacyMs = row.legacyMs;
+          gateNewMs = row.newMs;
+        }
+        std::printf("size %4d  threads %d  legacy %8.2f ms  new %8.2f ms "
+                    "(%.2fx)  real %8.2f ms (%.2fx)\n",
+                    n, threads, row.legacyMs, row.newMs,
+                    row.legacyMs / row.newMs, row.realMs,
+                    row.legacyMs / row.realMs);
+        std::fflush(stdout);
+      }
+    }
+
+    TextTable table;
+    table.setHeader({"size", "threads", "legacy ms", "new ms", "speedup",
+                     "real ms", "real speedup"});
+    for (const Row& row : rows) {
+      table.addRow({std::to_string(row.size), std::to_string(row.threads),
+                    TextTable::num(row.legacyMs, 2),
+                    TextTable::num(row.newMs, 2),
+                    TextTable::num(row.legacyMs / row.newMs, 2),
+                    TextTable::num(row.realMs, 2),
+                    TextTable::num(row.legacyMs / row.realMs, 2)});
+    }
+    std::printf("\n== bm_fft: forward+inverse pair per thread, best of %d "
+                "reps ==\n%s",
+                reps, table.render().c_str());
+
+    FILE* json = std::fopen(jsonPath.c_str(), "w");
+    MOSAIC_CHECK(json != nullptr, "cannot write " << jsonPath);
+    std::fprintf(json, "{\n  \"bench\": \"bm_fft\",\n  \"reps\": %d,\n"
+                       "  \"pair\": \"forward+inverse per thread\",\n"
+                       "  \"rows\": [\n", reps);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& row = rows[i];
+      std::fprintf(json,
+                   "    {\"size\": %d, \"threads\": %d, "
+                   "\"legacy_ms\": %.3f, \"new_ms\": %.3f, "
+                   "\"speedup\": %.3f, \"real_ms\": %.3f, "
+                   "\"real_speedup\": %.3f}%s\n",
+                   row.size, row.threads, row.legacyMs, row.newMs,
+                   row.legacyMs / row.newMs, row.realMs,
+                   row.legacyMs / row.realMs,
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("wrote %s\n", jsonPath.c_str());
+
+    if (minSpeedup >= 0.0) {
+      MOSAIC_CHECK(gateLegacyMs > 0.0,
+                   "gate size " << gateSize << " was not measured");
+      const double speedup = gateLegacyMs / gateNewMs;
+      if (speedup < minSpeedup) {
+        std::fprintf(stderr,
+                     "bm_fft: new engine speedup %.2fx at %d^2 is below "
+                     "the %.2fx gate\n",
+                     speedup, gateSize, minSpeedup);
+        return 1;
+      }
+      std::printf("gate: %.2fx >= %.2fx at %d^2, ok\n", speedup, minSpeedup,
+                  gateSize);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bm_fft: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include "litho/kernel_cache.hpp"
 #include "litho/tcc.hpp"
 #include "math/convolution.hpp"
+#include "math/scratch.hpp"
 #include "support/failpoint.hpp"
 #include "support/log.hpp"
 #include "support/telemetry/trace.hpp"
@@ -17,45 +18,55 @@ LithoSimulator::LithoSimulator(OpticsConfig optics, ResistModel resist)
                "resist threshold must be inside (0, 1)");
 }
 
-const KernelSet& LithoSimulator::kernels(double focusNm) const {
-  // Serializing the whole lookup keeps first-use computation race-free at
-  // the cost of blocking other corners briefly; steady-state calls only
-  // pay an uncontended lock + map lookup.
+LithoSimulator::KernelEntry& LithoSimulator::kernelEntry(
+    double focusNm) const {
   std::lock_guard<std::mutex> lock(kernelMutex_);
-  auto it = kernelCache_.find(focusNm);
-  if (it == kernelCache_.end()) {
-    MOSAIC_FAILPOINT("litho.kernel_load");
-    std::unique_ptr<KernelSet> set;
-    const std::string cachePath =
-        cacheDir_.empty()
-            ? std::string()
-            : cacheDir_ + "/" + kernelCacheName(optics_, focusNm);
+  std::shared_ptr<KernelEntry>& slot = kernelCache_[focusNm];
+  if (!slot) slot = std::make_shared<KernelEntry>();
+  return *slot;
+}
+
+void LithoSimulator::computeInto(KernelEntry& entry, double focusNm) const {
+  MOSAIC_FAILPOINT("litho.kernel_load");
+  std::unique_ptr<KernelSet> set;
+  const std::string cachePath =
+      cacheDir_.empty()
+          ? std::string()
+          : cacheDir_ + "/" + kernelCacheName(optics_, focusNm);
+  if (!cachePath.empty()) {
+    try {
+      set = std::make_unique<KernelSet>(loadKernelSet(cachePath));
+      LOG_INFO("loaded kernel cache " << cachePath);
+    } catch (const Error&) {
+      set.reset();  // miss or stale file -- recompute below
+    }
+  }
+  if (!set) {
+    MOSAIC_SPAN("litho.kernels.compute");
+    WallTimer timer;
+    set = std::make_unique<KernelSet>(computeKernelSet(optics_, focusNm));
+    LOG_INFO("computed " << set->kernels.size() << " SOCS kernels for focus "
+                         << focusNm << " nm in " << timer.seconds() << " s");
     if (!cachePath.empty()) {
       try {
-        set = std::make_unique<KernelSet>(loadKernelSet(cachePath));
-        LOG_INFO("loaded kernel cache " << cachePath);
-      } catch (const Error&) {
-        set.reset();  // miss or stale file -- recompute below
+        saveKernelSet(cachePath, *set);
+      } catch (const Error& e) {
+        LOG_WARN("could not persist kernel cache: " << e.what());
       }
     }
-    if (!set) {
-      MOSAIC_SPAN("litho.kernels.compute");
-      WallTimer timer;
-      set = std::make_unique<KernelSet>(computeKernelSet(optics_, focusNm));
-      LOG_INFO("computed " << set->kernels.size()
-                           << " SOCS kernels for focus " << focusNm
-                           << " nm in " << timer.seconds() << " s");
-      if (!cachePath.empty()) {
-        try {
-          saveKernelSet(cachePath, *set);
-        } catch (const Error& e) {
-          LOG_WARN("could not persist kernel cache: " << e.what());
-        }
-      }
-    }
-    it = kernelCache_.emplace(focusNm, std::move(set)).first;
   }
-  return *it->second;
+  entry.set = std::move(set);
+}
+
+const KernelSet& LithoSimulator::kernels(double focusNm) const {
+  // Two-level scheme: the mutex only covers finding/creating the per-focus
+  // entry; the expensive load/compute runs under that entry's call_once.
+  // Distinct focus values therefore compute concurrently, while duplicate
+  // requests for one focus still do the work exactly once. If the compute
+  // throws, call_once lets the next caller retry.
+  KernelEntry& entry = kernelEntry(focusNm);
+  std::call_once(entry.once, [&] { computeInto(entry, focusNm); });
+  return *entry.set;
 }
 
 void LithoSimulator::warmKernels(
@@ -91,7 +102,10 @@ RealGrid LithoSimulator::aerialFromSpectrum(const ComplexGrid& spectrum,
                         : std::min(maxKernels, set.kernelCount());
   const Fft2d& fft = fft2dFor(n, n);
   RealGrid intensity(n, n, 0.0);
-  ComplexGrid field(n, n);
+  // multiplyInto overwrites every element, so the (unzeroed) pooled grid
+  // is safe here.
+  scratch::ComplexLease fieldLease(n, n);
+  ComplexGrid& field = *fieldLease;
   for (int k = 0; k < count; ++k) {
     set.kernels[static_cast<std::size_t>(k)].multiplyInto(spectrum, field);
     fft.inverse(field);

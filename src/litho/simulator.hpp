@@ -22,13 +22,15 @@ namespace mosaic {
 /// once via maskSpectrum() and reuse it.
 ///
 /// Thread-safety contract: all const member functions are safe to call
-/// concurrently on one shared instance. The lazy per-focus kernel cache is
-/// mutex-protected (first use of a focus value serializes its computation;
-/// the returned KernelSet reference stays valid for the simulator's
-/// lifetime), and the FFT layer keeps no shared mutable scratch. This is
-/// what lets the batch runner and the tile scheduler share one simulator
-/// — and its kernel sets — across workers. Non-const members
-/// (setKernelCacheDir) must not race with concurrent use.
+/// concurrently on one shared instance. The lazy per-focus kernel cache
+/// serializes only per focus value: each focus has its own std::call_once
+/// entry, so two corners with distinct focus values compute their kernel
+/// sets concurrently while a second request for the same focus blocks just
+/// until the first finishes (the returned KernelSet reference stays valid
+/// for the simulator's lifetime). The FFT layer keeps no shared mutable
+/// scratch. This is what lets the batch runner and the tile scheduler
+/// share one simulator — and its kernel sets — across workers. Non-const
+/// members (setKernelCacheDir) must not race with concurrent use.
 class LithoSimulator {
  public:
   explicit LithoSimulator(OpticsConfig optics, ResistModel resist = {});
@@ -81,13 +83,25 @@ class LithoSimulator {
                               const ProcessCorner& corner) const;
 
  private:
+  /// One lazily-computed kernel set. The once_flag gates computation so
+  /// the map mutex is never held across computeKernelSet — distinct focus
+  /// values proceed in parallel.
+  struct KernelEntry {
+    std::once_flag once;
+    std::unique_ptr<KernelSet> set;
+  };
+
+  KernelEntry& kernelEntry(double focusNm) const;
+  void computeInto(KernelEntry& entry, double focusNm) const;
+
   OpticsConfig optics_;
   ResistModel resist_;
   std::string cacheDir_;
-  /// Guards kernelCache_ (values are unique_ptrs, so references handed out
-  /// under the lock stay stable after it is released).
+  /// Guards only the map itself (entry lookup/insert), never kernel
+  /// computation. Entries are shared_ptrs so references stay stable after
+  /// the lock is released.
   mutable std::mutex kernelMutex_;
-  mutable std::map<double, std::unique_ptr<KernelSet>> kernelCache_;
+  mutable std::map<double, std::shared_ptr<KernelEntry>> kernelCache_;
 };
 
 }  // namespace mosaic

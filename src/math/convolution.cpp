@@ -1,5 +1,8 @@
 #include "math/convolution.hpp"
 
+#include <vector>
+
+#include "math/scratch.hpp"
 #include "support/telemetry/trace.hpp"
 
 namespace mosaic {
@@ -41,10 +44,11 @@ ComplexGrid cyclicConvolve(const ComplexGrid& a, const ComplexGrid& b) {
   MOSAIC_CHECK(a.sameShape(b), "convolution operand shape mismatch");
   const Fft2d& fft = fft2dFor(a.rows(), a.cols());
   ComplexGrid fa = a;
-  ComplexGrid fb = b;
+  scratch::ComplexLease fb(a.rows(), a.cols());
+  *fb = b;
   fft.forward(fa);
-  fft.forward(fb);
-  multiplySpectraInPlace(fa, fb);
+  fft.forward(*fb);
+  multiplySpectraInPlace(fa, *fb);
   fft.inverse(fa);
   return fa;
 }
@@ -57,10 +61,12 @@ ComplexGrid directCyclicConvolve(const ComplexGrid& a, const ComplexGrid& b) {
   for (int r = 0; r < rows; ++r) {
     for (int c = 0; c < cols; ++c) {
       std::complex<double> acc{0.0, 0.0};
+      // tr/tc are already in [0, rows/cols), so r - tr + rows stays
+      // positive and the remainder is the cyclic index.
       for (int tr = 0; tr < rows; ++tr) {
-        const int br = (r - tr % rows + rows) % rows;
+        const int br = (r - tr + rows) % rows;
         for (int tc = 0; tc < cols; ++tc) {
-          const int bc = (c - tc % cols + cols) % cols;
+          const int bc = (c - tc + cols) % cols;
           acc += a(tr, tc) * b(br, bc);
         }
       }
@@ -97,22 +103,39 @@ RealGrid gaussianBlur(const RealGrid& grid, double sigmaPx) {
   const int rows = grid.rows();
   const int cols = grid.cols();
   const Fft2d& fft = fft2dFor(rows, cols);
-  ComplexGrid spectrum = toComplex(grid);
-  fft.forward(spectrum);
+  scratch::ComplexLease lease(rows, cols);
+  ComplexGrid& spectrum = *lease;
+  fft.forwardRealInto(grid, spectrum);
+
+  // exp(-2 pi^2 sigma^2 |f|^2) separates into per-axis factors. Signed
+  // frequency convention: index k maps to k/n for k < ceil(n/2) and to
+  // (k - n)/n above, so the Nyquist bin of an even size is -1/2 (for this
+  // even multiplier +1/2 would give the same value, but the convention is
+  // pinned here and tested so asymmetric multipliers can't regress it).
   constexpr double kTwoPiSq = 2.0 * 3.14159265358979323846 *
                               3.14159265358979323846;
+  const double k = kTwoPiSq * sigmaPx * sigmaPx;
+  auto axisFactors = [k](int n) {
+    std::vector<double> f(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const double fi = (i < (n + 1) / 2 ? i : i - n) / static_cast<double>(n);
+      f[static_cast<std::size_t>(i)] = std::exp(-k * fi * fi);
+    }
+    return f;
+  };
+  const std::vector<double> rowFactor = axisFactors(rows);
+  const std::vector<double> colFactor = axisFactors(cols);
   for (int r = 0; r < rows; ++r) {
-    const double fr = (r <= rows / 2 ? r : r - rows) /
-                      static_cast<double>(rows);
+    const double fr = rowFactor[static_cast<std::size_t>(r)];
+    std::complex<double>* row = spectrum.rowPtr(r);
     for (int c = 0; c < cols; ++c) {
-      const double fc = (c <= cols / 2 ? c : c - cols) /
-                        static_cast<double>(cols);
-      spectrum(r, c) *=
-          std::exp(-kTwoPiSq * sigmaPx * sigmaPx * (fr * fr + fc * fc));
+      row[c] *= fr * colFactor[static_cast<std::size_t>(c)];
     }
   }
-  fft.inverse(spectrum);
-  return realPart(spectrum);
+
+  RealGrid out(rows, cols);
+  fft.inverseRealInto(spectrum, out);
+  return out;
 }
 
 }  // namespace mosaic

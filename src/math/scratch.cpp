@@ -1,0 +1,79 @@
+#include "math/scratch.hpp"
+
+#include <vector>
+
+#include "support/telemetry/metrics.hpp"
+
+namespace mosaic {
+namespace scratch {
+namespace {
+
+/// Free lists are intentionally tiny: the deepest nesting in the library
+/// is two or three live temporaries per thread, and every cached 1024 grid
+/// is 16 MB. Overflow is simply freed.
+constexpr std::size_t kMaxCachedPerThread = 6;
+
+template <typename GridT>
+struct ThreadPool {
+  std::vector<std::unique_ptr<GridT>> freeList;
+};
+
+template <typename GridT>
+ThreadPool<GridT>& threadPool() {
+  thread_local ThreadPool<GridT> pool;
+  return pool;
+}
+
+template <typename GridT>
+std::unique_ptr<GridT> acquire(int rows, int cols) {
+  auto& list = threadPool<GridT>().freeList;
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    if (list[i]->rows() == rows && list[i]->cols() == cols) {
+      std::unique_ptr<GridT> grid = std::move(list[i]);
+      list[i] = std::move(list.back());
+      list.pop_back();
+      static telemetry::Counter& hits =
+          telemetry::metrics().counter("scratch.hit");
+      hits.add();
+      return grid;
+    }
+  }
+  static telemetry::Counter& misses =
+      telemetry::metrics().counter("scratch.miss");
+  misses.add();
+  return std::make_unique<GridT>(rows, cols);
+}
+
+template <typename GridT>
+void release(std::unique_ptr<GridT> grid) {
+  if (!grid) return;
+  auto& list = threadPool<GridT>().freeList;
+  if (list.size() < kMaxCachedPerThread) list.push_back(std::move(grid));
+}
+
+}  // namespace
+
+namespace detail {
+
+std::unique_ptr<RealGrid> acquireReal(int rows, int cols) {
+  return acquire<RealGrid>(rows, cols);
+}
+void releaseReal(std::unique_ptr<RealGrid> grid) {
+  release<RealGrid>(std::move(grid));
+}
+std::unique_ptr<ComplexGrid> acquireComplex(int rows, int cols) {
+  return acquire<ComplexGrid>(rows, cols);
+}
+void releaseComplex(std::unique_ptr<ComplexGrid> grid) {
+  release<ComplexGrid>(std::move(grid));
+}
+
+}  // namespace detail
+
+void clearThreadPool() {
+  threadPool<RealGrid>().freeList.clear();
+  threadPool<ComplexGrid>().freeList.clear();
+}
+
+}  // namespace scratch
+}  // namespace mosaic

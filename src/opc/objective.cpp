@@ -4,6 +4,7 @@
 #include <map>
 
 #include "math/convolution.hpp"
+#include "math/scratch.hpp"
 #include "math/stats.hpp"
 #include "support/failpoint.hpp"
 #include "support/telemetry/trace.hpp"
@@ -11,18 +12,22 @@
 namespace mosaic {
 namespace {
 
-/// Z and dZ/dI = theta_Z Z (1-Z) for an aerial image at a given dose.
+/// Z (and optionally dZ/dI = theta_Z Z (1-Z)) for an aerial image at a
+/// given dose. Pass dZdI = nullptr when only Z is needed -- the nominal
+/// path's term fields fold the derivative in themselves.
 void resistForward(const ResistModel& resist, const RealGrid& aerialRaw,
-                   double dose, RealGrid& z, RealGrid& dZdI) {
+                   double dose, RealGrid& z, RealGrid* dZdI = nullptr) {
   const int rows = aerialRaw.rows();
   const int cols = aerialRaw.cols();
   z = RealGrid(rows, cols);
-  dZdI = RealGrid(rows, cols);
+  if (dZdI != nullptr) *dZdI = RealGrid(rows, cols);
   for (std::size_t i = 0; i < aerialRaw.size(); ++i) {
     const double intensity = dose * aerialRaw.data()[i];
     const double zv = resist.sigmoid(intensity);
     z.data()[i] = zv;
-    dZdI.data()[i] = resist.thetaZ * zv * (1.0 - zv);
+    if (dZdI != nullptr) {
+      dZdI->data()[i] = resist.thetaZ * zv * (1.0 - zv);
+    }
   }
 }
 
@@ -141,10 +146,14 @@ void IltObjective::accumulateGradient(const ComplexGrid& maskSpectrum,
   const int n = kernels.gridSize;
   const Fft2d& fft = fft2dFor(n, n);
 
+  // One pooled work grid reused across every kernel chain (multiplyInto
+  // overwrites all of it, so no zeroing is needed), instead of a fresh
+  // n x n allocation per kernel per iteration.
+  scratch::ComplexLease fieldLease(n, n);
+  ComplexGrid& field = *fieldLease;
   auto addChain = [&](const SparseSpectrum& spec, double weight,
                       ComplexGrid& accumSpectrum) {
     // field A = ifft(Mhat .* spec)
-    ComplexGrid field(n, n);
     spec.multiplyInto(maskSpectrum, field);
     fft.inverse(field);
     // B = G .* conj(A); accumulate w * fft(B) .* spec_flipped.
@@ -155,7 +164,9 @@ void IltObjective::accumulateGradient(const ComplexGrid& maskSpectrum,
     spec.flipped().accumulateProduct(field, weight, accumSpectrum);
   };
 
-  ComplexGrid accum(n, n, {0.0, 0.0});
+  scratch::ComplexLease accumLease(n, n);
+  ComplexGrid& accum = *accumLease;
+  accum.fill({0.0, 0.0});
   if (config_.gradientMode == GradientMode::kCombinedKernel) {
     addChain(kernels.combined, 1.0, accum);
   } else {
@@ -187,9 +198,7 @@ IltObjective::Evaluation IltObjective::evaluate(const RealGrid& mask,
   const RealGrid aerialNominal = sim_.aerialFromSpectrum(
       maskSpectrum, nominalCorner(), config_.inLoopKernels);
   RealGrid zNominal;
-  RealGrid dZdI;  // unused beyond checks; term fields fold it in themselves
-  resistForward(sim_.resist(), aerialNominal, 1.0, zNominal, dZdI);
-  eval.zNominal = zNominal;
+  resistForward(sim_.resist(), aerialNominal, 1.0, zNominal);
 
   double targetValue = 0.0;
   RealGrid gTarget =
@@ -197,6 +206,9 @@ IltObjective::Evaluation IltObjective::evaluate(const RealGrid& mask,
           ? epeGradientField(zNominal, aerialNominal, &targetValue)
           : imageDiffGradientField(zNominal, aerialNominal, &targetValue);
   eval.targetValue = targetValue;
+  // zNominal is no longer read below; hand the buffer to the evaluation
+  // instead of deep-copying it.
+  eval.zNominal = std::move(zNominal);
 
   // ---- process corners: F_pvb (Eq. 18) ----
   // Group the dF/dI fields by focus so each kernel set pays exactly one
@@ -224,7 +236,7 @@ IltObjective::Evaluation IltObjective::evaluate(const RealGrid& mask,
       RealGrid zCorner;
       RealGrid dZdICorner;
       resistForward(sim_.resist(), aerialRaw, corner.dose, zCorner,
-                    dZdICorner);
+                    &dZdICorner);
       RealGrid g(n, n);
       for (std::size_t i = 0; i < g.size(); ++i) {
         const double diff = zCorner.data()[i] - targetReal_.data()[i];

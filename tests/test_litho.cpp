@@ -4,12 +4,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <thread>
 
 #include "geometry/raster.hpp"
 #include "litho/pupil.hpp"
 #include "litho/simulator.hpp"
 #include "litho/tcc.hpp"
 #include "math/stats.hpp"
+#include "support/failpoint.hpp"
+#include "support/timer.hpp"
 
 namespace mosaic {
 namespace {
@@ -386,6 +389,109 @@ TEST(Simulator, KernelCacheReturnsSameObject) {
   const KernelSet& c = sim.kernels(25.0);
   EXPECT_NE(&a, &c);
   EXPECT_DOUBLE_EQ(c.focusNm, 25.0);
+}
+
+/// Tiny, fast optics for the threaded kernel-cache tests: the 512 nm clip
+/// shrinks the pupil lattice (and with it the TCC eigendecomposition) so
+/// far that the injected delays dominate the timing even on one core.
+OpticsConfig cheapOptics() {
+  OpticsConfig o = testOptics(16);
+  o.clipSizeNm = 512;
+  o.sourceOversample = 2;
+  return o;
+}
+
+TEST(Simulator, DistinctFocusKernelsComputeConcurrently) {
+  // Regression for the kernel cache holding its mutex across
+  // computeKernelSet: with the per-focus call_once scheme, two corners
+  // with different focus values must overlap their first-use computation.
+  // The injected 1.2 s delay fires once per compute; if the computations
+  // serialized, wall time would be >= 2.4 s even with zero compute cost.
+  // Sleeps overlap even on one core, so this is robust on small machines.
+  LithoSimulator sim(cheapOptics());
+  failpoint::ScopedFailpoints sfp("litho.kernel_load:delay=1200");
+  WallTimer timer;
+  std::thread a([&] { (void)sim.kernels(0.0); });
+  std::thread b([&] { (void)sim.kernels(25.0); });
+  a.join();
+  b.join();
+  EXPECT_EQ(failpoint::hitCount("litho.kernel_load"), 2);
+  EXPECT_LT(timer.seconds(), 2.0);
+}
+
+TEST(Simulator, SameFocusComputesExactlyOnceUnderContention) {
+  LithoSimulator sim(cheapOptics());
+  // The delay widens the race window so the second thread reliably arrives
+  // while the first is still inside the call_once.
+  failpoint::ScopedFailpoints sfp("litho.kernel_load:delay=100");
+  const KernelSet* pa = nullptr;
+  const KernelSet* pb = nullptr;
+  std::thread a([&] { pa = &sim.kernels(12.5); });
+  std::thread b([&] { pb = &sim.kernels(12.5); });
+  a.join();
+  b.join();
+  ASSERT_NE(pa, nullptr);
+  EXPECT_EQ(pa, pb);
+  EXPECT_EQ(failpoint::hitCount("litho.kernel_load"), 1);
+}
+
+TEST(Simulator, NewFftEngineMatchesLegacyPath) {
+  // The acceptance bar for the rebuilt FFT engine: the imaging pipeline
+  // (real-input mask spectrum + fast inverse per kernel) must reproduce
+  // the frozen legacy transforms to 1e-10 on the continuous images and
+  // bit-exactly on the binary print.
+  LithoSimulator& sim = sharedSim();
+  const int n = sim.gridSize();
+  const BitGrid target = rasterize(lineLayout(64), 8);
+  const RealGrid mask = toReal(target);
+
+  const ComplexGrid spectrum = sim.maskSpectrum(mask);
+  const RealGrid aerial = sim.aerialFromSpectrum(spectrum, nominalCorner());
+
+  const Fft2d& fft = fft2dFor(n, n);
+  ComplexGrid legacySpectrum(n, n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) legacySpectrum(r, c) = {mask(r, c), 0.0};
+  }
+  fft.forwardLegacy(legacySpectrum);
+  double specDiff = 0.0;
+  for (std::size_t i = 0; i < spectrum.size(); ++i) {
+    specDiff = std::max(
+        specDiff, std::abs(spectrum.data()[i] - legacySpectrum.data()[i]));
+  }
+  EXPECT_LT(specDiff, 1e-10);
+
+  // Legacy SOCS sum: per-kernel multiply + legacy inverse transform.
+  const KernelSet& set = sim.kernels(0.0);
+  RealGrid legacyAerial(n, n, 0.0);
+  ComplexGrid field(n, n);
+  for (int k = 0; k < set.kernelCount(); ++k) {
+    set.kernels[static_cast<std::size_t>(k)].multiplyInto(legacySpectrum,
+                                                          field);
+    fft.inverseLegacy(field);
+    const double w = set.weights[static_cast<std::size_t>(k)];
+    for (std::size_t i = 0; i < legacyAerial.size(); ++i) {
+      legacyAerial.data()[i] += w * std::norm(field.data()[i]);
+    }
+  }
+
+  double aerialDiff = 0.0;
+  for (std::size_t i = 0; i < aerial.size(); ++i) {
+    aerialDiff = std::max(
+        aerialDiff, std::fabs(aerial.data()[i] - legacyAerial.data()[i]));
+  }
+  EXPECT_LT(aerialDiff, 1e-10);
+
+  const RealGrid zNew = sim.printContinuous(aerial);
+  const RealGrid zLegacy = sim.printContinuous(legacyAerial);
+  for (std::size_t i = 0; i < zNew.size(); ++i) {
+    ASSERT_NEAR(zNew.data()[i], zLegacy.data()[i], 1e-10);
+  }
+  const BitGrid printNew = sim.printBinary(aerial);
+  const BitGrid printLegacy = sim.printBinary(legacyAerial);
+  for (std::size_t i = 0; i < printNew.size(); ++i) {
+    ASSERT_EQ(printNew.data()[i], printLegacy.data()[i]);
+  }
 }
 
 TEST(Simulator, MaskShapeValidation) {
