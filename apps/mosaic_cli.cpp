@@ -22,16 +22,24 @@
 ///   mosaic_cli simulate --input /tmp/b4_mask.glp --focus 25 --dose 0.98
 ///   mosaic_cli evaluate --input /tmp/b4_mask.glp --target-case 4
 ///   mosaic_cli export-suite --dir /tmp/suite
+///   mosaic_cli submit --port-file /tmp/serve/serve.port --case B3 --wait
 ///
 /// Fault injection for robustness testing is armed via the
 /// MOSAIC_FAILPOINTS environment variable or the --failpoints option of
 /// `run` and `batch` (see docs/robustness.md).
+///
+/// The long-running subcommands (run, batch, chip) handle SIGINT/SIGTERM
+/// gracefully: in-flight work is checkpointed (when checkpointing is
+/// armed), a resume hint is printed, and the process exits with code 3 so
+/// scripts can tell an interrupt from success (0) and failures (1/2). See
+/// docs/serving.md for the daemon-side story.
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <exception>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -49,13 +57,17 @@
 #include "opc/edge_opc.hpp"
 #include "opc/levelset.hpp"
 #include "opc/mosaic.hpp"
+#include "serve/job.hpp"
 #include "suite/testcases.hpp"
 #include "support/cli.hpp"
 #include "support/failpoint.hpp"
 #include "support/image_io.hpp"
 #include "support/log.hpp"
 #include "support/parallel.hpp"
+#include "support/signal.hpp"
+#include "support/socket.hpp"
 #include "support/table.hpp"
+#include "support/telemetry/jsonin.hpp"
 #include "support/telemetry/metrics.hpp"
 #include "support/telemetry/runlog.hpp"
 #include "support/telemetry/trace.hpp"
@@ -265,13 +277,17 @@ int cmdRun(int argc, char** argv) {
     cfg.maskLow = maskLow;
     cfg.deadlineSeconds = deadline;
     cfg.maxRecoveries = maxRecoveries;
+    CancelToken interruptToken;
+    installTerminationHandler(&interruptToken);
     OptimizeOptions opt;
     opt.checkpointPath = checkpoint;
     opt.checkpointEvery = checkpoint.empty() ? 0 : checkpointEvery;
     opt.resumePath = resume;
     opt.runLog = runLog.get();
     opt.runLogScope = layout.name;
+    opt.cancel = &interruptToken;
     const OpcResult res = runOpc(sim, target, m, &cfg, {}, {}, opt);
+    installTerminationHandler(nullptr);
     mask = res.maskTwoLevel;
     runtime = res.runtimeSec;
     std::printf("stop reason: %s (%d iterations",
@@ -281,6 +297,17 @@ int cmdRun(int argc, char** argv) {
                   res.nonFiniteEvents, res.recoveries);
     }
     std::printf(")\n");
+    if (res.stopReason == StopReason::kCanceled) {
+      std::printf("interrupted by %s after %d iterations\n",
+                  terminationSignalName(), res.iterations);
+      if (!checkpoint.empty()) {
+        std::printf("resume with: mosaic_cli run ... --resume %s\n",
+                    checkpoint.c_str());
+      } else {
+        std::printf("(no --checkpoint was set; progress is lost)\n");
+      }
+      return kExitInterrupted;
+    }
   }
 
   const CaseEvaluation ev = evaluateMask(sim, mask, target, runtime);
@@ -346,6 +373,9 @@ int cmdBatch(int argc, char** argv) {
   double deadline = 0.0;
   int backoffMs = 50;
   int threads = 0;
+  std::string checkpointDir;
+  int checkpointEvery = 5;
+  bool resume = false;
   TelemetryFlags tele;
 
   CliParser cli("mosaic_cli batch",
@@ -363,6 +393,12 @@ int cmdBatch(int argc, char** argv) {
                 "per-clip optimizer wall-clock budget in seconds");
   cli.addInt("backoff-ms", &backoffMs, "retry backoff in milliseconds");
   cli.addInt("threads", &threads, "worker threads (0 = hardware default)");
+  cli.addString("checkpoint-dir", &checkpointDir,
+                "directory for per-clip optimizer checkpoints (B<i>.ckpt)");
+  cli.addInt("checkpoint-every", &checkpointEvery,
+             "iterations between per-clip checkpoints");
+  cli.addFlag("resume", &resume,
+              "resume clips from existing checkpoints in --checkpoint-dir");
   tele.addOptions(cli);
   if (!cli.parse(argc, argv)) return 0;
   setLogLevel(parseLogLevel(logLevel));
@@ -383,12 +419,18 @@ int cmdBatch(int argc, char** argv) {
     throw InvalidArgument("unknown batch method: " + method);
   }
   const std::vector<int> caseList = parseCaseList(cases);
+  if (!checkpointDir.empty()) {
+    std::filesystem::create_directories(checkpointDir);
+  }
 
   // One simulator for the whole batch: clips share the kernel sets. The
   // clips run serially here, but sharing is safe even under concurrency —
   // LithoSimulator's const interface is thread-safe by contract (see
   // litho/simulator.hpp), which is what the tile scheduler relies on.
   LithoSimulator sim = makeSim(pixel);
+
+  CancelToken interruptToken;
+  installTerminationHandler(&interruptToken);
 
   struct ClipOutcome {
     std::string name;
@@ -401,10 +443,20 @@ int cmdBatch(int argc, char** argv) {
     std::string error;
   };
   std::vector<ClipOutcome> outcomes;
+  bool interrupted = false;
+  std::string interruptedClip;
 
   for (const int index : caseList) {
+    if (interruptToken.stopRequested()) {
+      interrupted = true;
+      break;  // not-yet-started clips are simply left for the resumed run
+    }
     ClipOutcome outcome;
     outcome.name = "B" + std::to_string(index);
+    const std::string clipCkpt =
+        checkpointDir.empty() ? std::string()
+                              : checkpointDir + "/" + outcome.name + ".ckpt";
+    bool allowResume = resume;
     for (int attempt = 1; attempt <= retries + 1; ++attempt) {
       outcome.attempts = attempt;
       WallTimer clipTimer;
@@ -421,7 +473,24 @@ int cmdBatch(int argc, char** argv) {
         OptimizeOptions opt;
         opt.runLog = runLog.get();
         opt.runLogScope = outcome.name;
+        opt.cancel = &interruptToken;
+        if (!clipCkpt.empty()) {
+          opt.checkpointPath = clipCkpt;
+          opt.checkpointEvery = checkpointEvery;
+          if (allowResume && std::ifstream(clipCkpt).good()) {
+            opt.resumePath = clipCkpt;
+          }
+        }
         const OpcResult res = runOpc(sim, target, m, &cfg, {}, {}, opt);
+        if (res.stopReason == StopReason::kCanceled) {
+          // Signal mid-clip: the optimizer already checkpointed (when
+          // armed); stop the batch here and leave this clip resumable.
+          interrupted = true;
+          interruptedClip = outcome.name;
+          outcome.seconds = clipTimer.seconds();
+          outcome.error = "interrupted";
+          break;
+        }
         outcome.ev =
             evaluateMask(sim, res.maskTwoLevel, target, res.runtimeSec);
         outcome.nonFiniteEvents = res.nonFiniteEvents;
@@ -435,6 +504,14 @@ int cmdBatch(int argc, char** argv) {
           writeGlpFile(outDir + "/" + layout.name + "_mask.glp", maskLayout);
         }
         break;
+      } catch (const CheckpointError& e) {
+        // Unusable per-clip checkpoint: restart this clip fresh without
+        // burning a retry (the retry budget is for optimization faults).
+        outcome.error = e.what();
+        allowResume = false;
+        LOG_WARN("clip B" << index << " checkpoint unusable, restarting "
+                          << "fresh: " << e.what());
+        --attempt;
       } catch (const std::exception& e) {
         outcome.seconds = clipTimer.seconds();
         outcome.error = e.what();
@@ -524,6 +601,24 @@ int cmdBatch(int argc, char** argv) {
     runLog->write(obj);
   }
   tele.finish(runLog.get());
+  installTerminationHandler(nullptr);
+
+  if (interrupted) {
+    std::printf("batch interrupted by %s", terminationSignalName());
+    if (!interruptedClip.empty()) {
+      std::printf(" during clip %s", interruptedClip.c_str());
+    }
+    std::printf("\n");
+    if (!checkpointDir.empty()) {
+      std::printf("resume with: mosaic_cli batch ... --checkpoint-dir %s "
+                  "--resume\n",
+                  checkpointDir.c_str());
+    } else {
+      std::printf("(no --checkpoint-dir was set; in-flight progress is "
+                  "lost)\n");
+    }
+    return kExitInterrupted;
+  }
 
   if (succeeded == static_cast<int>(outcomes.size())) return kBatchAllOk;
   return succeeded == 0 ? kBatchTotalFailure : kBatchPartialFailure;
@@ -617,6 +712,9 @@ int cmdChip(int argc, char** argv) {
   cfg.resume = resume;
   cfg.kernelCacheDir = kernelCache;
   cfg.runLog = runLog.get();
+  CancelToken interruptToken;
+  installTerminationHandler(&interruptToken);
+  cfg.cancel = &interruptToken;
 
   Layout chip;
   if (!input.empty()) {
@@ -680,6 +778,21 @@ int cmdChip(int argc, char** argv) {
   }
 
   tele.finish(runLog.get());
+  installTerminationHandler(nullptr);
+
+  if (res.interrupted) {
+    std::printf("chip run interrupted by %s (%d/%d tiles finished)\n",
+                terminationSignalName(), res.succeeded, part.tileCount());
+    if (!checkpointDir.empty()) {
+      std::printf("resume with: mosaic_cli chip ... --checkpoint-dir %s "
+                  "--resume\n",
+                  checkpointDir.c_str());
+    } else {
+      std::printf("(no --checkpoint-dir was set; in-flight tile progress is "
+                  "lost)\n");
+    }
+    return kExitInterrupted;
+  }
 
   if (seam.nonFinitePixels > 0 || res.succeeded == 0) return 1;
   return res.failed == 0 ? 0 : 2;
@@ -768,6 +881,182 @@ int cmdEvaluate(int argc, char** argv) {
   return 0;
 }
 
+/// Read the port a mosaic_serve daemon wrote to its work-dir port file.
+int readPortFile(const std::string& path) {
+  std::ifstream in(path);
+  MOSAIC_CHECK(in.good(), "cannot read port file: " << path);
+  int port = 0;
+  in >> port;
+  MOSAIC_CHECK(port > 0 && port <= 65535,
+               "bad port in port file " << path << ": " << port);
+  return port;
+}
+
+/// One request/response round trip on an established channel.
+telemetry::JsonValue roundTrip(LineChannel& channel,
+                               const telemetry::JsonObject& request,
+                               int timeoutMs) {
+  channel.writeLine(request.str());
+  std::string line;
+  MOSAIC_CHECK(channel.readLine(&line, timeoutMs),
+               "no response from mosaic_serve (timeout or closed)");
+  return telemetry::JsonValue::parse(line);
+}
+
+int cmdSubmit(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string portFile;
+  std::string caseName = "B1";
+  std::string method = "fast";
+  int pixel = 16;
+  int iters = 0;
+  double deadline = 0.0;
+  int maxAttempts = 2;
+  int checkpointEvery = 5;
+  std::string jobFile;
+  std::string watch;
+  bool wait = false;
+  int pollMs = 200;
+  double timeoutSec = 0.0;
+  std::string logLevel = "warn";
+
+  CliParser cli("mosaic_cli submit",
+                "submit OPC jobs to a mosaic_serve daemon and poll results");
+  cli.addString("host", &host, "daemon address (dotted quad)");
+  cli.addInt("port", &port, "daemon port (0 = read --port-file)");
+  cli.addString("port-file", &portFile,
+                "read the port from a mosaic_serve work-dir serve.port file");
+  cli.addString("case", &caseName, "job target: B1..B10 or random:<seed>");
+  cli.addString("method", &method, "fast | exact | baseline");
+  cli.addInt("pixel", &pixel, "pixel size in nm");
+  cli.addInt("iters", &iters, "optimizer iterations (0 = method default)");
+  cli.addDouble("deadline", &deadline,
+                "per-job wall-clock budget in seconds (0 = none)");
+  cli.addInt("max-attempts", &maxAttempts, "attempts before the job fails");
+  cli.addInt("checkpoint-every", &checkpointEvery,
+             "iterations between the job's resume checkpoints");
+  cli.addString("job-file", &jobFile,
+                "submit every line of this JSONL job-spec file instead");
+  cli.addString("watch", &watch,
+                "poll an existing job id instead of submitting");
+  cli.addFlag("wait", &wait, "poll until terminal and print the result");
+  cli.addInt("poll-ms", &pollMs, "status poll interval while waiting");
+  cli.addDouble("timeout", &timeoutSec,
+                "give up waiting after this many seconds (0 = forever)");
+  cli.addString("log", &logLevel, "log level");
+  if (!cli.parse(argc, argv)) return 0;
+  setLogLevel(parseLogLevel(logLevel));
+  MOSAIC_CHECK(pollMs >= 1, "--poll-ms must be >= 1");
+  if (port == 0) {
+    MOSAIC_CHECK(!portFile.empty(), "pass --port or --port-file");
+    port = readPortFile(portFile);
+  }
+
+  LineChannel channel(connectTcp(host, port));
+  constexpr int kReplyTimeoutMs = 10000;
+
+  // Collect the job ids to track: from --watch, from --job-file, or from
+  // the flag-built single spec.
+  std::vector<std::string> ids;
+  if (!watch.empty()) {
+    ids.push_back(watch);
+  } else {
+    std::vector<std::string> submitLines;
+    if (!jobFile.empty()) {
+      std::ifstream in(jobFile);
+      MOSAIC_CHECK(in.good(), "cannot read job file: " << jobFile);
+      std::string line;
+      while (std::getline(in, line)) {
+        if (!line.empty()) submitLines.push_back(line);
+      }
+      MOSAIC_CHECK(!submitLines.empty(), "job file is empty: " << jobFile);
+    }
+    std::vector<telemetry::JsonObject> requests;
+    if (submitLines.empty()) {
+      serve::JobSpec spec;
+      spec.caseName = caseName;
+      spec.method = method;
+      spec.pixelNm = pixel;
+      spec.iterations = iters;
+      spec.deadlineSeconds = deadline;
+      spec.maxAttempts = maxAttempts;
+      spec.checkpointEvery = checkpointEvery;
+      telemetry::JsonObject req;
+      req.set("op", "submit");
+      serve::specToJson(spec, &req);
+      requests.push_back(std::move(req));
+    } else {
+      for (const std::string& line : submitLines) {
+        const serve::JobSpec spec =
+            serve::specFromJson(telemetry::JsonValue::parse(line));
+        telemetry::JsonObject req;
+        req.set("op", "submit");
+        serve::specToJson(spec, &req);
+        requests.push_back(std::move(req));
+      }
+    }
+    for (const telemetry::JsonObject& req : requests) {
+      const telemetry::JsonValue reply =
+          roundTrip(channel, req, kReplyTimeoutMs);
+      if (!reply.boolOr("ok", false)) {
+        std::printf("{\"ok\":false,\"error\":\"%s\",\"message\":\"%s\"}\n",
+                    reply.stringOr("error", "internal").c_str(),
+                    reply.stringOr("message", "").c_str());
+        return 1;
+      }
+      const std::string id = reply.stringOr("job", "");
+      std::printf("{\"ok\":true,\"job\":\"%s\"}\n", id.c_str());
+      ids.push_back(id);
+    }
+  }
+
+  if (!wait) return 0;
+
+  // Poll each job to a terminal state, then fetch and print its result.
+  WallTimer waitTimer;
+  bool allDone = true;
+  for (const std::string& id : ids) {
+    for (;;) {
+      telemetry::JsonObject req;
+      req.set("op", "status");
+      req.set("job", id);
+      const telemetry::JsonValue status =
+          roundTrip(channel, req, kReplyTimeoutMs);
+      MOSAIC_CHECK(status.boolOr("ok", false),
+                   "status poll failed for " << id << ": "
+                                             << status.stringOr("message", ""));
+      const std::string state = status.stringOr("state", "");
+      if (state != "queued" && state != "running") break;
+      MOSAIC_CHECK(timeoutSec <= 0.0 || waitTimer.seconds() < timeoutSec,
+                   "timed out waiting for " << id);
+      std::this_thread::sleep_for(std::chrono::milliseconds(pollMs));
+    }
+    telemetry::JsonObject req;
+    req.set("op", "result");
+    req.set("job", id);
+    const telemetry::JsonValue result =
+        roundTrip(channel, req, kReplyTimeoutMs);
+    // Print the raw result line: it is already the documented protocol
+    // shape, and scripts (the serve smoke test) parse it directly.
+    telemetry::JsonObject echo;
+    echo.set("ok", result.boolOr("ok", false));
+    echo.set("job", id);
+    echo.set("state", result.stringOr("state", "unknown"));
+    if (const telemetry::JsonValue* hash = result.find("mask_hash")) {
+      echo.set("mask_hash", hash->asString());
+    }
+    echo.set("iterations", result.intOr("iterations", 0));
+    echo.set("wall_s", result.numberOr("wall_s", 0.0));
+    if (const telemetry::JsonValue* err = result.find("error")) {
+      echo.set("error", err->asString());
+    }
+    std::printf("%s\n", echo.str().c_str());
+    if (!result.boolOr("ok", false)) allDone = false;
+  }
+  return allDone ? 0 : 1;
+}
+
 int cmdExportSuite(int argc, char** argv) {
   std::string dir = ".";
   CliParser cli("mosaic_cli export-suite",
@@ -799,6 +1088,11 @@ void printUsage() {
       "  simulate      forward-simulate a mask at a process corner\n"
       "  evaluate      contest metrics + MRC for a mask against a target\n"
       "  export-suite  write the built-in clips B1..B10 as GLP files\n"
+      "  submit        submit OPC jobs to a mosaic_serve daemon and poll\n"
+      "                for results (docs/serving.md)\n"
+      "\n"
+      "interrupts: run/batch/chip exit with code 3 on SIGINT/SIGTERM after\n"
+      "checkpointing in-flight work (see docs/serving.md)\n"
       "\n"
       "run `mosaic_cli <command> --help` for the command's options");
 }
@@ -820,6 +1114,7 @@ int main(int argc, char** argv) {
     if (command == "simulate") return cmdSimulate(argc - 1, argv + 1);
     if (command == "evaluate") return cmdEvaluate(argc - 1, argv + 1);
     if (command == "export-suite") return cmdExportSuite(argc - 1, argv + 1);
+    if (command == "submit") return cmdSubmit(argc - 1, argv + 1);
     std::fprintf(stderr, "unknown command: %s\n\n", command.c_str());
     printUsage();
     return 1;

@@ -3,11 +3,27 @@
 /// over-fit by tuning; this bench runs the full method stack on seeded
 /// *random* clips and reports the score distribution. The method ordering
 /// of Table 2 should survive on layouts nobody tuned against.
+///
+/// --serve switches to the chaos soak of the mosaic_serve job service
+/// (docs/serving.md): a batch of jobs is first run on a fault-free
+/// JobService to record reference mask hashes, then replayed on a second
+/// service with randomized throw/delay fail points armed at the
+/// serve.worker, serve.submit and optimizer.step sites plus a few
+/// mid-flight client cancels. The soak fails on any deadlock (a job that
+/// never reaches a terminal state), any leaked job, or any wrong-but-OK
+/// result (a job reported done whose mask hash differs from the fault-free
+/// reference). Only throw/delay actions are armed: NaN/Inf injection
+/// legitimately changes the optimization trajectory, which would make the
+/// hash check flag correct recoveries as corruption.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <exception>
+#include <filesystem>
+#include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "eval/evaluator.hpp"
@@ -15,10 +31,200 @@
 #include "litho/simulator.hpp"
 #include "opc/baselines.hpp"
 #include "opc/mosaic.hpp"
+#include "serve/service.hpp"
 #include "suite/testcases.hpp"
 #include "support/cli.hpp"
+#include "support/failpoint.hpp"
 #include "support/log.hpp"
 #include "support/table.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using namespace mosaic;
+
+serve::JobSpec chaosSpec(int index) {
+  serve::JobSpec spec;
+  spec.caseName = "random:" + std::to_string(2000 + index % 10);
+  spec.method = "baseline";
+  spec.pixelNm = 16;
+  spec.iterations = 8 + index % 5;
+  spec.maxAttempts = 3;
+  spec.checkpointEvery = 3;
+  return spec;
+}
+
+/// Run every job on a fault-free service and return the per-index hash —
+/// the ground truth the chaos run's "done" results must reproduce.
+std::vector<std::string> referenceHashes(int jobs, int workers) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "serve_chaos_ref";
+  std::filesystem::remove_all(dir);
+  serve::ServeConfig cfg;
+  cfg.workDir = dir.string();
+  cfg.workers = workers;
+  cfg.queueCapacity = jobs + 2;
+  serve::JobService service(cfg);
+  std::vector<std::string> ids;
+  for (int i = 0; i < jobs; ++i) {
+    const serve::SubmitResult res = service.submit(chaosSpec(i));
+    MOSAIC_CHECK(res.status == serve::SubmitStatus::kAccepted,
+                 "reference submit rejected: " << res.message);
+    ids.push_back(res.id);
+  }
+  service.drain(serve::DrainMode::kFinish);
+  std::vector<std::string> hashes;
+  for (const std::string& id : ids) {
+    serve::JobSnapshot snap;
+    MOSAIC_CHECK(service.snapshot(id, &snap), "reference job lost: " << id);
+    MOSAIC_CHECK(snap.state == serve::JobState::kDone,
+                 "reference job not done: " << id << " (" << snap.error
+                                            << ")");
+    hashes.push_back(snap.maskHash);
+  }
+  std::filesystem::remove_all(dir);
+  return hashes;
+}
+
+int runServeChaos(int jobs, int workers, unsigned chaosSeed) {
+  std::printf("=== Serve chaos soak: %d jobs, %d workers, seed %u ===\n",
+              jobs, workers, chaosSeed);
+  const std::vector<std::string> reference = referenceHashes(jobs, workers);
+
+  // Randomized fault plan. Hit counters are global per site, so arming
+  // "@iter=N" picks the Nth time ANY job reaches the site — which worker
+  // and which job that is depends on scheduling, exactly the
+  // nondeterminism a soak wants to explore.
+  std::mt19937 rng(chaosSeed);
+  std::string spec;
+  const auto arm = [&spec](const std::string& s) {
+    if (!spec.empty()) spec += ",";
+    spec += s;
+  };
+  std::uniform_int_distribution<int> workerHit(1, jobs + jobs / 4);
+  for (int i = 0; i < std::max(2, jobs / 8); ++i) {
+    arm("serve.worker:throw@iter=" + std::to_string(workerHit(rng)));
+  }
+  std::uniform_int_distribution<int> stepHit(1, jobs * 10);
+  for (int i = 0; i < std::max(2, jobs / 10); ++i) {
+    arm("optimizer.step:throw@iter=" + std::to_string(stepHit(rng)));
+  }
+  std::uniform_int_distribution<int> delayMs(5, 25);
+  for (int i = 0; i < std::max(3, jobs / 6); ++i) {
+    arm("optimizer.step:delay=" + std::to_string(delayMs(rng)) + "@iter=" +
+        std::to_string(stepHit(rng)));
+  }
+  arm("serve.submit:delay=" + std::to_string(delayMs(rng)) + "@iter=" +
+      std::to_string(std::uniform_int_distribution<int>(1, jobs)(rng)));
+  std::printf("armed fail points: %s\n", spec.c_str());
+  failpoint::ScopedFailpoints armed(spec);
+
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "serve_chaos_run";
+  std::filesystem::remove_all(dir);
+  serve::ServeConfig cfg;
+  cfg.workDir = dir.string();
+  cfg.workers = workers;
+  cfg.queueCapacity = jobs + 2;
+  cfg.backoffMs = 2;
+  serve::JobService service(cfg);
+
+  std::vector<std::string> ids;
+  for (int i = 0; i < jobs; ++i) {
+    const serve::SubmitResult res = service.submit(chaosSpec(i));
+    MOSAIC_CHECK(res.status == serve::SubmitStatus::kAccepted,
+                 "chaos submit rejected: " << res.message);
+    ids.push_back(res.id);
+  }
+
+  // A few mid-flight client cancels (they may race job completion; both
+  // outcomes are legal, and the canceled set is checked below).
+  std::vector<bool> cancelRequested(static_cast<std::size_t>(jobs), false);
+  std::uniform_int_distribution<int> pick(0, jobs - 1);
+  for (int i = 0; i < std::max(1, jobs / 16); ++i) {
+    const int victim = pick(rng);
+    std::string message;
+    service.cancel(ids[static_cast<std::size_t>(victim)], &message);
+    cancelRequested[static_cast<std::size_t>(victim)] = true;
+  }
+
+  // No-deadlock assertion: every job must reach a terminal state.
+  WallTimer clock;
+  for (;;) {
+    int open = 0;
+    for (const std::string& id : ids) {
+      serve::JobSnapshot snap;
+      MOSAIC_CHECK(service.snapshot(id, &snap), "leaked job: " << id);
+      if (snap.state == serve::JobState::kQueued ||
+          snap.state == serve::JobState::kRunning) {
+        ++open;
+      }
+    }
+    if (open == 0) break;
+    MOSAIC_CHECK(clock.seconds() < 300.0,
+                 "deadlock: " << open << " jobs still open after "
+                              << clock.seconds() << " s");
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  service.drain(serve::DrainMode::kFinish);
+
+  int done = 0;
+  int failed = 0;
+  int canceled = 0;
+  int wrong = 0;
+  for (int i = 0; i < jobs; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    serve::JobSnapshot snap;
+    MOSAIC_CHECK(service.snapshot(ids[idx], &snap), "leaked job: " << ids[idx]);
+    switch (snap.state) {
+      case serve::JobState::kDone:
+        ++done;
+        // The wrong-but-OK check: a retried/recovered job that reports
+        // success must have produced exactly the fault-free mask.
+        if (snap.maskHash != reference[idx]) {
+          std::fprintf(stderr,
+                       "WRONG RESULT: %s done with hash %s, reference %s\n",
+                       ids[idx].c_str(), snap.maskHash.c_str(),
+                       reference[idx].c_str());
+          ++wrong;
+        }
+        break;
+      case serve::JobState::kFailed:
+        ++failed;
+        MOSAIC_CHECK(snap.error.find("failpoint") != std::string::npos,
+                     "job failed for a non-injected reason: " << snap.error);
+        break;
+      case serve::JobState::kCanceled:
+        ++canceled;
+        MOSAIC_CHECK(cancelRequested[idx],
+                     "job canceled without a cancel request: " << ids[idx]);
+        break;
+      default:
+        MOSAIC_CHECK(false, "job " << ids[idx] << " left non-terminal: "
+                                   << jobStateName(snap.state));
+    }
+  }
+  const serve::ServiceStats stats = service.stats();
+  MOSAIC_CHECK(stats.queued == 0 && stats.running == 0,
+               "leaked jobs after drain: " << stats.queued << " queued, "
+                                           << stats.running << " running");
+  std::filesystem::remove_all(dir);
+
+  std::printf("soak result: %d done (%d hash-verified), %d failed "
+              "(injected), %d canceled, %lld retries in %.1f s\n",
+              done, done - wrong, failed, canceled, stats.retries,
+              clock.seconds());
+  if (wrong > 0) {
+    std::fprintf(stderr, "serve chaos soak FAILED: %d wrong-but-OK results\n",
+                 wrong);
+    return 1;
+  }
+  std::printf("serve chaos soak OK: no deadlocks, no leaked jobs, no wrong "
+              "results\n");
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace mosaic;
@@ -26,6 +232,10 @@ int main(int argc, char** argv) {
   int iterations = 15;
   int clips = 6;
   int firstSeed = 1000;
+  bool serveMode = false;
+  int jobs = 50;
+  int workers = 4;
+  int chaosSeed = 7;
   std::string logLevel = "warn";
 
   CliParser cli("robustness_sweep",
@@ -34,10 +244,20 @@ int main(int argc, char** argv) {
   cli.addInt("iters", &iterations, "optimizer iterations");
   cli.addInt("clips", &clips, "number of random clips");
   cli.addInt("seed", &firstSeed, "first seed (clips use seed..seed+n-1)");
+  cli.addFlag("serve", &serveMode,
+              "chaos-soak the serve job service instead (docs/serving.md)");
+  cli.addInt("jobs", &jobs, "serve mode: jobs in the soak");
+  cli.addInt("workers", &workers, "serve mode: worker threads");
+  cli.addInt("chaos-seed", &chaosSeed,
+             "serve mode: RNG seed for the fault plan");
   cli.addString("log", &logLevel, "log level");
   try {
     if (!cli.parse(argc, argv)) return 0;
     setLogLevel(parseLogLevel(logLevel));
+    if (serveMode) {
+      MOSAIC_CHECK(jobs > 0 && workers > 0, "jobs and workers must be > 0");
+      return runServeChaos(jobs, workers, static_cast<unsigned>(chaosSeed));
+    }
 
     OpticsConfig optics;
     optics.pixelNm = pixel;

@@ -61,6 +61,8 @@ std::string stopReasonName(StopReason reason) {
       return "deadline";
     case StopReason::kAbortedNonFinite:
       return "aborted-non-finite";
+    case StopReason::kCanceled:
+      return "canceled";
   }
   throw InvalidArgument("unknown stop reason");
 }
@@ -173,9 +175,20 @@ OptimizeResult optimizeMask(const IltObjective& objective,
   for (int iter = startIter; iter <= cfg.maxIterations; ++iter) {
     MOSAIC_SPAN("opt.iteration");
     WallTimer iterTimer;
+    if (options.cancel != nullptr && options.cancel->stopRequested()) {
+      result.stopReason = StopReason::kCanceled;
+      // Checkpoint the interrupted state (iteration iter-1 is the last
+      // completed one) so the run can resume bit-identically even when
+      // the interrupt lands between periodic checkpoints.
+      if (checkpointing) writeCheckpoint(iter - 1);
+      LOG_WARN("canceled at iteration " << iter
+                                        << "; returning best-so-far");
+      break;
+    }
     if (cfg.deadlineSeconds > 0.0 &&
         timer.seconds() >= cfg.deadlineSeconds) {
       result.stopReason = StopReason::kDeadline;
+      if (checkpointing) writeCheckpoint(iter - 1);
       LOG_WARN("deadline of " << cfg.deadlineSeconds
                               << " s reached at iteration " << iter
                               << "; returning best-so-far");

@@ -17,6 +17,7 @@
 
 #include "opc/mask_params.hpp"
 #include "opc/objective.hpp"
+#include "support/cancel.hpp"
 
 namespace mosaic {
 
@@ -45,6 +46,7 @@ enum class StopReason {
   kMaxIterations,     ///< iteration budget exhausted
   kDeadline,          ///< wall-clock budget exhausted
   kAbortedNonFinite,  ///< non-finite values exceeded cfg.maxRecoveries
+  kCanceled,          ///< OptimizeOptions.cancel token requested a stop
 };
 
 [[nodiscard]] std::string stopReasonName(StopReason reason);
@@ -80,13 +82,23 @@ struct OptimizerCheckpoint {
   std::vector<IterationRecord> history;
 };
 
+/// Typed error for unreadable checkpoints: missing file, truncated or
+/// garbage bytes, version mismatch, implausible shapes. Derives from
+/// InvalidArgument so pre-existing catch sites keep working; catching it
+/// specifically lets recovery paths (tile scheduler, serve workers)
+/// restart cleanly from scratch instead of failing the whole job.
+class CheckpointError : public InvalidArgument {
+ public:
+  explicit CheckpointError(const std::string& what) : InvalidArgument(what) {}
+};
+
 /// Serialize a checkpoint to a versioned binary file (written atomically:
 /// temp file + rename). Throws on I/O failure.
 void saveOptimizerCheckpoint(const std::string& path,
                              const OptimizerCheckpoint& ckpt);
 
-/// Load a checkpoint; throws InvalidArgument on missing/corrupt/
-/// version-mismatched files.
+/// Load a checkpoint; throws CheckpointError on missing/truncated/corrupt/
+/// version-mismatched files (never crashes on garbage bytes).
 [[nodiscard]] OptimizerCheckpoint loadOptimizerCheckpoint(
     const std::string& path);
 
@@ -102,6 +114,12 @@ struct OptimizeOptions {
   /// "tile_r2_c3") so concurrent optimizers sharing one log stay
   /// distinguishable.
   std::string runLogScope;
+  /// Cooperative stop: polled once per iteration. When it fires the run
+  /// stops with StopReason::kCanceled and — if checkpointing is armed — a
+  /// final checkpoint is written first, so an interrupted run (Ctrl-C, a
+  /// serve drain, a client cancel, a job deadline) can resume
+  /// bit-identically. Not owned; may be nullptr.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Called after every iteration with the current (not best) mask.

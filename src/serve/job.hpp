@@ -1,0 +1,78 @@
+#pragma once
+/// \file job.hpp
+/// Job model of the mosaic_serve daemon (docs/serving.md): what a client
+/// submits (JobSpec), the lifecycle states a job moves through, and the
+/// read-only snapshot the status/result protocol ops return. The JSON
+/// (de)serialization here is shared by the wire protocol and the
+/// write-ahead job journal so the two can never drift apart.
+
+#include <cstdint>
+#include <string>
+
+#include "math/grid.hpp"
+#include "support/telemetry/json.hpp"
+#include "support/telemetry/jsonin.hpp"
+
+namespace mosaic {
+namespace serve {
+
+/// What a client submits: one OPC optimization of a benchmark clip.
+/// `caseName` selects the target: "B1".."B10" (built-in suite) or
+/// "random:<seed>" (seeded random clip, deterministic per seed).
+struct JobSpec {
+  std::string id;        ///< assigned by the service, not the client
+  std::string caseName = "B1";
+  std::string method = "fast";  ///< fast | exact | baseline
+  int pixelNm = 16;
+  int iterations = 0;           ///< optimizer iterations (0 = method default)
+  double deadlineSeconds = 0.0; ///< wall-clock budget from job start (0 = off)
+  int maxAttempts = 2;          ///< total tries before the job fails
+  int checkpointEvery = 5;      ///< iterations between resume checkpoints
+};
+
+/// Lifecycle of a job. Queued and running are transient; the other four
+/// are terminal and journaled.
+enum class JobState {
+  kQueued,
+  kRunning,
+  kDone,
+  kFailed,    ///< all attempts exhausted (or unrecoverable error)
+  kCanceled,  ///< client cancel op
+  kExpired,   ///< per-job deadline elapsed; best-so-far was checkpointed
+};
+
+[[nodiscard]] const char* jobStateName(JobState state);
+
+/// Point-in-time view of one job, safe to hand across threads.
+struct JobSnapshot {
+  JobSpec spec;
+  JobState state = JobState::kQueued;
+  int attempts = 0;
+  int iterationsDone = 0;
+  double objective = 0.0;
+  double wallSeconds = 0.0;
+  std::string maskHash;  ///< FNV-1a 64 of the final mask bytes (hex), done only
+  std::string error;     ///< failure detail (failed/expired/canceled)
+  bool recovered = false;  ///< re-enqueued by journal replay after a restart
+};
+
+/// Serialize the client-settable JobSpec fields into `out` (id excluded —
+/// the caller decides whether/where to stamp it).
+void specToJson(const JobSpec& spec, telemetry::JsonObject* out);
+
+/// Parse a JobSpec from a protocol/journal record and validate it. Throws
+/// InvalidArgument (-> protocol error "bad_request") on unknown cases,
+/// methods, or out-of-range numeric fields.
+[[nodiscard]] JobSpec specFromJson(const telemetry::JsonValue& obj);
+
+/// Validate a spec (same rules as specFromJson). Throws InvalidArgument on
+/// the first violation; used by JobService::submit for in-process callers
+/// that build JobSpec structs directly.
+void validateSpec(const JobSpec& spec);
+
+/// FNV-1a 64-bit over the raw grid bytes, rendered as 16 hex digits.
+/// Identical masks — the bit-identical recovery criterion — hash equal.
+[[nodiscard]] std::string maskHashHex(const RealGrid& mask);
+
+}  // namespace serve
+}  // namespace mosaic

@@ -1,0 +1,111 @@
+#include "serve/journal.hpp"
+
+#include <fstream>
+
+#include "support/error.hpp"
+#include "support/log.hpp"
+
+namespace mosaic {
+namespace serve {
+
+JobJournal::JobJournal(const std::string& path) : path_(path) {
+  // "a" (append), never "w": the journal is the recovery record — opening
+  // it must not destroy history from previous daemon incarnations.
+  file_ = std::fopen(path.c_str(), "ab");
+  MOSAIC_CHECK(file_ != nullptr, "cannot open job journal: " << path);
+}
+
+JobJournal::~JobJournal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void JobJournal::append(const telemetry::JsonObject& record) {
+  std::string line = record.str();
+  line += '\n';
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t written =
+      std::fwrite(line.data(), 1, line.size(), file_);
+  MOSAIC_CHECK(written == line.size(), "journal write failed: " << path_);
+  // fflush moves the line into the kernel: it now survives process death
+  // (SIGKILL included), which is the durability the recovery test demands.
+  MOSAIC_CHECK(std::fflush(file_) == 0, "journal flush failed: " << path_);
+}
+
+ReplayResult JobJournal::replay(const std::string& path) {
+  ReplayResult result;
+  std::ifstream in(path);
+  if (!in.good()) return result;  // fresh work directory: nothing to replay
+
+  // Index into result.jobs per id, preserving submission order.
+  std::map<std::string, std::size_t> index;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++result.totalLines;
+    if (line.empty()) continue;
+    telemetry::JsonValue record;
+    try {
+      record = telemetry::JsonValue::parse(line);
+    } catch (const Error&) {
+      // Typically the torn final line of a crashed daemon; anything the
+      // parser rejects is skipped, never fatal to recovery.
+      ++result.corruptLines;
+      continue;
+    }
+    const std::string ev = record.stringOr("ev", "");
+    const std::string id = record.stringOr("job", "");
+    if (ev.empty() || id.empty()) {
+      ++result.corruptLines;
+      continue;
+    }
+
+    if (ev == "submit") {
+      ReplayedJob job;
+      try {
+        job.spec = specFromJson(record);
+      } catch (const Error& e) {
+        LOG_WARN("journal replay: bad submit record for " << id << ": "
+                                                          << e.what());
+        ++result.corruptLines;
+        continue;
+      }
+      job.spec.id = id;
+      index[id] = result.jobs.size();
+      result.jobs.push_back(std::move(job));
+      continue;
+    }
+
+    const auto it = index.find(id);
+    if (it == index.end()) {
+      // Terminal/start record without a submit: only possible if the
+      // submit line itself was torn. Nothing to recover.
+      ++result.corruptLines;
+      continue;
+    }
+    ReplayedJob& job = result.jobs[it->second];
+    if (ev == "start") {
+      job.attempts = std::max(job.attempts, record.intOr("attempt", 1));
+      job.state = JobState::kRunning;
+    } else if (ev == "rejected") {
+      // Admission rolled back after journaling the submit; forget the job.
+      job.state = JobState::kFailed;
+      job.error = "rejected: queue full";
+    } else if (ev == "done" || ev == "failed" || ev == "canceled" ||
+               ev == "expired") {
+      job.state = ev == "done"       ? JobState::kDone
+                  : ev == "failed"   ? JobState::kFailed
+                  : ev == "canceled" ? JobState::kCanceled
+                                     : JobState::kExpired;
+      job.iterationsDone = record.intOr("iterations", job.iterationsDone);
+      job.objective = record.numberOr("objective", job.objective);
+      job.wallSeconds = record.numberOr("wall_s", job.wallSeconds);
+      job.maskHash = record.stringOr("mask_hash", job.maskHash);
+      job.error = record.stringOr("error", job.error);
+    } else {
+      ++result.corruptLines;
+    }
+  }
+  return result;
+}
+
+}  // namespace serve
+}  // namespace mosaic

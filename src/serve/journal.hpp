@@ -1,0 +1,74 @@
+#pragma once
+/// \file journal.hpp
+/// Write-ahead job journal of the serve daemon (docs/serving.md). One
+/// append-only JSONL file records every job's submission, each execution
+/// attempt, and its terminal state. On restart the journal is replayed:
+/// a job with a submit record but no terminal record did not finish —
+/// whether the daemon crashed, was SIGKILLed, or drained in checkpoint
+/// mode — and is re-enqueued, resuming from its optimizer checkpoint when
+/// one exists.
+///
+/// Durability model: every append is one fwrite + fflush, so the record is
+/// in the kernel page cache before append() returns. That survives any
+/// process death (the SIGKILL recovery contract); it does not survive a
+/// host power cut, which is out of scope for a local job daemon. Replay
+/// tolerates a torn final line — the one write a crash can interrupt.
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/job.hpp"
+
+namespace mosaic {
+namespace serve {
+
+/// What replay reconstructs for one job.
+struct ReplayedJob {
+  JobSpec spec;
+  JobState state = JobState::kQueued;  ///< kQueued/kRunning => unfinished
+  int attempts = 0;       ///< start records seen (crash-interrupted ones too)
+  int iterationsDone = 0;
+  double objective = 0.0;
+  double wallSeconds = 0.0;
+  std::string maskHash;
+  std::string error;
+};
+
+/// Everything replay learned from one journal file.
+struct ReplayResult {
+  /// Jobs in submission order (the order recovery re-enqueues them).
+  std::vector<ReplayedJob> jobs;
+  int corruptLines = 0;   ///< unparseable lines skipped (torn tail, noise)
+  int totalLines = 0;
+};
+
+class JobJournal {
+ public:
+  /// Opens `path` for appending (creates it if missing). Throws
+  /// mosaic::Error on failure.
+  explicit JobJournal(const std::string& path);
+  ~JobJournal();
+  JobJournal(const JobJournal&) = delete;
+  JobJournal& operator=(const JobJournal&) = delete;
+
+  /// Append one record as a single flushed line. Thread-safe.
+  void append(const telemetry::JsonObject& record);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Parse an existing journal into per-job end states. Missing file =>
+  /// empty result (a fresh work directory). Never throws on content: bad
+  /// lines are counted and skipped so a torn tail cannot block recovery.
+  [[nodiscard]] static ReplayResult replay(const std::string& path);
+
+ private:
+  std::string path_;
+  FILE* file_ = nullptr;
+  std::mutex mutex_;
+};
+
+}  // namespace serve
+}  // namespace mosaic

@@ -1,0 +1,204 @@
+#include "serve/protocol.hpp"
+
+#include "support/error.hpp"
+#include "support/telemetry/jsonin.hpp"
+#include "support/telemetry/metrics.hpp"
+
+namespace mosaic {
+namespace serve {
+namespace {
+
+std::string errorResponse(const std::string& code,
+                          const std::string& message) {
+  telemetry::JsonObject obj;
+  obj.set("ok", false);
+  obj.set("error", code);
+  obj.set("message", message);
+  return obj.str();
+}
+
+void fillSnapshot(const JobSnapshot& snap, telemetry::JsonObject* obj) {
+  obj->set("job", snap.spec.id);
+  obj->set("state", jobStateName(snap.state));
+  obj->set("case", snap.spec.caseName);
+  obj->set("method", snap.spec.method);
+  obj->set("attempts", snap.attempts);
+  obj->set("iterations", snap.iterationsDone);
+  if (snap.state == JobState::kDone) {
+    obj->set("mask_hash", snap.maskHash);
+    obj->set("objective", snap.objective);
+  }
+  obj->set("wall_s", snap.wallSeconds);
+  if (!snap.error.empty()) obj->set("error_detail", snap.error);
+  if (snap.recovered) obj->set("recovered", true);
+}
+
+std::string handleSubmit(JobService& service,
+                         const telemetry::JsonValue& req) {
+  JobSpec spec;
+  try {
+    spec = specFromJson(req);
+  } catch (const Error& e) {
+    return errorResponse("bad_request", e.what());
+  }
+  const SubmitResult res = service.submit(spec);
+  switch (res.status) {
+    case SubmitStatus::kAccepted: {
+      telemetry::JsonObject obj;
+      obj.set("ok", true);
+      obj.set("job", res.id);
+      return obj.str();
+    }
+    case SubmitStatus::kQueueFull:
+      return errorResponse("queue_full", res.message);
+    case SubmitStatus::kShuttingDown:
+      return errorResponse("shutting_down", res.message);
+    case SubmitStatus::kBadRequest:
+      return errorResponse("bad_request", res.message);
+  }
+  return errorResponse("internal", "unreachable submit status");
+}
+
+std::string handleStatus(JobService& service,
+                         const telemetry::JsonValue& req) {
+  const std::string id = req.stringOr("job", "");
+  if (id.empty()) return errorResponse("bad_request", "missing job id");
+  JobSnapshot snap;
+  if (!service.snapshot(id, &snap)) {
+    return errorResponse("not_found", "unknown job id: " + id);
+  }
+  telemetry::JsonObject obj;
+  obj.set("ok", true);
+  fillSnapshot(snap, &obj);
+  return obj.str();
+}
+
+std::string handleResult(JobService& service,
+                         const telemetry::JsonValue& req) {
+  const std::string id = req.stringOr("job", "");
+  if (id.empty()) return errorResponse("bad_request", "missing job id");
+  JobSnapshot snap;
+  if (!service.snapshot(id, &snap)) {
+    return errorResponse("not_found", "unknown job id: " + id);
+  }
+  if (snap.state == JobState::kQueued || snap.state == JobState::kRunning) {
+    return errorResponse("not_ready", "job is " +
+                                          std::string(jobStateName(snap.state)));
+  }
+  telemetry::JsonObject obj;
+  obj.set("ok", snap.state == JobState::kDone);
+  if (snap.state != JobState::kDone) {
+    obj.set("error", snap.state == JobState::kExpired ? "deadline_exceeded"
+                     : snap.state == JobState::kCanceled ? "canceled"
+                                                         : "internal");
+    obj.set("message", snap.error);
+  }
+  fillSnapshot(snap, &obj);
+  return obj.str();
+}
+
+std::string handleCancel(JobService& service,
+                         const telemetry::JsonValue& req) {
+  const std::string id = req.stringOr("job", "");
+  if (id.empty()) return errorResponse("bad_request", "missing job id");
+  std::string message;
+  if (!service.cancel(id, &message)) {
+    const bool unknown = message.rfind("unknown", 0) == 0;
+    return errorResponse(unknown ? "not_found" : "bad_request", message);
+  }
+  telemetry::JsonObject obj;
+  obj.set("ok", true);
+  obj.set("job", id);
+  return obj.str();
+}
+
+std::string handleStats(JobService& service) {
+  const ServiceStats s = service.stats();
+  telemetry::JsonObject obj;
+  obj.set("ok", true);
+  obj.set("queued", s.queued);
+  obj.set("running", s.running);
+  obj.set("done", s.done);
+  obj.set("failed", s.failed);
+  obj.set("canceled", s.canceled);
+  obj.set("expired", s.expired);
+  obj.set("submitted", s.submitted);
+  obj.set("rejected", s.rejected);
+  obj.set("retries", s.retries);
+  obj.set("recovered", s.recoveredJobs);
+  obj.set("workers", s.workers);
+  obj.set("queue_capacity",
+          static_cast<long long>(s.queueCapacity));
+  // Selected serve metrics ride along so operators get latency numbers
+  // without a separate metrics endpoint.
+  const telemetry::HistogramStats wall =
+      telemetry::metrics().histogram("serve.job_wall").stats();
+  obj.set("job_wall_p50_ms", wall.p50Us / 1000.0);
+  obj.set("job_wall_p95_ms", wall.p95Us / 1000.0);
+  obj.set("job_wall_p99_ms", wall.p99Us / 1000.0);
+  return obj.str();
+}
+
+}  // namespace
+
+std::string snapshotToJson(const JobSnapshot& snap) {
+  telemetry::JsonObject obj;
+  fillSnapshot(snap, &obj);
+  return obj.str();
+}
+
+ProtocolResult handleRequestLine(JobService& service,
+                                 const std::string& line) {
+  ProtocolResult result;
+  telemetry::JsonValue req;
+  try {
+    req = telemetry::JsonValue::parse(line);
+  } catch (const Error& e) {
+    result.response = errorResponse("bad_request",
+                                    std::string("malformed JSON: ") + e.what());
+    return result;
+  }
+  const std::string op = req.stringOr("op", "");
+  try {
+    if (op == "ping") {
+      telemetry::JsonObject obj;
+      obj.set("ok", true);
+      obj.set("pong", true);
+      result.response = obj.str();
+    } else if (op == "submit") {
+      result.response = handleSubmit(service, req);
+    } else if (op == "status") {
+      result.response = handleStatus(service, req);
+    } else if (op == "result") {
+      result.response = handleResult(service, req);
+    } else if (op == "cancel") {
+      result.response = handleCancel(service, req);
+    } else if (op == "stats") {
+      result.response = handleStats(service);
+    } else if (op == "shutdown") {
+      const std::string mode = req.stringOr("mode", "finish");
+      if (mode != "finish" && mode != "checkpoint") {
+        result.response = errorResponse(
+            "bad_request", "shutdown mode must be finish|checkpoint");
+        return result;
+      }
+      result.shutdown = true;
+      result.shutdownMode =
+          mode == "checkpoint" ? DrainMode::kCheckpoint : DrainMode::kFinish;
+      telemetry::JsonObject obj;
+      obj.set("ok", true);
+      obj.set("shutting_down", mode);
+      result.response = obj.str();
+    } else {
+      result.response =
+          errorResponse("bad_request", "unknown op: " + op);
+    }
+  } catch (const std::exception& e) {
+    // The protocol layer never lets an exception tear a connection down.
+    result.response = errorResponse("internal", e.what());
+  }
+  return result;
+}
+
+}  // namespace serve
+}  // namespace mosaic

@@ -1,0 +1,35 @@
+#pragma once
+/// \file protocol.hpp
+/// The serve wire protocol (docs/serving.md): one JSON object per line in
+/// each direction. Requests carry an "op"; responses always carry
+/// "ok":true|false, and failures add a typed "error" code from the fixed
+/// taxonomy (queue_full, bad_request, not_found, not_ready, shutting_down,
+/// internal) plus a human-readable "message". This layer is pure
+/// request->response string mapping over a JobService, shared by the TCP
+/// server and in-process tests — it never touches a socket.
+
+#include <string>
+
+#include "serve/service.hpp"
+
+namespace mosaic {
+namespace serve {
+
+/// Outcome of handling one request line.
+struct ProtocolResult {
+  std::string response;   ///< one JSON line (no trailing newline)
+  bool shutdown = false;  ///< a shutdown op: stop the server after replying
+  DrainMode shutdownMode = DrainMode::kFinish;
+};
+
+/// Handle one request line against the service. Never throws: malformed
+/// JSON, unknown ops, and internal errors all become error responses.
+[[nodiscard]] ProtocolResult handleRequestLine(JobService& service,
+                                               const std::string& line);
+
+/// Render one job snapshot as the protocol's job object (shared by the
+/// status and result ops and by mosaic_cli's client-side printing).
+[[nodiscard]] std::string snapshotToJson(const JobSnapshot& snap);
+
+}  // namespace serve
+}  // namespace mosaic

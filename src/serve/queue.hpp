@@ -1,0 +1,112 @@
+#pragma once
+/// \file queue.hpp
+/// Bounded FIFO job queue with non-blocking admission — the backpressure
+/// point of the serve daemon (docs/serving.md). Admission control lives
+/// here: tryPush() refuses immediately when the queue is at capacity, so a
+/// client's queue_full rejection never waits behind running jobs. The
+/// recovery path uses forcePush(), which ignores the capacity: jobs that
+/// were already admitted before a crash must be re-admitted on restart
+/// even if that transiently overfills the queue.
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <string>
+
+namespace mosaic {
+namespace serve {
+
+class BoundedJobQueue {
+ public:
+  explicit BoundedJobQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Admit a job id. Returns false — without blocking — when the queue is
+  /// full or closed; the caller maps that to the typed queue_full /
+  /// shutting_down protocol errors.
+  bool tryPush(const std::string& id) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(id);
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Re-admit a recovered job, bypassing the capacity check. Returns false
+  /// only when the queue is closed.
+  bool forcePush(const std::string& id) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return false;
+      items_.push_back(id);
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Block until a job is available or the queue is closed. Returns false
+  /// when closed and drained — the worker-loop exit condition.
+  bool pop(std::string* id) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    *id = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Remove a still-queued job (client cancel). False if it already left
+  /// the queue (running or finished) or was never there.
+  bool remove(const std::string& id) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = items_.begin(); it != items_.end(); ++it) {
+      if (*it == id) {
+        items_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Stop admissions and wake every blocked pop(). Queued items are still
+  /// drained by pop() before it starts returning false.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Drop all queued items (checkpoint-mode drain: they stay unterminated
+  /// in the journal and are re-enqueued on restart). Returns the count.
+  std::size_t clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::size_t n = items_.size();
+    items_.clear();
+    return n;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::string> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace serve
+}  // namespace mosaic

@@ -1,0 +1,93 @@
+#include "serve/server.hpp"
+
+#include <fstream>
+
+#include "support/error.hpp"
+#include "support/log.hpp"
+#include "support/telemetry/metrics.hpp"
+
+namespace mosaic {
+namespace serve {
+
+ServeServer::ServeServer(JobService& service, const ServerOptions& opts)
+    : service_(service), opts_(opts), listener_(opts.port) {
+  // The port file is how clients and tests find an ephemeral-port daemon;
+  // written before any connection is accepted so "file exists" implies
+  // "listener is up".
+  const std::string portFile = service_.workDir() + "/serve.port";
+  std::ofstream out(portFile, std::ios::trunc);
+  MOSAIC_CHECK(out.good(), "cannot write port file: " << portFile);
+  out << listener_.port() << "\n";
+}
+
+ServeServer::~ServeServer() {
+  stopping_.store(true, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(threadsMutex_);
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+bool ServeServer::stopRequested(const CancelToken* stop) const {
+  return shutdownOp_.load(std::memory_order_relaxed) ||
+         (stop != nullptr && stop->stopRequested());
+}
+
+DrainMode ServeServer::serveForever(const CancelToken* stop) {
+  while (!stopRequested(stop)) {
+    Socket conn = listener_.accept(opts_.pollMs);
+    if (!conn.valid()) continue;  // timeout or EINTR: re-check the stop flag
+    telemetry::metrics().counter("serve.connections").add();
+    std::lock_guard<std::mutex> lock(threadsMutex_);
+    threads_.emplace_back(
+        [this, sock = std::move(conn)]() mutable {
+          handleConnection(std::move(sock));
+        });
+  }
+  stopping_.store(true, std::memory_order_relaxed);
+  listener_.close();
+  {
+    std::lock_guard<std::mutex> lock(threadsMutex_);
+    for (std::thread& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+    threads_.clear();
+  }
+  // A client shutdown op names its drain mode; an external stop (signal)
+  // preserves in-flight work by checkpointing.
+  if (shutdownOp_.load(std::memory_order_relaxed)) {
+    return checkpointMode_.load(std::memory_order_relaxed)
+               ? DrainMode::kCheckpoint
+               : DrainMode::kFinish;
+  }
+  return DrainMode::kCheckpoint;
+}
+
+void ServeServer::handleConnection(Socket socket) {
+  LineChannel channel(std::move(socket));
+  std::string line;
+  try {
+    while (!stopping_.load(std::memory_order_relaxed)) {
+      if (!channel.readLine(&line, opts_.pollMs)) {
+        if (channel.eofSeen()) break;  // client went away
+        continue;                      // timeout: re-check the stop flag
+      }
+      const ProtocolResult result = handleRequestLine(service_, line);
+      channel.writeLine(result.response);
+      telemetry::metrics().counter("serve.requests").add();
+      if (result.shutdown) {
+        checkpointMode_.store(result.shutdownMode == DrainMode::kCheckpoint,
+                              std::memory_order_relaxed);
+        shutdownOp_.store(true, std::memory_order_relaxed);
+        break;
+      }
+    }
+  } catch (const std::exception& e) {
+    // A broken pipe or oversized line kills this connection, never the
+    // daemon.
+    LOG_WARN("serve connection error: " << e.what());
+  }
+}
+
+}  // namespace serve
+}  // namespace mosaic

@@ -1,0 +1,57 @@
+#pragma once
+/// \file server.hpp
+/// TCP front end of the serve daemon: a loopback listener, one thread per
+/// connection, line-delimited JSON requests dispatched through
+/// protocol.hpp (docs/serving.md). The accept loop polls so it can notice
+/// a stop request (SIGINT/SIGTERM via the cancellation token, or a client
+/// shutdown op) within ~100 ms; connection threads poll their sockets the
+/// same way so a drain never hangs on an idle client.
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "support/cancel.hpp"
+#include "support/socket.hpp"
+
+namespace mosaic {
+namespace serve {
+
+struct ServerOptions {
+  int port = 0;        ///< 0 = ephemeral; the bound port is written to
+                       ///< <workDir>/serve.port for clients and tests
+  int pollMs = 100;    ///< accept/read poll granularity
+};
+
+class ServeServer {
+ public:
+  /// Binds 127.0.0.1:<port> and writes the port file. Throws on failure.
+  ServeServer(JobService& service, const ServerOptions& opts);
+  ~ServeServer();
+
+  [[nodiscard]] int port() const { return listener_.port(); }
+
+  /// Accept-and-serve until `stop` fires or a client shutdown op arrives.
+  /// Joins every connection thread before returning. Returns the drain
+  /// mode to apply: a signal stop maps to kCheckpoint (preserve work), a
+  /// shutdown op carries its own mode.
+  DrainMode serveForever(const CancelToken* stop);
+
+ private:
+  void handleConnection(Socket socket);
+  [[nodiscard]] bool stopRequested(const CancelToken* stop) const;
+
+  JobService& service_;
+  ServerOptions opts_;
+  ServerSocket listener_;
+  std::atomic<bool> shutdownOp_{false};
+  std::atomic<bool> checkpointMode_{false};
+  std::atomic<bool> stopping_{false};
+  std::mutex threadsMutex_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace serve
+}  // namespace mosaic

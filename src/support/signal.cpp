@@ -1,0 +1,64 @@
+#include "support/signal.hpp"
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+
+namespace mosaic {
+namespace {
+
+std::atomic<CancelToken*> gToken{nullptr};
+volatile std::sig_atomic_t gSignal = 0;
+
+extern "C" void mosaicTerminationHandler(int signo) {
+  if (gSignal != 0) {
+    // Second signal: the graceful drain is taking too long (or is stuck).
+    // _Exit is async-signal-safe; 128+signo is the shell convention.
+    std::_Exit(128 + signo);
+  }
+  gSignal = signo;
+  CancelToken* token = gToken.load(std::memory_order_relaxed);
+  if (token != nullptr) token->cancel();  // lock-free atomic store
+}
+
+void setDisposition(void (*handler)(int)) {
+#if defined(__unix__) || defined(__APPLE__)
+  struct sigaction action {};
+  action.sa_handler = handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: blocking accept/read must wake
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+#else
+  std::signal(SIGINT, handler);
+  std::signal(SIGTERM, handler);
+#endif
+}
+
+}  // namespace
+
+void installTerminationHandler(CancelToken* token) {
+  gToken.store(token, std::memory_order_relaxed);
+  setDisposition(&mosaicTerminationHandler);
+}
+
+int terminationSignal() { return static_cast<int>(gSignal); }
+
+const char* terminationSignalName() {
+  switch (terminationSignal()) {
+    case SIGINT:
+      return "SIGINT";
+    case SIGTERM:
+      return "SIGTERM";
+    default:
+      return "none";
+  }
+}
+
+void resetTerminationHandler() {
+  gToken.store(nullptr, std::memory_order_relaxed);
+  gSignal = 0;
+  setDisposition(SIG_DFL);
+}
+
+}  // namespace mosaic

@@ -1,0 +1,38 @@
+#pragma once
+/// \file signal.hpp
+/// SIGINT/SIGTERM handling shared by the CLI subcommands and the
+/// mosaic_serve daemon (docs/serving.md).
+///
+/// installTerminationHandler(&token) routes the first SIGINT or SIGTERM to
+/// CancelToken::cancel() — an async-signal-safe atomic store — so whatever
+/// the token is threaded into (the optimizer loop, the tile scheduler, the
+/// serve accept loop) unwinds at its next poll point, checkpoints, and
+/// exits cleanly. A second signal while the first is still draining
+/// hard-exits with the conventional 128+signo code, so a stuck drain can
+/// always be interrupted by pressing Ctrl-C again.
+
+#include "support/cancel.hpp"
+
+namespace mosaic {
+
+/// Exit code of CLI runs interrupted by SIGINT/SIGTERM after a graceful
+/// checkpoint, distinct from success (0) and the batch/chip failure codes
+/// (1 = total, 2 = partial).
+constexpr int kExitInterrupted = 3;
+
+/// Install SIGINT and SIGTERM handlers that cancel `token`. The token must
+/// outlive every signal delivery (in practice: main()-scope). Calling
+/// again replaces the routed token; pass nullptr to detach (handlers stay
+/// installed but become no-ops besides recording the signal).
+void installTerminationHandler(CancelToken* token);
+
+/// Signal number that triggered the handler (0 = none delivered yet).
+[[nodiscard]] int terminationSignal();
+
+/// Human-readable name ("SIGINT"/"SIGTERM") for terminationSignal().
+[[nodiscard]] const char* terminationSignalName();
+
+/// Restore default dispositions and clear the recorded signal (tests).
+void resetTerminationHandler();
+
+}  // namespace mosaic

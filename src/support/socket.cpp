@@ -1,0 +1,172 @@
+#include "support/socket.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#else
+#error "support/socket.cpp requires a POSIX platform"
+#endif
+
+namespace mosaic {
+namespace {
+
+[[noreturn]] void throwErrno(const std::string& what) {
+  throw Error("socket: " + what + ": " + std::strerror(errno));
+}
+
+/// poll() one fd for `events`; returns false on timeout, true when ready.
+bool waitFor(int fd, short events, int timeoutMs) {
+  struct pollfd pfd {};
+  pfd.fd = fd;
+  pfd.events = events;
+  const int rc = ::poll(&pfd, 1, timeoutMs);
+  if (rc < 0) {
+    if (errno == EINTR) return false;  // signal: let the caller re-check
+    throwErrno("poll");
+  }
+  return rc > 0;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+ServerSocket::ServerSocket(int port, int backlog) {
+  MOSAIC_CHECK(port >= 0 && port <= 65535, "bad listen port " << port);
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) throwErrno("socket()");
+  const int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  struct sockaddr_in addr {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(sock.fd(), reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    throwErrno("bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(sock.fd(), backlog) != 0) throwErrno("listen");
+
+  socklen_t len = sizeof addr;
+  if (::getsockname(sock.fd(), reinterpret_cast<struct sockaddr*>(&addr),
+                    &len) != 0) {
+    throwErrno("getsockname");
+  }
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+  listener_ = std::move(sock);
+}
+
+Socket ServerSocket::accept(int timeoutMs) {
+  MOSAIC_CHECK(listener_.valid(), "accept on a closed server socket");
+  if (!waitFor(listener_.fd(), POLLIN, timeoutMs)) return Socket();
+  const int fd = ::accept(listener_.fd(), nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+        errno == EWOULDBLOCK) {
+      return Socket();
+    }
+    throwErrno("accept");
+  }
+  return Socket(fd);
+}
+
+Socket connectTcp(const std::string& host, int port, int timeoutMs) {
+  MOSAIC_CHECK(port > 0 && port <= 65535, "bad connect port " << port);
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) throwErrno("socket()");
+
+  struct sockaddr_in addr {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  const std::string target = host.empty() ? "127.0.0.1" : host;
+  MOSAIC_CHECK(::inet_pton(AF_INET, target.c_str(), &addr.sin_addr) == 1,
+               "bad IPv4 address: " << target);
+
+  // Connect with a timeout: non-blocking connect + poll for writability.
+  struct timeval tv {};
+  tv.tv_sec = timeoutMs / 1000;
+  tv.tv_usec = (timeoutMs % 1000) * 1000;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  if (::connect(sock.fd(), reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    throwErrno("connect " + target + ":" + std::to_string(port));
+  }
+  const int one = 1;
+  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return sock;
+}
+
+bool LineChannel::readLine(std::string* line, int timeoutMs) {
+  MOSAIC_CHECK(line != nullptr, "readLine needs an output string");
+  for (;;) {
+    const std::size_t pos = buffer_.find('\n');
+    if (pos != std::string::npos) {
+      line->assign(buffer_, 0, pos);
+      buffer_.erase(0, pos + 1);
+      return true;
+    }
+    MOSAIC_CHECK(socket_.valid(), "readLine on a closed channel");
+    if (!waitFor(socket_.fd(), POLLIN, timeoutMs)) return false;
+    char chunk[4096];
+    const ssize_t n = ::recv(socket_.fd(), chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throwErrno("recv");
+    }
+    if (n == 0) {
+      eof_ = true;  // clean EOF (a torn partial line is dropped)
+      return false;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+    MOSAIC_CHECK(buffer_.size() <= (1u << 20),
+                 "line exceeds 1 MiB; not a mosaic_serve peer?");
+  }
+}
+
+void LineChannel::writeLine(const std::string& line) {
+  MOSAIC_CHECK(socket_.valid(), "writeLine on a closed channel");
+  std::string out = line;
+  out += '\n';
+  std::size_t sent = 0;
+  while (sent < out.size()) {
+#if defined(MSG_NOSIGNAL)
+    const int flags = MSG_NOSIGNAL;  // EPIPE as errno, not SIGPIPE
+#else
+    const int flags = 0;
+#endif
+    const ssize_t n =
+        ::send(socket_.fd(), out.data() + sent, out.size() - sent, flags);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throwErrno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace mosaic

@@ -1,0 +1,88 @@
+#pragma once
+/// \file socket.hpp
+/// Minimal local TCP helpers for the mosaic_serve daemon and its clients
+/// (docs/serving.md). Deliberately loopback-oriented: the serve protocol is
+/// an operator/automation interface on 127.0.0.1, not an internet-facing
+/// endpoint, so there is no TLS, no name resolution beyond dotted quads,
+/// and no non-blocking state machine — just RAII file descriptors, a
+/// poll-with-timeout accept, and buffered line-delimited I/O matching the
+/// one-JSON-object-per-line protocol.
+
+#include <string>
+
+namespace mosaic {
+
+/// RAII TCP socket file descriptor (move-only).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening socket bound to 127.0.0.1. Port 0 picks an ephemeral port;
+/// port() reports the bound one. Throws mosaic::Error on failure.
+class ServerSocket {
+ public:
+  explicit ServerSocket(int port, int backlog = 64);
+
+  [[nodiscard]] int port() const { return port_; }
+
+  /// Wait up to timeoutMs for a connection; returns an invalid Socket on
+  /// timeout (so accept loops can poll a shutdown flag between waits).
+  /// Throws on hard accept errors other than EINTR (EINTR = invalid too,
+  /// letting a signal wake the loop).
+  [[nodiscard]] Socket accept(int timeoutMs);
+
+  void close() { listener_.close(); }
+
+ private:
+  Socket listener_;
+  int port_ = 0;
+};
+
+/// Connect to host:port (dotted quad, default loopback) with a timeout.
+/// Throws mosaic::Error on failure.
+[[nodiscard]] Socket connectTcp(const std::string& host, int port,
+                                int timeoutMs = 5000);
+
+/// Buffered line-delimited I/O over a connected socket. One instance per
+/// connection, single-threaded use.
+class LineChannel {
+ public:
+  explicit LineChannel(Socket socket) : socket_(std::move(socket)) {}
+
+  /// Read one '\n'-terminated line (terminator stripped). Returns false on
+  /// clean EOF or timeout (eofSeen() distinguishes the two); throws on
+  /// socket errors. timeoutMs < 0 blocks.
+  bool readLine(std::string* line, int timeoutMs = -1);
+
+  /// True once the peer has closed its write side (readLine returned false
+  /// because of EOF, not a timeout).
+  [[nodiscard]] bool eofSeen() const { return eof_; }
+
+  /// Write `line` plus '\n'. Throws on socket errors (including EPIPE —
+  /// SIGPIPE is suppressed per call).
+  void writeLine(const std::string& line);
+
+  [[nodiscard]] bool valid() const { return socket_.valid(); }
+  void close() { socket_.close(); }
+
+ private:
+  Socket socket_;
+  std::string buffer_;
+  bool eof_ = false;
+};
+
+}  // namespace mosaic

@@ -127,7 +127,19 @@ ChipResult optimizeChip(const Layout& chip, const ChipConfig& cfg) {
       return;
     }
 
+    // Cooperative interruption: a tile that has not started when the
+    // token fires falls back to the uncorrected pattern immediately so
+    // the chip still stitches; a resumed run re-optimizes it.
+    if (cfg.cancel != nullptr && cfg.cancel->stopRequested()) {
+      outcome.error = "canceled before start";
+      outcome.seconds = tileTimer.seconds();
+      tileMasks[i] = toReal(target);
+      emitTileRecord(cfg.runLog, outcome);
+      return;
+    }
+
     MOSAIC_SPAN("tile.optimize");
+    bool allowResume = cfg.resume;
     for (int attempt = 1; attempt <= cfg.retries + 1; ++attempt) {
       outcome.attempts = attempt;
       try {
@@ -137,17 +149,26 @@ ChipResult optimizeChip(const Layout& chip, const ChipConfig& cfg) {
         OptimizeOptions options;
         options.runLog = cfg.runLog;
         options.runLogScope = tileScope(tile);
+        options.cancel = cfg.cancel;
         if (!cfg.checkpointDir.empty()) {
           const std::string path =
               tileCheckpointPath(cfg.checkpointDir, tile);
           options.checkpointPath = path;
           options.checkpointEvery = cfg.checkpointEvery;
-          if (cfg.resume && std::ifstream(path).good()) {
+          if (allowResume && std::ifstream(path).good()) {
             options.resumePath = path;
           }
         }
         const OpcResult res =
             runOpc(sim, target, cfg.method, &baseConfig, {}, {}, options);
+        if (res.stopReason == StopReason::kCanceled) {
+          // Interrupted mid-tile: the optimizer already checkpointed, so
+          // ship best-so-far and let a resumed run finish the job.
+          outcome.error = "canceled mid-optimization (checkpointed)";
+          tileMasks[i] = res.maskTwoLevel;
+          outcome.iterations = res.iterations;
+          break;
+        }
         tileMasks[i] = res.maskTwoLevel;
         outcome.iterations = res.iterations;
         outcome.nonFiniteEvents = res.nonFiniteEvents;
@@ -155,6 +176,15 @@ ChipResult optimizeChip(const Layout& chip, const ChipConfig& cfg) {
         outcome.ok = true;
         outcome.error.clear();
         break;
+      } catch (const CheckpointError& e) {
+        // A torn/garbage tile checkpoint must not burn the retry budget:
+        // drop the resume and restart this tile from scratch.
+        outcome.error = e.what();
+        allowResume = false;
+        LOG_WARN("tile (" << tile.row << "," << tile.col
+                          << ") checkpoint unusable, restarting fresh: "
+                          << e.what());
+        --attempt;  // corrupt-resume detection is not an optimization try
       } catch (const std::exception& e) {
         outcome.error = e.what();
         LOG_WARN("tile (" << tile.row << "," << tile.col << ") attempt "
@@ -183,6 +213,7 @@ ChipResult optimizeChip(const Layout& chip, const ChipConfig& cfg) {
       ++result.failed;
     }
   }
+  result.interrupted = cfg.cancel != nullptr && cfg.cancel->stopRequested();
 
   const double threshold = 0.5 * (baseConfig.maskLow + baseConfig.maskHigh);
   result.stitched = stitchTiles(part, tileMasks, threshold);

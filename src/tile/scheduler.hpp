@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "opc/mosaic.hpp"
+#include "support/cancel.hpp"
 #include "tile/stitch.hpp"
 #include "tile/tiling.hpp"
 
@@ -48,6 +49,12 @@ struct ChipConfig {
   /// here, plus one chip-level summary record with the seam statistics
   /// (docs/observability.md). Not owned; must outlive the run.
   telemetry::RunLog* runLog = nullptr;
+  /// Cooperative stop (Ctrl-C, serve drain): tiles not yet started fall
+  /// back to the uncorrected pattern immediately, running tiles stop at
+  /// their next optimizer iteration and checkpoint (when checkpointDir is
+  /// set), and the chip still stitches so partial work is inspectable.
+  /// Restart with `resume` to continue. Not owned; may be nullptr.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Outcome of one tile's optimization.
@@ -74,6 +81,7 @@ struct ChipResult {
   double wallSeconds = 0.0;
   int succeeded = 0;  ///< tiles that optimized (or were trivially empty)
   int failed = 0;     ///< tiles that fell back to the uncorrected pattern
+  bool interrupted = false;  ///< cfg.cancel fired before the run finished
 
   [[nodiscard]] bool allOk() const { return failed == 0; }
 };

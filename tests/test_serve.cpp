@@ -1,0 +1,805 @@
+/// Tests for the mosaic_serve job service (docs/serving.md): JSON parsing,
+/// bounded-queue admission control, the write-ahead journal and its
+/// crash-replay semantics, deadline/cancel handling, checkpoint-corruption
+/// recovery, and an 8-client concurrent hammer over the real TCP stack.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "opc/optimizer.hpp"
+#include "serve/job.hpp"
+#include "serve/journal.hpp"
+#include "serve/protocol.hpp"
+#include "serve/queue.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "support/failpoint.hpp"
+#include "support/socket.hpp"
+#include "support/telemetry/jsonin.hpp"
+#include "support/timer.hpp"
+
+namespace mosaic {
+namespace serve {
+namespace {
+
+namespace fs = std::filesystem;
+using telemetry::JsonValue;
+
+/// Fresh per-test work directory under the gtest temp root.
+std::string freshWorkDir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("serve_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+/// Poll until `pred` holds or `timeoutSec` elapses; true iff it held.
+template <typename Pred>
+bool eventually(Pred pred, double timeoutSec = 20.0) {
+  WallTimer timer;
+  while (timer.seconds() < timeoutSec) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return pred();
+}
+
+/// The cheap job every service test uses: tiny grid, few iterations.
+JobSpec tinySpec(int iterations = 6) {
+  JobSpec spec;
+  spec.caseName = "B1";
+  spec.method = "baseline";
+  spec.pixelNm = 16;
+  spec.iterations = iterations;
+  spec.checkpointEvery = 2;
+  return spec;
+}
+
+ServeConfig tinyConfig(const std::string& workDir, int workers = 1,
+                       int queueCapacity = 4) {
+  ServeConfig cfg;
+  cfg.workDir = workDir;
+  cfg.workers = workers;
+  cfg.queueCapacity = queueCapacity;
+  cfg.backoffMs = 1;
+  return cfg;
+}
+
+JobState stateOf(const JobService& service, const std::string& id) {
+  JobSnapshot snap;
+  EXPECT_TRUE(service.snapshot(id, &snap));
+  return snap.state;
+}
+
+bool isTerminal(JobState s) {
+  return s != JobState::kQueued && s != JobState::kRunning;
+}
+
+// ------------------------------------------------------------ JSON input
+
+TEST(JsonIn, ParsesScalarsAndNesting) {
+  const JsonValue v = JsonValue::parse(
+      R"({"s":"a\nbA","n":-2.5e2,"b":true,"z":null,)"
+      R"("arr":[1,2,3],"obj":{"k":"v"}})");
+  EXPECT_EQ(v.stringOr("s", ""), "a\nbA");
+  EXPECT_EQ(v.numberOr("n", 0), -250.0);
+  EXPECT_TRUE(v.boolOr("b", false));
+  ASSERT_NE(v.find("z"), nullptr);
+  EXPECT_TRUE(v.find("z")->isNull());
+  ASSERT_NE(v.find("arr"), nullptr);
+  EXPECT_EQ(v.find("arr")->asArray().size(), 3u);
+  EXPECT_EQ(v.find("obj")->stringOr("k", ""), "v");
+  EXPECT_EQ(v.stringOr("missing", "dflt"), "dflt");
+}
+
+TEST(JsonIn, RejectsMalformedInput) {
+  EXPECT_THROW(JsonValue::parse(""), InvalidArgument);
+  EXPECT_THROW(JsonValue::parse("{"), InvalidArgument);
+  EXPECT_THROW(JsonValue::parse("{\"a\":1,}"), InvalidArgument);
+  EXPECT_THROW(JsonValue::parse("{\"a\":1} trailing"), InvalidArgument);
+  EXPECT_THROW(JsonValue::parse("nul"), InvalidArgument);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), InvalidArgument);
+  // Nesting depth is capped so hostile input cannot blow the stack.
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_THROW(JsonValue::parse(deep), InvalidArgument);
+}
+
+TEST(JsonIn, RoundTripsEmitterOutput) {
+  telemetry::JsonObject out;
+  out.set("ev", "submit");
+  out.set("wall_s", 1.25);
+  out.set("ok", true);
+  out.set("name", "quote\"back\\slash");
+  const JsonValue v = JsonValue::parse(out.str());
+  EXPECT_EQ(v.stringOr("ev", ""), "submit");
+  EXPECT_EQ(v.numberOr("wall_s", 0), 1.25);
+  EXPECT_TRUE(v.boolOr("ok", false));
+  EXPECT_EQ(v.stringOr("name", ""), "quote\"back\\slash");
+}
+
+// ------------------------------------------------------------- job model
+
+TEST(JobSpecValidation, AcceptsBuiltinAndRandomCases) {
+  EXPECT_NO_THROW(validateSpec(tinySpec()));
+  JobSpec random = tinySpec();
+  random.caseName = "random:42";
+  EXPECT_NO_THROW(validateSpec(random));
+}
+
+TEST(JobSpecValidation, RejectsBadSpecs) {
+  JobSpec spec = tinySpec();
+  spec.caseName = "B11";
+  EXPECT_THROW(validateSpec(spec), InvalidArgument);
+  spec = tinySpec();
+  spec.caseName = "random:abc";
+  EXPECT_THROW(validateSpec(spec), InvalidArgument);
+  spec = tinySpec();
+  spec.method = "quantum";
+  EXPECT_THROW(validateSpec(spec), InvalidArgument);
+  spec = tinySpec();
+  spec.pixelNm = 0;
+  EXPECT_THROW(validateSpec(spec), InvalidArgument);
+  spec = tinySpec();
+  spec.maxAttempts = 0;
+  EXPECT_THROW(validateSpec(spec), InvalidArgument);
+  spec = tinySpec();
+  spec.deadlineSeconds = -1.0;
+  EXPECT_THROW(validateSpec(spec), InvalidArgument);
+}
+
+TEST(JobSpecValidation, JsonRoundTrip) {
+  JobSpec spec = tinySpec();
+  spec.deadlineSeconds = 1.5;
+  spec.maxAttempts = 3;
+  telemetry::JsonObject obj;
+  specToJson(spec, &obj);
+  const JobSpec back = specFromJson(JsonValue::parse(obj.str()));
+  EXPECT_EQ(back.caseName, spec.caseName);
+  EXPECT_EQ(back.method, spec.method);
+  EXPECT_EQ(back.pixelNm, spec.pixelNm);
+  EXPECT_EQ(back.iterations, spec.iterations);
+  EXPECT_EQ(back.deadlineSeconds, spec.deadlineSeconds);
+  EXPECT_EQ(back.maxAttempts, spec.maxAttempts);
+  EXPECT_EQ(back.checkpointEvery, spec.checkpointEvery);
+}
+
+TEST(MaskHash, DetectsSingleBitDifference) {
+  RealGrid a(8, 8, 0.5);
+  RealGrid b = a;
+  EXPECT_EQ(maskHashHex(a), maskHashHex(b));
+  EXPECT_EQ(maskHashHex(a).size(), 16u);
+  b(3, 3) = 0.5000000000000001;
+  EXPECT_NE(maskHashHex(a), maskHashHex(b));
+}
+
+// ------------------------------------------------------------- the queue
+
+TEST(BoundedQueue, AdmissionControlAndFifoOrder) {
+  BoundedJobQueue q(2);
+  EXPECT_TRUE(q.tryPush("a"));
+  EXPECT_TRUE(q.tryPush("b"));
+  EXPECT_FALSE(q.tryPush("c"));  // full: rejected without blocking
+  EXPECT_EQ(q.size(), 2u);
+  std::string id;
+  EXPECT_TRUE(q.pop(&id));
+  EXPECT_EQ(id, "a");
+  EXPECT_TRUE(q.tryPush("c"));
+  EXPECT_TRUE(q.pop(&id));
+  EXPECT_EQ(id, "b");
+  EXPECT_TRUE(q.pop(&id));
+  EXPECT_EQ(id, "c");
+}
+
+TEST(BoundedQueue, ForcePushBypassesCapacityForRecovery) {
+  BoundedJobQueue q(1);
+  EXPECT_TRUE(q.forcePush("r1"));
+  EXPECT_TRUE(q.forcePush("r2"));
+  EXPECT_FALSE(q.tryPush("new"));
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(BoundedQueue, RemoveCancelsQueuedOnly) {
+  BoundedJobQueue q(4);
+  ASSERT_TRUE(q.tryPush("a"));
+  ASSERT_TRUE(q.tryPush("b"));
+  EXPECT_TRUE(q.remove("b"));
+  EXPECT_FALSE(q.remove("b"));
+  EXPECT_FALSE(q.remove("never-queued"));
+  std::string id;
+  EXPECT_TRUE(q.pop(&id));
+  EXPECT_EQ(id, "a");
+}
+
+TEST(BoundedQueue, CloseDrainsThenUnblocks) {
+  BoundedJobQueue q(4);
+  ASSERT_TRUE(q.tryPush("a"));
+  q.close();
+  EXPECT_FALSE(q.tryPush("late"));
+  std::string id;
+  EXPECT_TRUE(q.pop(&id));   // queued items still drain after close
+  EXPECT_FALSE(q.pop(&id));  // then pop unblocks with false
+}
+
+// ----------------------------------------------------------- the journal
+
+TEST(Journal, ReplayReconstructsTerminalStates) {
+  const std::string dir = freshWorkDir("journal_replay");
+  const std::string path = dir + "/journal.jsonl";
+  {
+    JobJournal journal(path);
+    telemetry::JsonObject submit;
+    submit.set("ev", "submit");
+    submit.set("job", "job-000001");
+    specToJson(tinySpec(), &submit);
+    journal.append(submit);
+    telemetry::JsonObject start;
+    start.set("ev", "start");
+    start.set("job", "job-000001");
+    start.set("attempt", 1);
+    journal.append(start);
+    telemetry::JsonObject done;
+    done.set("ev", "done");
+    done.set("job", "job-000001");
+    done.set("mask_hash", "00000000deadbeef");
+    done.set("iterations", 6);
+    journal.append(done);
+
+    telemetry::JsonObject submit2;
+    submit2.set("ev", "submit");
+    submit2.set("job", "job-000002");
+    specToJson(tinySpec(), &submit2);
+    journal.append(submit2);
+    telemetry::JsonObject start2;
+    start2.set("ev", "start");
+    start2.set("job", "job-000002");
+    start2.set("attempt", 2);
+    journal.append(start2);
+    // job-000002 has no terminal record: the daemon died mid-run.
+  }
+  const ReplayResult replay = JobJournal::replay(path);
+  ASSERT_EQ(replay.jobs.size(), 2u);
+  EXPECT_EQ(replay.corruptLines, 0);
+  EXPECT_EQ(replay.jobs[0].state, JobState::kDone);
+  EXPECT_EQ(replay.jobs[0].maskHash, "00000000deadbeef");
+  EXPECT_EQ(replay.jobs[0].iterationsDone, 6);
+  EXPECT_EQ(replay.jobs[1].state, JobState::kRunning);  // unfinished
+  EXPECT_EQ(replay.jobs[1].attempts, 2);
+}
+
+TEST(Journal, ToleratesTornTailAndGarbageLines) {
+  const std::string dir = freshWorkDir("journal_torn");
+  const std::string path = dir + "/journal.jsonl";
+  {
+    JobJournal journal(path);
+    telemetry::JsonObject submit;
+    submit.set("ev", "submit");
+    submit.set("job", "job-000001");
+    specToJson(tinySpec(), &submit);
+    journal.append(submit);
+  }
+  {
+    // A crash mid-append can only tear the final line.
+    std::ofstream out(path, std::ios::app);
+    out << "{\"ev\":\"done\",\"job\":\"job-0000";  // torn
+  }
+  const ReplayResult replay = JobJournal::replay(path);
+  ASSERT_EQ(replay.jobs.size(), 1u);
+  EXPECT_EQ(replay.corruptLines, 1);
+  EXPECT_EQ(replay.jobs[0].state, JobState::kQueued);  // still unfinished
+}
+
+TEST(Journal, MissingFileMeansFreshStart) {
+  const ReplayResult replay =
+      JobJournal::replay(freshWorkDir("journal_none") + "/journal.jsonl");
+  EXPECT_TRUE(replay.jobs.empty());
+  EXPECT_EQ(replay.totalLines, 0);
+}
+
+// ------------------------------------------------- service happy path
+
+TEST(JobService, RunsASubmittedJobToCompletion) {
+  JobService service(tinyConfig(freshWorkDir("svc_done")));
+  const SubmitResult res = service.submit(tinySpec());
+  ASSERT_EQ(res.status, SubmitStatus::kAccepted);
+  EXPECT_EQ(res.id, "job-000001");
+  ASSERT_TRUE(eventually(
+      [&] { return stateOf(service, res.id) == JobState::kDone; }));
+  JobSnapshot snap;
+  ASSERT_TRUE(service.snapshot(res.id, &snap));
+  EXPECT_EQ(snap.iterationsDone, 6);
+  EXPECT_EQ(snap.maskHash.size(), 16u);
+  EXPECT_GT(snap.wallSeconds, 0.0);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.done, 1);
+  EXPECT_EQ(stats.submitted, 1);
+}
+
+TEST(JobService, RejectsBadSpecsAtAdmission) {
+  JobService service(tinyConfig(freshWorkDir("svc_bad")));
+  JobSpec bad = tinySpec();
+  bad.caseName = "B999";
+  const SubmitResult res = service.submit(bad);
+  EXPECT_EQ(res.status, SubmitStatus::kBadRequest);
+  EXPECT_FALSE(res.message.empty());
+}
+
+// --------------------------------------------- admission under pressure
+
+TEST(JobService, QueueFullRejectionIsTypedAndFast) {
+  // One worker pinned by a slow job, capacity-1 queue: the third submit
+  // must be rejected as queue_full, and the rejection must come back well
+  // under the 100 ms admission contract (tryPush never blocks).
+  failpoint::ScopedFailpoints slow("serve.worker:delay=400");
+  JobService service(tinyConfig(freshWorkDir("svc_full"), 1, 1));
+  const SubmitResult first = service.submit(tinySpec());
+  ASSERT_EQ(first.status, SubmitStatus::kAccepted);
+  ASSERT_TRUE(eventually(
+      [&] { return stateOf(service, first.id) == JobState::kRunning; }));
+  const SubmitResult second = service.submit(tinySpec());
+  ASSERT_EQ(second.status, SubmitStatus::kAccepted);  // fills the queue
+
+  WallTimer rejectTimer;
+  const SubmitResult third = service.submit(tinySpec());
+  const double rejectSec = rejectTimer.seconds();
+  EXPECT_EQ(third.status, SubmitStatus::kQueueFull);
+  EXPECT_LT(rejectSec, 0.1);
+  EXPECT_FALSE(third.message.empty());
+
+  // Rejected jobs vanish: not queryable, not replayed.
+  EXPECT_FALSE(service.snapshot("job-000003", nullptr));
+  ASSERT_TRUE(eventually(
+      [&] { return stateOf(service, second.id) == JobState::kDone; }));
+  EXPECT_EQ(service.stats().rejected, 1);
+}
+
+// ------------------------------------------------- deadlines and cancel
+
+TEST(JobService, DeadlineExpiryMidOptimization) {
+  // 30 ms per iteration vs a 0.15 s budget: the optimizer must stop at a
+  // poll point with the typed expired state, not run to completion.
+  failpoint::ScopedFailpoints slow("optimizer.step:delay=30");
+  JobService service(tinyConfig(freshWorkDir("svc_deadline")));
+  JobSpec spec = tinySpec(1000);
+  spec.deadlineSeconds = 0.15;
+  const SubmitResult res = service.submit(spec);
+  ASSERT_EQ(res.status, SubmitStatus::kAccepted);
+  ASSERT_TRUE(eventually(
+      [&] { return isTerminal(stateOf(service, res.id)); }));
+  JobSnapshot snap;
+  ASSERT_TRUE(service.snapshot(res.id, &snap));
+  EXPECT_EQ(snap.state, JobState::kExpired);
+  EXPECT_LT(snap.iterationsDone, 1000);
+  EXPECT_NE(snap.error.find("deadline"), std::string::npos);
+  EXPECT_EQ(service.stats().expired, 1);
+}
+
+TEST(JobService, CancelsQueuedAndRunningJobs) {
+  failpoint::ScopedFailpoints slow("optimizer.step:delay=25");
+  JobService service(tinyConfig(freshWorkDir("svc_cancel"), 1, 4));
+  const SubmitResult running = service.submit(tinySpec(1000));
+  ASSERT_EQ(running.status, SubmitStatus::kAccepted);
+  ASSERT_TRUE(eventually(
+      [&] { return stateOf(service, running.id) == JobState::kRunning; }));
+  const SubmitResult queued = service.submit(tinySpec());
+  ASSERT_EQ(queued.status, SubmitStatus::kAccepted);
+
+  // Queued job: canceled immediately, never runs.
+  std::string message;
+  EXPECT_TRUE(service.cancel(queued.id, &message));
+  EXPECT_EQ(stateOf(service, queued.id), JobState::kCanceled);
+
+  // Running job: stops at its next optimizer iteration.
+  EXPECT_TRUE(service.cancel(running.id, &message));
+  ASSERT_TRUE(eventually(
+      [&] { return stateOf(service, running.id) == JobState::kCanceled; }));
+
+  // Canceling a terminal job is refused with a reason.
+  EXPECT_FALSE(service.cancel(running.id, &message));
+  EXPECT_NE(message.find("terminal"), std::string::npos);
+  EXPECT_FALSE(service.cancel("job-999999", &message));
+  EXPECT_NE(message.find("unknown"), std::string::npos);
+}
+
+// ------------------------------------------------------- retry/backoff
+
+TEST(JobService, RetriesWithBackoffThenSucceeds) {
+  // First attempt throws, second succeeds.
+  failpoint::ScopedFailpoints fp("serve.worker:throw@iter=1");
+  JobService service(tinyConfig(freshWorkDir("svc_retry")));
+  JobSpec spec = tinySpec();
+  spec.maxAttempts = 2;
+  const SubmitResult res = service.submit(spec);
+  ASSERT_EQ(res.status, SubmitStatus::kAccepted);
+  ASSERT_TRUE(eventually(
+      [&] { return stateOf(service, res.id) == JobState::kDone; }));
+  JobSnapshot snap;
+  ASSERT_TRUE(service.snapshot(res.id, &snap));
+  EXPECT_EQ(snap.attempts, 2);
+  EXPECT_EQ(service.stats().retries, 1);
+}
+
+TEST(JobService, FailsAfterExhaustingAttempts) {
+  failpoint::ScopedFailpoints fp("serve.worker:throw");  // every attempt
+  JobService service(tinyConfig(freshWorkDir("svc_fail")));
+  JobSpec spec = tinySpec();
+  spec.maxAttempts = 2;
+  const SubmitResult res = service.submit(spec);
+  ASSERT_EQ(res.status, SubmitStatus::kAccepted);
+  ASSERT_TRUE(eventually(
+      [&] { return stateOf(service, res.id) == JobState::kFailed; }));
+  JobSnapshot snap;
+  ASSERT_TRUE(service.snapshot(res.id, &snap));
+  EXPECT_EQ(snap.attempts, 2);
+  EXPECT_NE(snap.error.find("failpoint"), std::string::npos);
+}
+
+// ----------------------------------------- crash recovery (the tentpole)
+
+TEST(JobService, JournalReplayResumesBitIdenticallyAfterSimulatedKill) {
+  // Reference: the same job, uninterrupted, in a separate work dir.
+  JobSpec spec = tinySpec(12);
+  spec.checkpointEvery = 5;  // last checkpoint at iter 10: resume replays 11-12
+  std::string referenceHash;
+  {
+    JobService reference(tinyConfig(freshWorkDir("svc_crash_ref")));
+    const SubmitResult res = reference.submit(spec);
+    ASSERT_EQ(res.status, SubmitStatus::kAccepted);
+    ASSERT_TRUE(eventually(
+        [&] { return stateOf(reference, res.id) == JobState::kDone; }));
+    JobSnapshot snap;
+    ASSERT_TRUE(reference.snapshot(res.id, &snap));
+    referenceHash = snap.maskHash;
+    ASSERT_FALSE(referenceHash.empty());
+  }
+
+  const std::string workDir = freshWorkDir("svc_crash");
+  {
+    // Incarnation 1: the serve.crash fail point throws after the attempt's
+    // work (checkpoints included) but before the terminal journal record —
+    // the same window a real SIGKILL hits. The worker vanishes without a
+    // trace, exactly like a killed process.
+    failpoint::ScopedFailpoints crash("serve.crash:throw@iter=1");
+    JobService service(tinyConfig(workDir));
+    const SubmitResult res = service.submit(spec);
+    ASSERT_EQ(res.status, SubmitStatus::kAccepted);
+    ASSERT_TRUE(eventually(
+        [&] { return failpoint::hitCount("serve.crash") >= 1; }));
+    // The job is stuck running with no terminal journal record.
+    EXPECT_EQ(stateOf(service, res.id), JobState::kRunning);
+  }
+
+  // Incarnation 2 on the same work dir: replay finds the unfinished job,
+  // re-enqueues it, and the optimizer resumes from the checkpoint. The
+  // recovered mask must be bit-identical to the uninterrupted run's.
+  JobService restarted(tinyConfig(workDir));
+  EXPECT_EQ(restarted.recoveredJobs(), 1);
+  ASSERT_TRUE(eventually(
+      [&] { return stateOf(restarted, "job-000001") == JobState::kDone; }));
+  JobSnapshot snap;
+  ASSERT_TRUE(restarted.snapshot("job-000001", &snap));
+  EXPECT_TRUE(snap.recovered);
+  EXPECT_EQ(snap.maskHash, referenceHash);
+  EXPECT_EQ(snap.iterationsDone, 12);
+}
+
+TEST(JobService, CheckpointDrainLeavesJobsResumable) {
+  const std::string workDir = freshWorkDir("svc_drain");
+  std::string id;
+  {
+    failpoint::ScopedFailpoints slow("optimizer.step:delay=25");
+    JobService service(tinyConfig(workDir));
+    const SubmitResult res = service.submit(tinySpec(1000));
+    ASSERT_EQ(res.status, SubmitStatus::kAccepted);
+    id = res.id;
+    ASSERT_TRUE(eventually(
+        [&] { return stateOf(service, id) == JobState::kRunning; }));
+    service.drain(DrainMode::kCheckpoint);
+    // Interrupted, not terminated: the job went back to queued.
+    EXPECT_EQ(stateOf(service, id), JobState::kQueued);
+  }
+  JobService restarted(tinyConfig(workDir));
+  EXPECT_EQ(restarted.recoveredJobs(), 1);
+  ASSERT_TRUE(eventually(
+      [&] { return stateOf(restarted, id) == JobState::kDone; }, 120.0));
+}
+
+TEST(JobService, FinishDrainCompletesBacklog) {
+  JobService service(tinyConfig(freshWorkDir("svc_finish"), 1, 8));
+  std::vector<std::string> ids;
+  for (int i = 0; i < 3; ++i) {
+    const SubmitResult res = service.submit(tinySpec());
+    ASSERT_EQ(res.status, SubmitStatus::kAccepted);
+    ids.push_back(res.id);
+  }
+  service.drain(DrainMode::kFinish);
+  for (const std::string& id : ids) {
+    EXPECT_EQ(stateOf(service, id), JobState::kDone) << id;
+  }
+  EXPECT_EQ(service.submit(tinySpec()).status, SubmitStatus::kShuttingDown);
+}
+
+// -------------------------------------- checkpoint-corruption hardening
+
+OptimizerCheckpoint smallCheckpoint() {
+  OptimizerCheckpoint ckpt;
+  ckpt.iteration = 3;
+  ckpt.step = 0.5;
+  ckpt.bestObjective = 1.0;
+  ckpt.params = RealGrid(4, 4, 0.25);
+  ckpt.bestMask = RealGrid(4, 4, 0.5);
+  return ckpt;
+}
+
+TEST(CheckpointHardening, TypedErrorsForMissingGarbageAndTruncated) {
+  const std::string dir = freshWorkDir("ckpt_hard");
+  EXPECT_THROW(loadOptimizerCheckpoint(dir + "/missing.ckpt"),
+               CheckpointError);
+  {
+    std::ofstream out(dir + "/garbage.ckpt", std::ios::binary);
+    out << "this is not a checkpoint at all, not even close";
+  }
+  EXPECT_THROW(loadOptimizerCheckpoint(dir + "/garbage.ckpt"),
+               CheckpointError);
+
+  const std::string good = dir + "/good.ckpt";
+  saveOptimizerCheckpoint(good, smallCheckpoint());
+  EXPECT_NO_THROW(loadOptimizerCheckpoint(good));
+
+  // Truncate at every prefix length: each must throw the typed error, and
+  // none may crash or silently succeed.
+  std::ifstream in(good, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  ASSERT_GT(bytes.size(), 16u);
+  for (std::size_t len : {bytes.size() - 1, bytes.size() / 2,
+                          std::size_t{9}, std::size_t{1}}) {
+    const std::string path = dir + "/trunc.ckpt";
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(len));
+    out.close();
+    EXPECT_THROW(loadOptimizerCheckpoint(path), CheckpointError)
+        << "prefix length " << len;
+  }
+}
+
+TEST(CheckpointHardening, RejectsVersionSkewAndTrailingBytes) {
+  const std::string dir = freshWorkDir("ckpt_version");
+  const std::string good = dir + "/good.ckpt";
+  saveOptimizerCheckpoint(good, smallCheckpoint());
+  std::ifstream in(good, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+
+  {
+    // Bump the version field (bytes 4..7).
+    std::string skewed = bytes;
+    skewed[4] = static_cast<char>(skewed[4] + 1);
+    std::ofstream out(dir + "/skew.ckpt", std::ios::binary);
+    out.write(skewed.data(), static_cast<std::streamsize>(skewed.size()));
+    out.close();
+    try {
+      (void)loadOptimizerCheckpoint(dir + "/skew.ckpt");
+      FAIL() << "version skew must throw";
+    } catch (const CheckpointError& e) {
+      EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+    }
+  }
+  {
+    // Concatenated/doubly-written files must be rejected too.
+    std::ofstream out(dir + "/trailing.ckpt", std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out << "extra";
+    out.close();
+    EXPECT_THROW(loadOptimizerCheckpoint(dir + "/trailing.ckpt"),
+                 CheckpointError);
+  }
+}
+
+TEST(CheckpointHardening, CheckpointErrorIsAnInvalidArgument) {
+  // Pre-existing catch sites key on InvalidArgument; the typed error must
+  // stay inside that hierarchy.
+  try {
+    throw CheckpointError("unit");
+  } catch (const InvalidArgument&) {
+    SUCCEED();
+  } catch (...) {
+    FAIL() << "CheckpointError must derive from InvalidArgument";
+  }
+}
+
+TEST(JobService, CorruptCheckpointRestartsJobCleanly) {
+  // Hand-craft a crashed incarnation whose checkpoint is garbage: replay
+  // re-enqueues the job, the resume fails with CheckpointError, and the
+  // worker restarts it from scratch instead of failing it.
+  const std::string workDir = freshWorkDir("svc_corrupt_ckpt");
+  std::filesystem::create_directories(workDir + "/ckpt");
+  {
+    JobJournal journal(workDir + "/journal.jsonl");
+    telemetry::JsonObject submit;
+    submit.set("ev", "submit");
+    submit.set("job", "job-000001");
+    specToJson(tinySpec(), &submit);
+    journal.append(submit);
+    telemetry::JsonObject start;
+    start.set("ev", "start");
+    start.set("job", "job-000001");
+    start.set("attempt", 1);
+    journal.append(start);
+  }
+  {
+    std::ofstream out(workDir + "/ckpt/job-000001.ckpt", std::ios::binary);
+    out << "garbage bytes that are definitely not a checkpoint";
+  }
+  JobService service(tinyConfig(workDir));
+  EXPECT_EQ(service.recoveredJobs(), 1);
+  ASSERT_TRUE(eventually(
+      [&] { return stateOf(service, "job-000001") == JobState::kDone; }));
+}
+
+// ------------------------------------------------------------- protocol
+
+TEST(Protocol, PingUnknownOpAndMalformedJson) {
+  JobService service(tinyConfig(freshWorkDir("proto_basic")));
+  EXPECT_NE(handleRequestLine(service, R"({"op":"ping"})")
+                .response.find("\"pong\":true"),
+            std::string::npos);
+  EXPECT_NE(handleRequestLine(service, R"({"op":"frobnicate"})")
+                .response.find("bad_request"),
+            std::string::npos);
+  EXPECT_NE(handleRequestLine(service, "{not json").response.find(
+                "bad_request"),
+            std::string::npos);
+}
+
+TEST(Protocol, SubmitStatusResultCancelFlow) {
+  JobService service(tinyConfig(freshWorkDir("proto_flow")));
+  const ProtocolResult submitted = handleRequestLine(
+      service,
+      R"({"op":"submit","case":"B1","method":"baseline","pixel_nm":16,)"
+      R"("iterations":6})");
+  const JsonValue reply = JsonValue::parse(submitted.response);
+  ASSERT_TRUE(reply.boolOr("ok", false)) << submitted.response;
+  const std::string id = reply.stringOr("job", "");
+  ASSERT_FALSE(id.empty());
+
+  ASSERT_TRUE(eventually([&] {
+    const ProtocolResult status = handleRequestLine(
+        service, R"({"op":"status","job":")" + id + R"("})");
+    return JsonValue::parse(status.response).stringOr("state", "") == "done";
+  }));
+
+  const ProtocolResult result = handleRequestLine(
+      service, R"({"op":"result","job":")" + id + R"("})");
+  const JsonValue resultJson = JsonValue::parse(result.response);
+  EXPECT_TRUE(resultJson.boolOr("ok", false));
+  EXPECT_EQ(resultJson.stringOr("mask_hash", "").size(), 16u);
+
+  EXPECT_NE(handleRequestLine(service,
+                              R"({"op":"status","job":"job-424242"})")
+                .response.find("not_found"),
+            std::string::npos);
+  EXPECT_NE(handleRequestLine(service, R"({"op":"submit","case":"B77"})")
+                .response.find("bad_request"),
+            std::string::npos);
+
+  const ProtocolResult stats =
+      handleRequestLine(service, R"({"op":"stats"})");
+  const JsonValue statsJson = JsonValue::parse(stats.response);
+  EXPECT_EQ(statsJson.intOr("done", 0), 1);
+  EXPECT_EQ(statsJson.intOr("workers", 0), 1);
+}
+
+TEST(Protocol, ResultOnUnfinishedJobIsNotReady) {
+  failpoint::ScopedFailpoints slow("optimizer.step:delay=25");
+  JobService service(tinyConfig(freshWorkDir("proto_notready")));
+  const ProtocolResult submitted = handleRequestLine(
+      service,
+      R"({"op":"submit","case":"B1","method":"baseline","pixel_nm":16,)"
+      R"("iterations":1000})");
+  const std::string id =
+      JsonValue::parse(submitted.response).stringOr("job", "");
+  ASSERT_FALSE(id.empty());
+  EXPECT_NE(handleRequestLine(service,
+                              R"({"op":"result","job":")" + id + R"("})")
+                .response.find("not_ready"),
+            std::string::npos);
+  std::string message;
+  service.cancel(id, &message);
+}
+
+TEST(Protocol, ShutdownOpCarriesDrainMode) {
+  JobService service(tinyConfig(freshWorkDir("proto_shutdown")));
+  const ProtocolResult finish =
+      handleRequestLine(service, R"({"op":"shutdown"})");
+  EXPECT_TRUE(finish.shutdown);
+  EXPECT_EQ(finish.shutdownMode, DrainMode::kFinish);
+  const ProtocolResult ckpt = handleRequestLine(
+      service, R"({"op":"shutdown","mode":"checkpoint"})");
+  EXPECT_TRUE(ckpt.shutdown);
+  EXPECT_EQ(ckpt.shutdownMode, DrainMode::kCheckpoint);
+  const ProtocolResult bad =
+      handleRequestLine(service, R"({"op":"shutdown","mode":"maybe"})");
+  EXPECT_FALSE(bad.shutdown);
+  EXPECT_NE(bad.response.find("bad_request"), std::string::npos);
+}
+
+// -------------------------------------------- concurrent clients (TCP)
+
+TEST(ServeServer, EightClientHammerOverTcp) {
+  JobService service(tinyConfig(freshWorkDir("tcp_hammer"), 2, 64));
+  ServerOptions opts;
+  opts.port = 0;  // ephemeral
+  ServeServer server(service, opts);
+  CancelToken stop;
+  std::thread serverThread([&] { server.serveForever(&stop); });
+
+  constexpr int kClients = 8;
+  constexpr int kJobsPerClient = 2;
+  std::atomic<int> completed{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      try {
+        LineChannel channel(connectTcp("127.0.0.1", server.port()));
+        std::vector<std::string> ids;
+        for (int j = 0; j < kJobsPerClient; ++j) {
+          // Distinct random clips so concurrent jobs are not all identical.
+          const std::string request =
+              R"({"op":"submit","case":"random:)" +
+              std::to_string(1000 + c * kJobsPerClient + j) +
+              R"(","method":"baseline","pixel_nm":16,"iterations":3})";
+          channel.writeLine(request);
+          std::string line;
+          ASSERT_TRUE(channel.readLine(&line, 15000));
+          const JsonValue reply = JsonValue::parse(line);
+          ASSERT_TRUE(reply.boolOr("ok", false)) << line;
+          ids.push_back(reply.stringOr("job", ""));
+        }
+        for (const std::string& id : ids) {
+          WallTimer timer;
+          for (;;) {
+            channel.writeLine(R"({"op":"status","job":")" + id + R"("})");
+            std::string line;
+            ASSERT_TRUE(channel.readLine(&line, 15000));
+            const std::string state =
+                JsonValue::parse(line).stringOr("state", "");
+            if (state == "done") {
+              completed.fetch_add(1);
+              break;
+            }
+            ASSERT_NE(state, "failed") << line;
+            ASSERT_LT(timer.seconds(), 120.0) << "job " << id << " stuck";
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+          }
+        }
+      } catch (const std::exception& e) {
+        ADD_FAILURE() << "client " << c << ": " << e.what();
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  stop.cancel();
+  serverThread.join();
+  service.drain(DrainMode::kFinish);
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(completed.load(), kClients * kJobsPerClient);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, kClients * kJobsPerClient);
+  EXPECT_EQ(stats.done, kClients * kJobsPerClient);
+  // No leaked jobs: everything submitted reached a terminal state.
+  EXPECT_EQ(stats.queued, 0);
+  EXPECT_EQ(stats.running, 0);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace mosaic

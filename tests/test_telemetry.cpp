@@ -519,6 +519,7 @@ TEST(TelemetryDeterminism, InstrumentedRunIsBitIdenticalToQuietRun) {
 TEST(TelemetryCheckpoint, WallMsSurvivesRoundTrip) {
   OptimizerCheckpoint ckpt;
   ckpt.iteration = 3;
+  ckpt.step = 0.5;  // the hardened loader rejects non-positive steps
   ckpt.params = RealGrid(4, 4, 0.5);
   ckpt.bestMask = RealGrid(4, 4, 1.0);
   IterationRecord rec;
