@@ -645,6 +645,10 @@ int cmdChip(int argc, char** argv) {
   int checkpointEvery = 5;
   bool resume = false;
   std::string kernelCache;
+  std::string patternCache;
+  int cacheMaxMb = 512;
+  int warmIters = 0;
+  std::string ecoBase;
   std::string outMask;
   std::string logLevel = "info";
   std::string failpoints;
@@ -678,6 +682,16 @@ int cmdChip(int argc, char** argv) {
               "resume tiles from existing checkpoints in --checkpoint-dir");
   cli.addString("kernel-cache", &kernelCache,
                 "directory for on-disk kernel caching");
+  cli.addString("pattern-cache", &patternCache,
+                "pattern-library cache directory: reuse solved tile masks "
+                "across runs (docs/caching.md)");
+  cli.addInt("cache-max-mb", &cacheMaxMb,
+             "pattern-cache size cap in MB (LRU-evicted; 0 = unlimited)");
+  cli.addInt("warm-iters", &warmIters,
+             "iteration budget for cache warm starts (0 = cold budget / 4)");
+  cli.addString("eco-base", &ecoBase,
+                "incremental re-OPC: pattern-cache directory of a previous "
+                "run; only changed tiles re-optimize");
   cli.addString("out-mask", &outMask, "write the stitched mask as GLP");
   cli.addString("log", &logLevel, "log level");
   cli.addString("failpoints", &failpoints,
@@ -711,6 +725,10 @@ int cmdChip(int argc, char** argv) {
   cfg.checkpointEvery = checkpointEvery;
   cfg.resume = resume;
   cfg.kernelCacheDir = kernelCache;
+  cfg.patternCacheDir = patternCache;
+  cfg.patternCacheMaxBytes = static_cast<long long>(cacheMaxMb) << 20;
+  cfg.warmIterations = warmIters;
+  cfg.ecoBaseDir = ecoBase;
   cfg.runLog = runLog.get();
   CancelToken interruptToken;
   installTerminationHandler(&interruptToken);
@@ -720,7 +738,20 @@ int cmdChip(int argc, char** argv) {
   if (!input.empty()) {
     GlpReadOptions glp;
     glp.clipSizeNm = chipSize > 0 ? chipSize : tileSize * replicate;
+    // Chip coordinates are absolute: recentering would re-normalize a
+    // revised layout and silently cancel (or smear across every tile) the
+    // very edits the ECO flow diffs for.
+    glp.recenter = false;
     chip = readGlpFile(input, glp);
+    for (const RectNm& r : chip.rects) {
+      MOSAIC_CHECK(r.x0 >= 0 && r.y0 >= 0 && r.x1 <= chip.sizeNm &&
+                       r.y1 <= chip.sizeNm,
+                   "chip input rect [" << r.x0 << "," << r.y0 << " " << r.x1
+                                       << "," << r.y1
+                                       << "] lies outside the chip [0,"
+                                       << chip.sizeNm
+                                       << ")^2; pass --chip-size to enlarge");
+    }
   } else {
     MOSAIC_CHECK(caseIndex >= 1 && caseIndex <= kTestcaseCount,
                  "pass --input <chip.glp> or --case 1..10");
@@ -747,8 +778,12 @@ int cmdChip(int argc, char** argv) {
     std::string status;
     if (o.skippedEmpty) {
       status = "empty";
+    } else if (o.fromCache) {
+      status = "cached";
     } else if (o.ok) {
-      status = o.attempts > 1 ? "ok (retried)" : "ok";
+      status = o.attempts > 1 ? "ok (retried)"
+               : o.warmStarted ? "ok (warm)"
+                               : "ok";
     } else {
       status = "FALLBACK";
     }
@@ -768,6 +803,28 @@ int cmdChip(int argc, char** argv) {
               seam.disagreeingPixels, seam.overlapPixels,
               100.0 * seam.disagreementFraction, seam.coreMismatchPixels,
               seam.nonFinitePixels);
+
+  if (res.cacheEnabled) {
+    const PatternStoreStats& cs = res.cacheStats;
+    std::printf("pattern cache: %llu exact, %llu translated, %llu near-miss, "
+                "%llu miss (%.1f%% hit rate), %llu inserted, %llu evicted, "
+                "%llu quarantined; %lld entries / %.1f MB on disk\n",
+                static_cast<unsigned long long>(cs.exactHits),
+                static_cast<unsigned long long>(cs.translatedHits),
+                static_cast<unsigned long long>(cs.nearMissHits),
+                static_cast<unsigned long long>(cs.misses),
+                100.0 * cs.hitRate(),
+                static_cast<unsigned long long>(cs.inserts),
+                static_cast<unsigned long long>(cs.evictions),
+                static_cast<unsigned long long>(cs.quarantined), cs.entries,
+                static_cast<double>(cs.bytes) / (1 << 20));
+  }
+  if (res.eco.active) {
+    std::printf("eco: %d/%d tiles changed vs %s%s\n", res.eco.tilesChanged,
+                res.eco.tilesTotal, ecoBase.c_str(),
+                res.eco.baseValid ? "" : " (no base manifest; all treated "
+                                         "as changed)");
+  }
 
   if (!outMask.empty()) {
     const Layout maskLayout =

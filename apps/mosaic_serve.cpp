@@ -36,6 +36,8 @@ int serveMain(int argc, char** argv) {
   int queueCapacity = 8;
   int backoffMs = 25;
   bool cold = false;
+  std::string patternCache;
+  int cacheMaxMb = 512;
   std::string logLevel = "info";
   std::string failpoints;
   std::string metricsOut;
@@ -52,6 +54,11 @@ int serveMain(int argc, char** argv) {
   cli.addInt("backoff-ms", &backoffMs, "retry backoff per failed attempt");
   cli.addFlag("cold", &cold,
               "disable the warm simulator pool (each job recomputes kernels)");
+  cli.addString("pattern-cache", &patternCache,
+                "pattern-library cache directory: repeated jobs return the "
+                "cached mask (docs/caching.md)");
+  cli.addInt("cache-max-mb", &cacheMaxMb,
+             "pattern-cache size cap in MB (LRU-evicted; 0 = unlimited)");
   cli.addString("log", &logLevel, "log level");
   cli.addString("failpoints", &failpoints,
                 "arm fail points, e.g. serve.worker:throw@iter=1");
@@ -80,6 +87,8 @@ int serveMain(int argc, char** argv) {
   cfg.queueCapacity = queueCapacity;
   cfg.backoffMs = backoffMs;
   cfg.reuseSimulators = !cold;
+  cfg.patternCacheDir = patternCache;
+  cfg.patternCacheMaxBytes = static_cast<long long>(cacheMaxMb) << 20;
   cfg.runLog = runLog.get();
   serve::JobService service(cfg);
 

@@ -1,0 +1,42 @@
+#pragma once
+/// \file manifest.hpp
+/// Fingerprint manifest for incremental re-OPC (ECO flow, docs/caching.md).
+///
+/// A cache-enabled chip run records one line per tile — the core's chip
+/// origin in nm plus the tile's full fingerprint — into
+/// `fingerprints.jsonl` in the pattern-store directory. A later ECO run
+/// diffs its own fingerprints against this manifest to report exactly
+/// which tiles a layout revision touched; keying by core origin in nm (not
+/// tile index) keeps the diff meaningful even if the grid was re-indexed.
+/// Hashes are serialized as 16-digit hex strings: JSON numbers are doubles
+/// and would silently drop bits of a 64-bit digest.
+
+#include <string>
+#include <vector>
+
+#include "cache/fingerprint.hpp"
+
+namespace mosaic {
+
+/// One manifest line: where a core sits on the chip and what problem it
+/// posed.
+struct ManifestEntry {
+  int coreXNm = 0;  ///< core origin (min corner), chip coordinates
+  int coreYNm = 0;
+  TileFingerprint fp;
+};
+
+/// Conventional manifest file name inside a pattern-store directory.
+[[nodiscard]] std::string manifestPath(const std::string& storeDir);
+
+/// Write a manifest atomically (temp file + rename). Throws on I/O errors.
+void writeFingerprintManifest(const std::string& path,
+                              const std::vector<ManifestEntry>& entries);
+
+/// Read a manifest. Returns false (and an empty vector) when the file is
+/// missing or malformed — ECO then conservatively treats every tile as
+/// changed instead of failing the run.
+bool readFingerprintManifest(const std::string& path,
+                             std::vector<ManifestEntry>* out);
+
+}  // namespace mosaic

@@ -2,11 +2,10 @@
 
 #include <cmath>
 #include <cstdint>
-#include <cstdio>
-#include <cstring>
 #include <fstream>
 
 #include "support/error.hpp"
+#include "support/hash.hpp"
 
 namespace mosaic {
 namespace {
@@ -115,38 +114,7 @@ std::string kernelCacheName(int gridSize, double focusNm) {
          ".bin";
 }
 
-namespace {
-
-/// FNV-1a over the raw bytes of each value. Doubles are hashed through
-/// their bit patterns, which is exact and deterministic for the config
-/// values we care about (all are user-specified literals, not computed).
-class Fnv1a {
- public:
-  void mix(double v) {
-    std::uint64_t bits = 0;
-    std::memcpy(&bits, &v, sizeof bits);
-    mixBytes(&bits, sizeof bits);
-  }
-  void mix(int v) {
-    const std::int64_t wide = v;
-    mixBytes(&wide, sizeof wide);
-  }
-  [[nodiscard]] std::uint64_t digest() const { return state_; }
-
- private:
-  void mixBytes(const void* data, std::size_t size) {
-    const auto* bytes = static_cast<const unsigned char*>(data);
-    for (std::size_t i = 0; i < size; ++i) {
-      state_ ^= bytes[i];
-      state_ *= 0x100000001b3ull;
-    }
-  }
-  std::uint64_t state_ = 0xcbf29ce484222325ull;
-};
-
-}  // namespace
-
-std::string opticsParameterHash(const OpticsConfig& optics) {
+std::uint64_t opticsParameterDigest(const OpticsConfig& optics) {
   Fnv1a h;
   h.mix(optics.wavelengthNm);
   h.mix(optics.na);
@@ -160,10 +128,11 @@ std::string opticsParameterHash(const OpticsConfig& optics) {
   h.mix(optics.aberrations.comaX);
   h.mix(optics.aberrations.comaY);
   h.mix(optics.aberrations.spherical);
-  char buf[17];
-  std::snprintf(buf, sizeof buf, "%016llx",
-                static_cast<unsigned long long>(h.digest()));
-  return buf;
+  return h.digest();
+}
+
+std::string opticsParameterHash(const OpticsConfig& optics) {
+  return Fnv1a::hashHex(opticsParameterDigest(optics));
 }
 
 std::string kernelCacheName(const OpticsConfig& optics, double focusNm) {

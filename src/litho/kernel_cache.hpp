@@ -6,6 +6,7 @@
 /// little-endian private binary with a magic/version header; files are
 /// validated on load and rejected on any mismatch.
 
+#include <cstdint>
 #include <string>
 
 #include "litho/kernels.hpp"
@@ -37,5 +38,9 @@ std::string kernelCacheName(const OpticsConfig& optics, double focusNm);
 /// The optics-parameter hash used by the cache name (16 lowercase hex
 /// digits); exposed for tests and external cache tooling.
 std::string opticsParameterHash(const OpticsConfig& optics);
+
+/// Raw 64-bit form of opticsParameterHash, for callers that fold it into
+/// larger keys (the pattern-library fingerprint) instead of printing it.
+std::uint64_t opticsParameterDigest(const OpticsConfig& optics);
 
 }  // namespace mosaic

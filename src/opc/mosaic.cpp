@@ -62,12 +62,24 @@ OpcResult runOpc(const LithoSimulator& sim, const BitGrid& target,
                             ? *configOverride
                             : defaultIltConfig(method, sim.optics().pixelNm);
 
-  // Alg. 1 line 2: initial mask = target with rule-based SRAFs.
-  const BitGrid initial = insertSraf(target, sim.optics().pixelNm, sraf);
+  // Alg. 1 line 2: initial mask = target with rule-based SRAFs — unless a
+  // warm start (e.g. a pattern-cache near hit) supplies a better one.
+  RealGrid initial;
+  if (!optimizeOptions.warmStartMask.empty()) {
+    MOSAIC_CHECK(optimizeOptions.warmStartMask.rows() == target.rows() &&
+                     optimizeOptions.warmStartMask.cols() == target.cols(),
+                 "warm-start mask shape "
+                     << optimizeOptions.warmStartMask.rows() << "x"
+                     << optimizeOptions.warmStartMask.cols()
+                     << " does not match the target " << target.rows() << "x"
+                     << target.cols());
+    initial = optimizeOptions.warmStartMask;
+  } else {
+    initial = toReal(insertSraf(target, sim.optics().pixelNm, sraf));
+  }
 
   IltObjective objective(sim, target, cfg);
-  OptimizeResult opt =
-      optimizeMask(objective, toReal(initial), callback, optimizeOptions);
+  OptimizeResult opt = optimizeMask(objective, initial, callback, optimizeOptions);
 
   OpcResult result;
   result.method = methodName(method);

@@ -120,6 +120,11 @@ struct OptimizeOptions {
   /// serve drain, a client cancel, a job deadline) can resume
   /// bit-identically. Not owned; may be nullptr.
   const CancelToken* cancel = nullptr;
+  /// Warm start: when non-empty, runOpc descends from this continuous mask
+  /// instead of the SRAF-initialized target (pattern-cache near hits,
+  /// docs/caching.md). Must match the target's grid shape. Ignored when
+  /// `resumePath` is set — a checkpoint carries its own full state.
+  RealGrid warmStartMask;
 };
 
 /// Called after every iteration with the current (not best) mask.

@@ -5,6 +5,7 @@
 
 #include "suite/testcases.hpp"
 #include "support/error.hpp"
+#include "support/hash.hpp"
 
 namespace mosaic {
 namespace serve {
@@ -90,19 +91,12 @@ void validateSpec(const JobSpec& spec) {
 
 std::string maskHashHex(const RealGrid& mask) {
   // FNV-1a 64 over the raw double bytes: cheap, deterministic, and any
-  // single-bit difference between two masks flips the digest.
-  std::uint64_t h = 1469598103934665603ull;
-  const unsigned char* bytes =
-      reinterpret_cast<const unsigned char*>(mask.data());
-  const std::size_t n = mask.size() * sizeof(double);
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= bytes[i];
-    h *= 1099511628211ull;
-  }
-  char buf[17];
-  std::snprintf(buf, sizeof buf, "%016llx",
-                static_cast<unsigned long long>(h));
-  return std::string(buf, 16);
+  // single-bit difference between two masks flips the digest. The seed is
+  // not the standard basis; it is kept verbatim because these digests are
+  // persisted in job journals and compared across daemon restarts.
+  constexpr std::uint64_t kLegacyMaskHashSeed = 1469598103934665603ull;
+  return Fnv1a::hashHex(
+      fnv1a(mask.data(), mask.size() * sizeof(double), kLegacyMaskHashSeed));
 }
 
 }  // namespace serve

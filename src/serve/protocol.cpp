@@ -136,6 +136,20 @@ std::string handleStats(JobService& service) {
   obj.set("job_wall_p50_ms", wall.p50Us / 1000.0);
   obj.set("job_wall_p95_ms", wall.p95Us / 1000.0);
   obj.set("job_wall_p99_ms", wall.p99Us / 1000.0);
+  if (s.cacheEnabled) {
+    obj.set("cache_entries", s.cache.entries);
+    obj.set("cache_bytes", s.cache.bytes);
+    obj.set("cache_exact",
+            static_cast<unsigned long long>(s.cache.exactHits));
+    obj.set("cache_warm", static_cast<unsigned long long>(
+                              s.cache.translatedHits + s.cache.nearMissHits));
+    obj.set("cache_miss", static_cast<unsigned long long>(s.cache.misses));
+    obj.set("cache_inserts",
+            static_cast<unsigned long long>(s.cache.inserts));
+    obj.set("cache_evictions",
+            static_cast<unsigned long long>(s.cache.evictions));
+    obj.set("cache_hit_rate", s.cache.hitRate());
+  }
   return obj.str();
 }
 

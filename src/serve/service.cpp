@@ -6,6 +6,7 @@
 #include <fstream>
 #include <thread>
 
+#include "cache/fingerprint.hpp"
 #include "geometry/raster.hpp"
 #include "opc/mosaic.hpp"
 #include "suite/testcases.hpp"
@@ -61,6 +62,13 @@ JobService::JobService(const ServeConfig& cfg)
   // incarnation is the complete recovery record.
   recoverFromJournal();
   journal_ = std::make_unique<JobJournal>(cfg_.workDir + "/journal.jsonl");
+
+  if (!cfg_.patternCacheDir.empty()) {
+    patternStore_ = std::make_unique<PatternStore>(
+        PatternStoreConfig{cfg_.patternCacheDir, cfg_.patternCacheMaxBytes});
+    LOG_INFO("pattern cache enabled at " << cfg_.patternCacheDir << " ("
+             << patternStore_->stats().entries << " entries)");
+  }
 
   workers_.reserve(static_cast<std::size_t>(cfg_.workers));
   for (int i = 0; i < cfg_.workers; ++i) {
@@ -274,6 +282,10 @@ ServiceStats JobService::stats() const {
   s.recoveredJobs = recoveredJobs_;
   s.workers = cfg_.workers;
   s.queueCapacity = queue_.capacity();
+  if (patternStore_) {
+    s.cacheEnabled = true;
+    s.cache = patternStore_->stats();
+  }
   return s;
 }
 
@@ -457,6 +469,50 @@ void JobService::runJob(Job& job) {
       IltConfig cfg = defaultIltConfig(method, job.spec.pixelNm);
       if (job.spec.iterations > 0) cfg.maxIterations = job.spec.iterations;
 
+      // Pattern-library consult: the whole clip is the "core" (jobs have
+      // no halo). An exact hit finishes the job without optimizing; a
+      // translated/near hit becomes a warm start on a quarter budget.
+      TileFingerprint fp;
+      RealGrid warmMask;
+      bool haveFingerprint = false;
+      if (patternStore_) {
+        const RectNm clipCore{0, 0, layout.sizeNm, layout.sizeNm};
+        fp = fingerprintWindow(
+            layout, clipCore, job.spec.pixelNm,
+            solverConfigDigest(sim.optics(), cfg, static_cast<int>(method),
+                               layout.sizeNm, job.spec.pixelNm));
+        haveFingerprint = true;
+        CacheLookup hit = patternStore_->lookup(fp);
+        if (hit.kind != CacheHitKind::kMiss &&
+            (hit.solution.mask.rows() != target.rows() ||
+             hit.solution.mask.cols() != target.cols())) {
+          hit.kind = CacheHitKind::kMiss;  // foreign-shape entry; distrust
+        }
+        if (hit.kind == CacheHitKind::kExact) {
+          const std::string hash = maskHashHex(hit.solution.mask);
+          {
+            std::lock_guard<std::mutex> lock(mutex_);
+            job.state = JobState::kDone;
+            job.maskHash = hash;
+            job.iterationsDone = 0;
+            job.objective = hit.solution.objective;
+            job.wallSeconds = jobTimer.seconds();
+            job.error.clear();
+          }
+          std::remove(ckpt.c_str());
+          journalTerminal(job);
+          telemetry::metrics().counter("serve.completed").add();
+          telemetry::metrics().histogram("serve.job_wall").record(
+              jobTimer.seconds() * 1e6);
+          return;
+        }
+        if (hit.kind != CacheHitKind::kMiss) {
+          warmMask = shiftMask(hit.solution.mask, hit.shiftPxRow,
+                               hit.shiftPxCol, cfg.maskLow);
+          cfg.maxIterations = std::max(2, cfg.maxIterations / 4);
+        }
+      }
+
       OptimizeOptions opt;
       opt.checkpointPath = ckpt;
       opt.checkpointEvery = job.spec.checkpointEvery;
@@ -464,6 +520,7 @@ void JobService::runJob(Job& job) {
       opt.cancel = &job.token;
       opt.runLog = cfg_.runLog;
       opt.runLogScope = job.spec.id;
+      opt.warmStartMask = std::move(warmMask);
 
       const OpcResult res =
           runOpc(sim, target, method, &cfg, {}, {}, opt);
@@ -477,6 +534,16 @@ void JobService::runJob(Job& job) {
       if (res.stopReason == StopReason::kCanceled) {
         finishStopped(res.iterations);
         return;
+      }
+
+      if (patternStore_ && haveFingerprint &&
+          res.stopReason != StopReason::kDeadline) {
+        CachedSolution sol;
+        sol.mask = res.maskTwoLevel;
+        sol.iterations = res.iterations;
+        sol.objective =
+            res.history.empty() ? 0.0 : res.history.back().objective;
+        patternStore_->insert(fp, sol);
       }
 
       const std::string hash = maskHashHex(res.maskTwoLevel);

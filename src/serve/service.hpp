@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "cache/store.hpp"
 #include "litho/simulator.hpp"
 #include "serve/job.hpp"
 #include "serve/journal.hpp"
@@ -51,6 +52,11 @@ struct ServeConfig {
   /// journal — the journal is a recovery record, not telemetry). Not
   /// owned; must outlive the service.
   telemetry::RunLog* runLog = nullptr;
+  /// Pattern-library cache directory (empty = off, docs/caching.md): jobs
+  /// whose clip fingerprint exact-hits return the cached mask without
+  /// optimizing; near hits warm-start; solved masks are inserted.
+  std::string patternCacheDir;
+  long long patternCacheMaxBytes = 512ll << 20;  ///< LRU cap (0 = unlimited)
 };
 
 enum class SubmitStatus { kAccepted, kQueueFull, kShuttingDown, kBadRequest };
@@ -79,6 +85,8 @@ struct ServiceStats {
   int recoveredJobs = 0;  ///< re-enqueued by journal replay at startup
   int workers = 0;
   std::size_t queueCapacity = 0;
+  bool cacheEnabled = false;  ///< a pattern store is serving this process
+  PatternStoreStats cache;    ///< pattern-store counters (when enabled)
 };
 
 class JobService {
@@ -169,6 +177,9 @@ class JobService {
 
   std::mutex simMutex_;
   std::map<int, std::unique_ptr<LithoSimulator>> warmSims_;
+
+  /// Pattern-library store shared by all workers (null = caching off).
+  std::unique_ptr<PatternStore> patternStore_;
 
   std::vector<std::thread> workers_;
 };

@@ -1,0 +1,97 @@
+#pragma once
+/// \file hash.hpp
+/// The library's one FNV-1a 64-bit implementation. Every stable digest in
+/// the system — the optics-parameter hash keying the on-disk kernel cache,
+/// the serve layer's mask hashes, the pattern-library fingerprints, and
+/// the telemetry registry's shard selector — funnels through this header,
+/// so the algorithm exists exactly once and golden-value tests in
+/// test_support.cpp pin it down.
+///
+/// FNV-1a is used deliberately: it is endian-independent over bytes,
+/// trivially incremental, and fast enough to hash megabyte masks without
+/// showing up in profiles. It is NOT cryptographic; digests here detect
+/// accidental divergence (config drift, torn files), not adversaries.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace mosaic {
+
+/// Standard FNV-1a 64-bit parameters.
+inline constexpr std::uint64_t kFnv1aOffsetBasis = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnv1aPrime = 0x100000001b3ull;
+
+/// Incremental FNV-1a 64 hasher. Values are mixed through their raw byte
+/// patterns, which is exact and deterministic for the config values we
+/// care about; `mix(int)` widens to 64 bits first so int and long long
+/// inputs of equal value hash identically.
+class Fnv1a {
+ public:
+  Fnv1a() = default;
+  /// Non-standard seeds exist only to preserve historical digests (see
+  /// serve::maskHashHex); new call sites should use the default basis.
+  explicit Fnv1a(std::uint64_t seed) : state_(seed) {}
+
+  Fnv1a& mixBytes(const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      state_ ^= bytes[i];
+      state_ *= kFnv1aPrime;
+    }
+    return *this;
+  }
+
+  Fnv1a& mix(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    return mixBytes(&bits, sizeof bits);
+  }
+
+  Fnv1a& mix(int v) {
+    const std::int64_t wide = v;
+    return mixBytes(&wide, sizeof wide);
+  }
+
+  Fnv1a& mix(long long v) {
+    const std::int64_t wide = v;
+    return mixBytes(&wide, sizeof wide);
+  }
+
+  Fnv1a& mix(std::uint64_t v) { return mixBytes(&v, sizeof v); }
+
+  Fnv1a& mix(std::string_view s) { return mixBytes(s.data(), s.size()); }
+
+  [[nodiscard]] std::uint64_t digest() const { return state_; }
+
+  /// Digest as 16 lowercase hex characters (the format every on-disk name
+  /// and wire field uses).
+  [[nodiscard]] std::string hex() const { return hashHex(state_); }
+
+  /// Format any 64-bit digest as 16 lowercase hex characters.
+  [[nodiscard]] static std::string hashHex(std::uint64_t digest) {
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(digest));
+    return std::string(buf, 16);
+  }
+
+ private:
+  std::uint64_t state_ = kFnv1aOffsetBasis;
+};
+
+/// One-shot FNV-1a 64 over a byte range.
+[[nodiscard]] inline std::uint64_t fnv1a(const void* data, std::size_t size,
+                                         std::uint64_t seed =
+                                             kFnv1aOffsetBasis) {
+  return Fnv1a(seed).mixBytes(data, size).digest();
+}
+
+/// One-shot FNV-1a 64 over a string (the telemetry shard selector).
+[[nodiscard]] inline std::uint64_t fnv1a(std::string_view s) {
+  return Fnv1a().mix(s).digest();
+}
+
+}  // namespace mosaic

@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
-#include <functional>
 #include <limits>
 #include <vector>
 
+#include "support/hash.hpp"
 #include "support/table.hpp"
 #include "support/telemetry/json.hpp"
 
@@ -111,7 +111,10 @@ void Histogram::reset() {
 }
 
 MetricsRegistry::Shard& MetricsRegistry::shardFor(std::string_view name) {
-  return shards_[std::hash<std::string_view>{}(name) % kShards];
+  // FNV-1a (support/hash.hpp) rather than std::hash: the shard spread is
+  // then identical across standard libraries, so contention behavior seen
+  // in CI reproduces what production binaries do.
+  return shards_[fnv1a(name) % kShards];
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {

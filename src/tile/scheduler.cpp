@@ -3,8 +3,12 @@
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <memory>
 #include <thread>
+#include <utility>
 
+#include "cache/manifest.hpp"
 #include "geometry/raster.hpp"
 #include "support/failpoint.hpp"
 #include "support/log.hpp"
@@ -18,8 +22,12 @@ namespace mosaic {
 namespace {
 
 std::string tileCheckpointPath(const std::string& dir, const TilePlan& tile) {
+  // The core origin is part of the name (not just the grid index): a
+  // resume after a tiling-parameter change must start fresh, not load a
+  // checkpoint for a different window that happens to share (row, col).
   return dir + "/tile_r" + std::to_string(tile.row) + "_c" +
-         std::to_string(tile.col) + ".ckpt";
+         std::to_string(tile.col) + "_x" + std::to_string(tile.coreNm.x0) +
+         "_y" + std::to_string(tile.coreNm.y0) + ".ckpt";
 }
 
 std::string tileScope(const TilePlan& tile) {
@@ -28,7 +36,8 @@ std::string tileScope(const TilePlan& tile) {
 }
 
 /// One JSONL record per finished tile (schema: docs/observability.md).
-void emitTileRecord(telemetry::RunLog* runLog, const TileOutcome& outcome) {
+void emitTileRecord(telemetry::RunLog* runLog, const TileOutcome& outcome,
+                    bool cacheEnabled) {
   if (!runLog) return;
   telemetry::JsonObject obj;
   obj.set("type", "tile");
@@ -42,6 +51,9 @@ void emitTileRecord(telemetry::RunLog* runLog, const TileOutcome& outcome) {
   obj.set("recoveries", outcome.recoveries);
   obj.set("non_finite", outcome.nonFiniteEvents);
   obj.set("wall_ms", outcome.seconds * 1000.0);
+  if (cacheEnabled && !outcome.skippedEmpty) {
+    obj.set("cache", cacheHitKindName(outcome.cacheHit));
+  }
   if (!outcome.error.empty()) obj.set("error", outcome.error);
   runLog->write(obj);
 }
@@ -62,7 +74,38 @@ void emitChipRecord(telemetry::RunLog* runLog, const ChipResult& result) {
   obj.set("seam_core_mismatch_px", seam.coreMismatchPixels);
   obj.set("seam_non_finite_px", seam.nonFinitePixels);
   obj.set("wall_s", result.wallSeconds);
+  if (result.cacheEnabled) {
+    const PatternStoreStats& cs = result.cacheStats;
+    obj.set("cache_exact", static_cast<unsigned long long>(cs.exactHits));
+    obj.set("cache_translated",
+            static_cast<unsigned long long>(cs.translatedHits));
+    obj.set("cache_near_miss",
+            static_cast<unsigned long long>(cs.nearMissHits));
+    obj.set("cache_miss", static_cast<unsigned long long>(cs.misses));
+    obj.set("cache_inserts", static_cast<unsigned long long>(cs.inserts));
+    obj.set("cache_evictions", static_cast<unsigned long long>(cs.evictions));
+    obj.set("cache_quarantined",
+            static_cast<unsigned long long>(cs.quarantined));
+    obj.set("cache_hit_rate", cs.hitRate());
+  }
+  if (result.eco.active) {
+    obj.set("eco_base_valid", result.eco.baseValid);
+    obj.set("eco_tiles_changed", result.eco.tilesChanged);
+    obj.set("eco_tiles_unchanged", result.eco.tilesUnchanged);
+  }
   runLog->write(obj);
+}
+
+/// Best (lowest) objective seen by a finished optimization, for the cache
+/// entry's metadata.
+double bestObjectiveOf(const OpcResult& res) {
+  double best = 0.0;
+  bool first = true;
+  for (const IterationRecord& rec : res.history) {
+    if (first || rec.objective < best) best = rec.objective;
+    first = false;
+  }
+  return best;
 }
 
 }  // namespace
@@ -107,6 +150,67 @@ ChipResult optimizeChip(const Layout& chip, const ChipConfig& cfg) {
   std::vector<RealGrid> tileMasks(tileCount);
   result.outcomes.assign(tileCount, TileOutcome{});
 
+  // Pattern-library cache (docs/caching.md). An ECO run points the cache
+  // at the previous run's store so unchanged tiles exact-hit.
+  const std::string cacheDir =
+      !cfg.ecoBaseDir.empty() ? cfg.ecoBaseDir : cfg.patternCacheDir;
+  std::unique_ptr<PatternStore> store;
+  std::vector<TileFingerprint> fingerprints(tileCount);
+  if (!cacheDir.empty()) {
+    store = std::make_unique<PatternStore>(
+        PatternStoreConfig{cacheDir, cfg.patternCacheMaxBytes});
+    result.cacheEnabled = true;
+    const std::uint64_t configHash =
+        solverConfigDigest(windowOptics, baseConfig,
+                           static_cast<int>(cfg.method), part.windowNm,
+                           part.pixelNm);
+    for (std::size_t i = 0; i < tileCount; ++i) {
+      const TilePlan& tile = part.tiles[i];
+      const RectNm coreLocal{tile.coreNm.x0 - tile.windowNm.x0,
+                             tile.coreNm.y0 - tile.windowNm.y0,
+                             tile.coreNm.x1 - tile.windowNm.x0,
+                             tile.coreNm.y1 - tile.windowNm.y0};
+      fingerprints[i] =
+          fingerprintWindow(tile.window, coreLocal, part.pixelNm, configHash);
+    }
+  }
+
+  // ECO diff: compare this layout's fingerprints against the base run's
+  // manifest, keyed by core origin so re-indexing cannot confuse the diff.
+  result.eco.active = !cfg.ecoBaseDir.empty();
+  if (result.eco.active) {
+    std::vector<ManifestEntry> base;
+    result.eco.baseValid =
+        readFingerprintManifest(manifestPath(cfg.ecoBaseDir), &base);
+    if (!result.eco.baseValid) {
+      LOG_WARN("eco: no usable fingerprint manifest in " << cfg.ecoBaseDir
+               << "; treating every tile as changed");
+    }
+    std::map<std::pair<int, int>, TileFingerprint> byOrigin;
+    for (const ManifestEntry& e : base) {
+      byOrigin[{e.coreXNm, e.coreYNm}] = e.fp;
+    }
+    result.eco.tilesTotal = static_cast<int>(tileCount);
+    for (std::size_t i = 0; i < tileCount; ++i) {
+      const TilePlan& tile = part.tiles[i];
+      const auto it = byOrigin.find({tile.coreNm.x0, tile.coreNm.y0});
+      if (it != byOrigin.end() && it->second == fingerprints[i]) {
+        ++result.eco.tilesUnchanged;
+      } else {
+        ++result.eco.tilesChanged;
+        result.eco.changedTiles.push_back(static_cast<int>(i));
+      }
+    }
+    LOG_INFO("eco: " << result.eco.tilesChanged << " of "
+                     << result.eco.tilesTotal
+                     << " tiles changed vs base run in " << cfg.ecoBaseDir);
+  }
+
+  const int warmIterationBudget =
+      cfg.warmIterations > 0 ? cfg.warmIterations
+                             : std::max(2, baseConfig.maxIterations / 4);
+  const bool cacheOn = store != nullptr;
+
   parallelFor(0, tileCount, [&](std::size_t i) {
     const TilePlan& tile = part.tiles[i];
     TileOutcome& outcome = result.outcomes[i];
@@ -123,7 +227,7 @@ ChipResult optimizeChip(const Layout& chip, const ChipConfig& cfg) {
       outcome.ok = true;
       outcome.skippedEmpty = true;
       outcome.seconds = tileTimer.seconds();
-      emitTileRecord(cfg.runLog, outcome);
+      emitTileRecord(cfg.runLog, outcome, cacheOn);
       return;
     }
 
@@ -134,9 +238,43 @@ ChipResult optimizeChip(const Layout& chip, const ChipConfig& cfg) {
       outcome.error = "canceled before start";
       outcome.seconds = tileTimer.seconds();
       tileMasks[i] = toReal(target);
-      emitTileRecord(cfg.runLog, outcome);
+      emitTileRecord(cfg.runLog, outcome, cacheOn);
       return;
     }
+
+    // Consult the pattern library. Exact hits paste the cached mask and
+    // skip optimization entirely; translated and near-miss hits become a
+    // warm start with a reduced iteration budget.
+    RealGrid warmMask;
+    if (store) {
+      CacheLookup hit = store->lookup(fingerprints[i]);
+      const int windowGrid = part.windowGrid();
+      if (hit.kind != CacheHitKind::kMiss &&
+          (hit.solution.mask.rows() != windowGrid ||
+           hit.solution.mask.cols() != windowGrid)) {
+        // Shape skew should be impossible (the raster geometry is in the
+        // config hash) — treat it as a miss rather than trusting the file.
+        LOG_WARN("tile (" << tile.row << "," << tile.col
+                          << ") cached mask has the wrong shape; ignoring");
+        hit.kind = CacheHitKind::kMiss;
+      }
+      outcome.cacheHit = hit.kind;
+      if (hit.kind == CacheHitKind::kExact) {
+        tileMasks[i] = std::move(hit.solution.mask);
+        outcome.ok = true;
+        outcome.fromCache = true;
+        outcome.seconds = tileTimer.seconds();
+        emitTileRecord(cfg.runLog, outcome, cacheOn);
+        return;
+      }
+      if (hit.kind != CacheHitKind::kMiss) {
+        warmMask = shiftMask(hit.solution.mask, hit.shiftPxRow,
+                             hit.shiftPxCol, baseConfig.maskLow);
+        outcome.warmStarted = true;
+      }
+    }
+    IltConfig tileConfig = baseConfig;
+    if (!warmMask.empty()) tileConfig.maxIterations = warmIterationBudget;
 
     MOSAIC_SPAN("tile.optimize");
     bool allowResume = cfg.resume;
@@ -159,8 +297,9 @@ ChipResult optimizeChip(const Layout& chip, const ChipConfig& cfg) {
             options.resumePath = path;
           }
         }
+        options.warmStartMask = warmMask;
         const OpcResult res =
-            runOpc(sim, target, cfg.method, &baseConfig, {}, {}, options);
+            runOpc(sim, target, cfg.method, &tileConfig, {}, {}, options);
         if (res.stopReason == StopReason::kCanceled) {
           // Interrupted mid-tile: the optimizer already checkpointed, so
           // ship best-so-far and let a resumed run finish the job.
@@ -175,6 +314,16 @@ ChipResult optimizeChip(const Layout& chip, const ChipConfig& cfg) {
         outcome.recoveries = res.recoveries;
         outcome.ok = true;
         outcome.error.clear();
+        // Publish the solved mask for future runs. Deadline-cut solves are
+        // not representative of the key (the config hash deliberately
+        // excludes the wall-clock budget), so they stay out of the store.
+        if (store && res.stopReason != StopReason::kDeadline) {
+          CachedSolution sol;
+          sol.mask = res.maskTwoLevel;
+          sol.iterations = res.iterations;
+          sol.objective = bestObjectiveOf(res);
+          store->insert(fingerprints[i], sol);
+        }
         break;
       } catch (const CheckpointError& e) {
         // A torn/garbage tile checkpoint must not burn the retry budget:
@@ -203,7 +352,7 @@ ChipResult optimizeChip(const Layout& chip, const ChipConfig& cfg) {
       telemetry::metrics().counter("tile.fallbacks").add();
     }
     outcome.seconds = tileTimer.seconds();
-    emitTileRecord(cfg.runLog, outcome);
+    emitTileRecord(cfg.runLog, outcome, cacheOn);
   });
 
   for (const TileOutcome& outcome : result.outcomes) {
@@ -214,6 +363,24 @@ ChipResult optimizeChip(const Layout& chip, const ChipConfig& cfg) {
     }
   }
   result.interrupted = cfg.cancel != nullptr && cfg.cancel->stopRequested();
+
+  if (store) {
+    result.cacheStats = store->stats();
+    // Record this run's fingerprints so a future ECO run can diff against
+    // it. Best effort: a failed manifest write degrades ECO reporting, not
+    // the chip result.
+    std::vector<ManifestEntry> manifest;
+    manifest.reserve(tileCount);
+    for (std::size_t i = 0; i < tileCount; ++i) {
+      const TilePlan& tile = part.tiles[i];
+      manifest.push_back({tile.coreNm.x0, tile.coreNm.y0, fingerprints[i]});
+    }
+    try {
+      writeFingerprintManifest(manifestPath(store->dir()), manifest);
+    } catch (const std::exception& e) {
+      LOG_WARN("could not write fingerprint manifest: " << e.what());
+    }
+  }
 
   const double threshold = 0.5 * (baseConfig.maskLow + baseConfig.maskHigh);
   result.stitched = stitchTiles(part, tileMasks, threshold);

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/store.hpp"
 #include "opc/mosaic.hpp"
 #include "support/cancel.hpp"
 #include "tile/stitch.hpp"
@@ -37,14 +38,33 @@ struct ChipConfig {
   int backoffMs = 50;  ///< retry backoff (multiplied by the attempt number)
   double tileDeadlineSeconds = 0.0;  ///< per-tile wall-clock budget (0 = off)
   /// Directory for per-tile optimizer checkpoints (empty = off). Files are
-  /// named tile_r<row>_c<col>.ckpt. With `resume`, tiles whose checkpoint
-  /// exists continue from it — a killed chip run can be restarted and only
+  /// named tile_r<row>_c<col>_x<coreX>_y<coreY>.ckpt — the core origin is
+  /// part of the name so a resume against a re-partitioned chip (different
+  /// tile size or halo) can never pick up a checkpoint whose grid index
+  /// happens to collide. With `resume`, tiles whose checkpoint exists
+  /// continue from it — a killed chip run can be restarted and only
   /// re-pays the unfinished iterations.
   std::string checkpointDir;
   int checkpointEvery = 5;
   bool resume = false;
   /// On-disk kernel cache directory shared by all tiles (empty = off).
   std::string kernelCacheDir;
+  /// Pattern-library cache directory (empty = off, docs/caching.md). Tiles
+  /// whose fingerprint exact-hits paste the cached mask; translated and
+  /// near-miss hits warm-start with `warmIterations`; misses optimize and
+  /// insert. A `fingerprints.jsonl` manifest is written alongside for
+  /// later ECO runs.
+  std::string patternCacheDir;
+  /// Byte cap for the pattern store (LRU-evicted above it; 0 = unlimited).
+  long long patternCacheMaxBytes = 512ll << 20;
+  /// Iteration budget for warm-started tiles. 0 = a quarter of the cold
+  /// budget, at least 2.
+  int warmIterations = 0;
+  /// Incremental re-OPC: pattern-store directory of a previous run. The
+  /// run uses it as the pattern cache (so unchanged tiles exact-hit) and
+  /// diffs the current fingerprints against its manifest into
+  /// ChipResult::eco. Overrides patternCacheDir when set.
+  std::string ecoBaseDir;
   /// When set, every tile appends per-iteration and per-tile JSONL records
   /// here, plus one chip-level summary record with the seam statistics
   /// (docs/observability.md). Not owned; must outlive the run.
@@ -70,6 +90,20 @@ struct TileOutcome {
   int recoveries = 0;
   double seconds = 0.0;
   std::string error;  ///< last failure message (empty when ok)
+  /// What the pattern cache had for this tile (kMiss when caching is off).
+  CacheHitKind cacheHit = CacheHitKind::kMiss;
+  bool fromCache = false;  ///< mask pasted verbatim from an exact hit
+  bool warmStarted = false;  ///< optimized from a cached starting mask
+};
+
+/// What an ECO (incremental re-OPC) run learned from the base manifest.
+struct EcoReport {
+  bool active = false;     ///< ChipConfig::ecoBaseDir was set
+  bool baseValid = false;  ///< base manifest found, parsed, and comparable
+  int tilesTotal = 0;      ///< non-empty tiles considered
+  int tilesChanged = 0;    ///< fingerprint differs from the base (or is new)
+  int tilesUnchanged = 0;  ///< identical problem as the base run
+  std::vector<int> changedTiles;  ///< indices into ChipPartition::tiles
 };
 
 /// A finished full-chip run.
@@ -82,6 +116,9 @@ struct ChipResult {
   int succeeded = 0;  ///< tiles that optimized (or were trivially empty)
   int failed = 0;     ///< tiles that fell back to the uncorrected pattern
   bool interrupted = false;  ///< cfg.cancel fired before the run finished
+  bool cacheEnabled = false;        ///< a pattern store served this run
+  PatternStoreStats cacheStats;     ///< store counters after the run
+  EcoReport eco;                    ///< populated when ecoBaseDir was set
 
   [[nodiscard]] bool allOk() const { return failed == 0; }
 };

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Tier-1 smoke test for the incremental re-OPC (ECO) flow through the real
+# CLI (docs/caching.md).
+#
+# The contract, end to end through GLP files on disk:
+#   1. Base run: `chip --input base.glp --pattern-cache` fills a pattern
+#      store and writes the fingerprint manifest.
+#   2. Edit: one rect in one corner of the chip is moved by two pixels and
+#      the revision saved as a new GLP file.
+#   3. ECO run: `chip --input rev.glp --eco-base` must report that only
+#      the tiles whose windows overlap the edit changed, re-optimize
+#      exactly those (visible as cache misses / warm starts), and serve
+#      every untouched tile verbatim from the base store.
+#
+# This specifically guards the chip GLP ingestion path: the reader's
+# default bounding-box recentering would silently re-normalize the revised
+# layout and report "0 tiles changed" for a real edit, so `chip --input`
+# must read absolute coordinates.
+#
+# Usage: eco_smoke_test.sh <mosaic_cli> <scratch dir>
+
+set -u
+
+CLI="$1"
+SCRATCH="$2"
+
+fail() {
+  echo "eco_smoke: FAIL: $*" >&2
+  exit 1
+}
+
+rm -rf "$SCRATCH"
+mkdir -p "$SCRATCH" || fail "cannot create scratch dir $SCRATCH"
+
+# A 2048 nm chip (4x4 tiles of 512 nm) with cell clusters in the four
+# corners, far enough apart that an edit in one corner is invisible to the
+# windows of the opposite corners.
+cat > "$SCRATCH/base.glp" <<'EOF'
+BEGIN
+EQUIV  1  1000  MICRON  +X,+Y
+CNAME ecochip
+LEVEL M1
+   RECT N M1 96 96 288 160
+   RECT N M1 96 224 288 288
+   RECT N M1 1632 96 1824 160
+   RECT N M1 1632 224 1824 288
+   RECT N M1 96 1632 288 1696
+   RECT N M1 96 1760 288 1824
+   RECT N M1 1632 1632 1824 1696
+   RECT N M1 1632 1760 1824 1824
+ENDMSG
+EOF
+
+# The ECO edit: move one bottom-left rect +32 nm (two 16 nm pixels) in x.
+sed 's/RECT N M1 96 96 288 160/RECT N M1 128 96 320 160/' \
+  "$SCRATCH/base.glp" > "$SCRATCH/rev.glp"
+cmp -s "$SCRATCH/base.glp" "$SCRATCH/rev.glp" && fail "edit did not apply"
+
+CHIP=(--chip-size 2048 --tile-size 512 --halo 128 --pixel 16 --iters 5
+      --kernel-cache "$SCRATCH/kernels" --log warn)
+
+echo "eco_smoke: base run (fills the store + manifest)"
+"$CLI" chip --input "$SCRATCH/base.glp" "${CHIP[@]}" \
+    --pattern-cache "$SCRATCH/store" > "$SCRATCH/base.out" 2>&1 ||
+  fail "base run exited $? (see $SCRATCH/base.out)"
+[ -s "$SCRATCH/store/fingerprints.jsonl" ] ||
+  fail "base run wrote no fingerprint manifest"
+
+echo "eco_smoke: eco run (revised layout vs base store)"
+"$CLI" chip --input "$SCRATCH/rev.glp" "${CHIP[@]}" \
+    --eco-base "$SCRATCH/store" --metrics-out "$SCRATCH/eco_metrics.json" \
+    > "$SCRATCH/eco.out" 2>&1 ||
+  fail "eco run exited $? (see $SCRATCH/eco.out)"
+
+ECO_LINE=$(grep -E '^eco: [0-9]+/[0-9]+ tiles changed' "$SCRATCH/eco.out") ||
+  fail "eco run printed no eco diff line"
+CHANGED=$(echo "$ECO_LINE" | sed -E 's|^eco: ([0-9]+)/[0-9]+.*|\1|')
+TOTAL=$(echo "$ECO_LINE" | sed -E 's|^eco: [0-9]+/([0-9]+).*|\1|')
+
+# The edit must be seen (a recentering regression reports 0 changed) and
+# must stay local (far tiles must not re-optimize).
+[ "$CHANGED" -gt 0 ] || fail "edit reported as 0 changed tiles: $ECO_LINE"
+[ "$CHANGED" -lt "$TOTAL" ] || fail "every tile re-optimized: $ECO_LINE"
+
+# The changed tiles re-optimize (cache.miss and/or warm starts)...
+grep -Eq '"cache\.miss": *[1-9]' "$SCRATCH/eco_metrics.json" ||
+  fail "eco run recorded no cache.miss for the edited tile"
+# ...and the untouched ones are served verbatim from the base store.
+grep -q ' cached ' "$SCRATCH/eco.out" ||
+  fail "no tile was served from the base store"
+
+echo "eco_smoke: PASS ($ECO_LINE)"
+exit 0

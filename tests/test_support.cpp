@@ -12,6 +12,7 @@
 
 #include "support/cli.hpp"
 #include "support/error.hpp"
+#include "support/hash.hpp"
 #include "support/image_io.hpp"
 #include "support/log.hpp"
 #include "support/parallel.hpp"
@@ -396,6 +397,50 @@ TEST(Parallel, NestedParallelForDegradesToSerial) {
   EXPECT_FALSE(inParallelRegion());
   EXPECT_EQ(nestedSeen.load(), static_cast<int>(kOuter));
   for (const auto& c : cells) EXPECT_EQ(c.load(), 1);
+}
+
+// ------------------------------------------------------------------ hash
+
+// Golden values from the FNV-1a 64 reference vectors. Every stable digest
+// in the system funnels through support/hash.hpp, so these pins guarantee
+// the shared implementation matches the three it replaced byte for byte.
+TEST(Hash, Fnv1aMatchesReferenceVectors) {
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(Hash, HexIsSixteenLowercaseDigits) {
+  EXPECT_EQ(Fnv1a::hashHex(0), "0000000000000000");
+  EXPECT_EQ(Fnv1a::hashHex(0xdeadbeefull), "00000000deadbeef");
+  EXPECT_EQ(Fnv1a().mix("foobar").hex(), "85944171f73967e8");
+}
+
+TEST(Hash, SeededConstructorPreservesLegacyDigests) {
+  // serve::maskHashHex persists digests computed from a historical
+  // (typo'd) seed; the seeded constructor must reproduce them exactly.
+  const unsigned char bytes[] = {1, 2, 3};
+  std::uint64_t expected = 1469598103934665603ull;
+  for (const unsigned char b : bytes) {
+    expected ^= b;
+    expected *= 0x100000001b3ull;
+  }
+  EXPECT_EQ(fnv1a(bytes, sizeof bytes, 1469598103934665603ull), expected);
+}
+
+TEST(Hash, IntAndLongLongOfEqualValueHashIdentically) {
+  EXPECT_EQ(Fnv1a().mix(42).digest(), Fnv1a().mix(42ll).digest());
+  EXPECT_EQ(Fnv1a().mix(-7).digest(), Fnv1a().mix(-7ll).digest());
+  // ...and differently from the same value as a double.
+  EXPECT_NE(Fnv1a().mix(42).digest(), Fnv1a().mix(42.0).digest());
+}
+
+TEST(Hash, IncrementalEqualsOneShot) {
+  const std::string s = "incremental-vs-oneshot";
+  Fnv1a inc;
+  inc.mix(s.substr(0, 5));
+  inc.mix(s.substr(5));
+  EXPECT_EQ(inc.digest(), fnv1a(s));
 }
 
 }  // namespace

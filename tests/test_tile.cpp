@@ -264,7 +264,9 @@ TEST(TileScheduler, CheckpointsAreWrittenPerTile) {
   for (const TilePlan& tile : res.partition.tiles) {
     const std::string path = cfg.checkpointDir + "/tile_r" +
                              std::to_string(tile.row) + "_c" +
-                             std::to_string(tile.col) + ".ckpt";
+                             std::to_string(tile.col) + "_x" +
+                             std::to_string(tile.coreNm.x0) + "_y" +
+                             std::to_string(tile.coreNm.y0) + ".ckpt";
     if (std::ifstream(path).good()) ++checkpoints;
   }
   EXPECT_GT(checkpoints, 0);
