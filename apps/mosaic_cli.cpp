@@ -1070,24 +1070,39 @@ int cmdSubmit(int argc, char** argv) {
 
   if (!wait) return 0;
 
-  // Poll each job to a terminal state, then fetch and print its result.
+  // Follow each job's push stream to its end, then fetch and print the
+  // result. The watch op streams one JSON line per optimizer iteration
+  // (printed as received — live progress instead of a status poll) and
+  // closes the connection after the terminal "ev":"end" line, so each
+  // watch gets its own connection; the result op reuses the main channel.
   WallTimer waitTimer;
   bool allDone = true;
   for (const std::string& id : ids) {
-    for (;;) {
+    {
+      LineChannel watchChannel(connectTcp(host, port));
       telemetry::JsonObject req;
-      req.set("op", "status");
+      req.set("op", "watch");
       req.set("job", id);
-      const telemetry::JsonValue status =
-          roundTrip(channel, req, kReplyTimeoutMs);
-      MOSAIC_CHECK(status.boolOr("ok", false),
-                   "status poll failed for " << id << ": "
-                                             << status.stringOr("message", ""));
-      const std::string state = status.stringOr("state", "");
-      if (state != "queued" && state != "running") break;
-      MOSAIC_CHECK(timeoutSec <= 0.0 || waitTimer.seconds() < timeoutSec,
-                   "timed out waiting for " << id);
-      std::this_thread::sleep_for(std::chrono::milliseconds(pollMs));
+      const telemetry::JsonValue ack =
+          roundTrip(watchChannel, req, kReplyTimeoutMs);
+      MOSAIC_CHECK(ack.boolOr("ok", false),
+                   "watch failed for " << id << ": "
+                                       << ack.stringOr("message", ""));
+      std::string pushed;
+      for (;;) {
+        if (!watchChannel.readLine(&pushed, pollMs)) {
+          MOSAIC_CHECK(!watchChannel.eofSeen(),
+                       "watch stream for " << id
+                                           << " closed without an end event");
+          MOSAIC_CHECK(timeoutSec <= 0.0 || waitTimer.seconds() < timeoutSec,
+                       "timed out waiting for " << id);
+          continue;
+        }
+        std::printf("%s\n", pushed.c_str());
+        std::fflush(stdout);
+        const telemetry::JsonValue event = telemetry::JsonValue::parse(pushed);
+        if (event.stringOr("ev", "") == "end") break;
+      }
     }
     telemetry::JsonObject req;
     req.set("op", "result");

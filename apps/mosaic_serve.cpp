@@ -17,11 +17,13 @@
 #include <fstream>
 #include <memory>
 
+#include "serve/http.hpp"
 #include "serve/server.hpp"
 #include "support/cli.hpp"
 #include "support/failpoint.hpp"
 #include "support/log.hpp"
 #include "support/signal.hpp"
+#include "support/telemetry/flightrec.hpp"
 #include "support/telemetry/metrics.hpp"
 #include "support/telemetry/runlog.hpp"
 
@@ -32,6 +34,7 @@ using namespace mosaic;
 int serveMain(int argc, char** argv) {
   std::string workDir;
   int port = 0;
+  int httpPort = -1;
   int workers = 2;
   int queueCapacity = 8;
   int backoffMs = 25;
@@ -48,6 +51,10 @@ int serveMain(int argc, char** argv) {
   cli.addString("work-dir", &workDir,
                 "journal/checkpoint/port-file directory (required)");
   cli.addInt("port", &port, "listen port on 127.0.0.1 (0 = ephemeral)");
+  cli.addInt("http-port", &httpPort,
+             "HTTP observability port for /metrics, /healthz, /jobs "
+             "(0 = ephemeral, written to <work-dir>/serve.http.port; "
+             "-1 = disabled)");
   cli.addInt("workers", &workers, "worker threads sharing warm simulators");
   cli.addInt("queue", &queueCapacity,
              "bounded queue capacity (admission control)");
@@ -70,6 +77,11 @@ int serveMain(int argc, char** argv) {
   setLogLevel(parseLogLevel(logLevel));
   MOSAIC_CHECK(!workDir.empty(), "--work-dir is required");
   if (!failpoints.empty()) failpoint::configure(failpoints);
+
+  // Flight recorder: always on. A fatal signal (SIGSEGV/SIGABRT/SIGBUS)
+  // dumps the event ring to <work-dir>/flightrec.jsonl from the handler;
+  // GET /debug/flightrec serves the same ring live.
+  telemetry::flightrec::installCrashHandlers(workDir + "/flightrec.jsonl");
 
   std::unique_ptr<telemetry::RunLog> runLog;
   if (!runLogPath.empty()) {
@@ -95,6 +107,19 @@ int serveMain(int argc, char** argv) {
   serve::ServerOptions opts;
   opts.port = port;
   serve::ServeServer server(service, opts);
+
+  // Optional HTTP observability plane: /metrics (Prometheus), /healthz,
+  // /jobs, /debug/flightrec. Port file mirrors serve.port so scripts can
+  // discover an ephemeral bind.
+  std::unique_ptr<serve::HttpServer> http;
+  if (httpPort >= 0) {
+    http = std::make_unique<serve::HttpServer>(service, httpPort);
+    std::ofstream portFile(workDir + "/serve.http.port", std::ios::trunc);
+    MOSAIC_CHECK(portFile.good(),
+                 "cannot write port file in work dir: " << workDir);
+    portFile << http->port() << "\n";
+  }
+
   std::printf("mosaic_serve listening on 127.0.0.1:%d (work dir %s, "
               "%d workers, queue %d%s)\n",
               server.port(), workDir.c_str(), workers, queueCapacity,
@@ -103,9 +128,15 @@ int serveMain(int argc, char** argv) {
                      " job(s)")
                         .c_str()
                   : "");
+  if (http) {
+    std::printf("http observability on 127.0.0.1:%d "
+                "(/metrics /healthz /jobs /debug/flightrec)\n",
+                http->port());
+  }
   std::fflush(stdout);
 
   const serve::DrainMode mode = server.serveForever(&stopToken);
+  http.reset();  // stop answering /healthz before the drain begins
   const bool interrupted = terminationSignal() != 0;
   if (interrupted) {
     std::printf("caught %s: draining with checkpoints...\n",
@@ -137,6 +168,10 @@ int main(int argc, char** argv) {
     return serveMain(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mosaic_serve failed: %s\n", e.what());
+    // Fatal errors dump the flight recorder too (crash handlers only fire
+    // on signals); the path was armed by installCrashHandlers.
+    mosaic::telemetry::flightrec::record("fatal", e.what());
+    mosaic::telemetry::flightrec::dumpArmedPath();
     return 1;
   }
 }

@@ -1,12 +1,14 @@
 /// \file bm_telemetry.cpp
 /// Telemetry overhead measurement (docs/observability.md): times a fixed
-/// FFT workload three ways -- uninstrumented, spans with tracing disabled
-/// (histograms only; the always-on production state), and spans with
-/// tracing enabled -- plus the raw cost of an empty span. Reports the
-/// relative overheads, emits BENCH_telemetry.json, and with
-/// --max-overhead-pct N exits nonzero when the disabled-mode overhead
-/// exceeds N percent (the guarantee the docs advertise; enforced by the
-/// telemetry_overhead ctest at 3 %).
+/// FFT workload four ways -- uninstrumented, spans with tracing disabled
+/// (histograms only; the always-on production state), spans with tracing
+/// enabled, and spans plus a per-op progress publish to a watcher-less
+/// ProgressBus (the serve streaming path when nobody is watching) -- plus
+/// the raw cost of an empty span and the Prometheus /metrics encode cost.
+/// Reports the relative overheads, emits BENCH_telemetry.json, and with
+/// --max-overhead-pct N exits nonzero when either the disabled-mode or the
+/// idle-sink overhead exceeds N percent (the guarantee the docs advertise;
+/// enforced by the telemetry_overhead ctest at 3 %).
 ///
 /// The workload uses the 1-D FftPlan directly: unlike Fft2d::forward it
 /// carries no MOSAIC_SPAN itself, so the uninstrumented variant is a true
@@ -19,9 +21,11 @@
 #include <vector>
 
 #include "math/fft.hpp"
+#include "serve/progress.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 #include "support/telemetry/metrics.hpp"
+#include "support/telemetry/prometheus.hpp"
 #include "support/telemetry/trace.hpp"
 #include "support/timer.hpp"
 
@@ -91,6 +95,27 @@ int main(int argc, char** argv) {
     telemetry::setTraceEnabled(false);
     telemetry::clearTrace();
 
+    // Streaming progress with no watcher attached: every op also builds
+    // and publishes one event to a subscriber-less ProgressBus topic, the
+    // state a serving daemon is in whenever a job runs unwatched. This is
+    // the per-iteration cost OptimizeOptions::progressSink adds.
+    serve::ProgressBus bus;
+    int sinkIteration = 0;
+    const double tSink = timeVariant([&] {
+      MOSAIC_SPAN("bm.fft_roundtrip");
+      op();
+      serve::ProgressEvent event;
+      event.job = "bm-job";
+      event.seq = bus.nextSeq(event.job);
+      event.iteration = ++sinkIteration;
+      event.objective = 1.0;
+      event.fTarget = 0.5;
+      event.fPvb = 0.5;
+      event.gradRms = 0.1;
+      event.wallMs = 1.0;
+      bus.publish(event);
+    });
+
     // Raw per-span cost, histogram-only mode (the hot production path).
     constexpr int kEmptySpans = 1000000;
     WallTimer emptyTimer;
@@ -99,12 +124,36 @@ int main(int argc, char** argv) {
     }
     const double nsPerSpan = emptyTimer.seconds() * 1e9 / kEmptySpans;
 
+    // Prometheus /metrics encode cost: render a snapshot shaped like a
+    // busy daemon's registry (every scrape pays this on the endpoint
+    // thread, never on a worker).
+    {
+      auto& reg = telemetry::metrics();
+      for (int i = 0; i < 16; ++i) {
+        reg.counter("bm.counter_" + std::to_string(i)).add(1000 + i);
+        reg.gauge("bm.gauge_" + std::to_string(i)).set(i * 1.5);
+      }
+      for (int i = 0; i < 8; ++i) {
+        auto& h = reg.histogram("bm.hist_" + std::to_string(i));
+        for (int j = 0; j < 4096; ++j) h.record((j * 37) % 100000);
+      }
+    }
+    const telemetry::MetricsSnapshot snap = telemetry::metrics().snapshot();
+    constexpr int kEncodes = 2000;
+    std::size_t promBytes = 0;
+    WallTimer encodeTimer;
+    for (int i = 0; i < kEncodes; ++i) {
+      promBytes = telemetry::toPrometheusText(snap).size();
+    }
+    const double usPerEncode = encodeTimer.seconds() * 1e6 / kEncodes;
+
     const double usPerOp = tBase * 1e6 / iters;
     auto overheadPct = [&](double t) {
       return std::max(0.0, (t - tBase) / tBase * 100.0);
     };
     const double disabledPct = overheadPct(tDisabled);
     const double enabledPct = overheadPct(tEnabled);
+    const double sinkPct = overheadPct(tSink);
 
     std::printf("== bm_telemetry: %d-pt FFT round-trip (%.1f us/op), "
                 "%d iters x %d reps ==\n",
@@ -116,9 +165,15 @@ int main(int argc, char** argv) {
                   TextTable::num(disabledPct, 2) + " %"});
     table.addRow({"spans, tracing on", TextTable::num(tEnabled, 4),
                   TextTable::num(enabledPct, 2) + " %"});
+    table.addRow({"spans + idle progress sink", TextTable::num(tSink, 4),
+                  TextTable::num(sinkPct, 2) + " %"});
     std::printf("%s", table.render().c_str());
     std::printf("empty span: %.0f ns (histogram record, tracing off)\n",
                 nsPerSpan);
+    std::printf("prometheus encode: %.1f us for %zu bytes "
+                "(%zu counters, %zu gauges, %zu histograms)\n",
+                usPerEncode, promBytes, snap.counters.size(),
+                snap.gauges.size(), snap.histograms.size());
 
     FILE* json = std::fopen(jsonPath.c_str(), "w");
     MOSAIC_CHECK(json != nullptr, "cannot write " << jsonPath);
@@ -129,11 +184,16 @@ int main(int argc, char** argv) {
                  "  \"baseline_s\": %.6f,\n"
                  "  \"disabled_s\": %.6f,\n"
                  "  \"enabled_s\": %.6f,\n"
+                 "  \"idle_sink_s\": %.6f,\n"
                  "  \"disabled_overhead_pct\": %.4f,\n"
                  "  \"enabled_overhead_pct\": %.4f,\n"
-                 "  \"empty_span_ns\": %.1f\n}\n",
+                 "  \"idle_sink_overhead_pct\": %.4f,\n"
+                 "  \"empty_span_ns\": %.1f,\n"
+                 "  \"prometheus_encode_us\": %.2f,\n"
+                 "  \"prometheus_bytes\": %zu\n}\n",
                  fftSize, iters, reps, usPerOp, tBase, tDisabled, tEnabled,
-                 disabledPct, enabledPct, nsPerSpan);
+                 tSink, disabledPct, enabledPct, sinkPct, nsPerSpan,
+                 usPerEncode, promBytes);
     std::fclose(json);
     std::printf("wrote %s\n", jsonPath.c_str());
 
@@ -142,6 +202,13 @@ int main(int argc, char** argv) {
                    "bm_telemetry: disabled-mode overhead %.2f %% exceeds "
                    "the %.2f %% budget\n",
                    disabledPct, maxOverheadPct);
+      return 1;
+    }
+    if (maxOverheadPct >= 0.0 && sinkPct > maxOverheadPct) {
+      std::fprintf(stderr,
+                   "bm_telemetry: idle-progress-sink overhead %.2f %% "
+                   "exceeds the %.2f %% budget\n",
+                   sinkPct, maxOverheadPct);
       return 1;
     }
   } catch (const std::exception& e) {

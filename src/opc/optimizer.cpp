@@ -7,6 +7,7 @@
 #include "support/failpoint.hpp"
 #include "support/log.hpp"
 #include "support/telemetry/metrics.hpp"
+#include "support/telemetry/flightrec.hpp"
 #include "support/telemetry/runlog.hpp"
 #include "support/telemetry/trace.hpp"
 #include "support/timer.hpp"
@@ -14,9 +15,13 @@
 namespace mosaic {
 namespace {
 
-/// One JSONL record per optimizer iteration (schema: docs/observability.md).
-void emitIterationRecord(telemetry::RunLog* runLog, const std::string& scope,
+/// One JSONL record per optimizer iteration (schema: docs/observability.md),
+/// mirrored to the streaming progress sink when one is attached.
+void emitIterationRecord(const OptimizeOptions& options,
                          const IterationRecord& record) {
+  if (options.progressSink) options.progressSink(record);
+  telemetry::RunLog* runLog = options.runLog;
+  const std::string& scope = options.runLogScope;
   if (!runLog) return;
   telemetry::JsonObject obj;
   obj.set("type", "iteration");
@@ -170,6 +175,8 @@ OptimizeResult optimizeMask(const IltObjective& objective,
     ckpt.adamV = adamV;
     ckpt.history = result.history;
     saveOptimizerCheckpoint(options.checkpointPath, ckpt);
+    telemetry::flightrec::record(
+        "checkpoint", options.runLogScope + " iter=" + std::to_string(iter));
   };
 
   for (int iter = startIter; iter <= cfg.maxIterations; ++iter) {
@@ -212,7 +219,7 @@ OptimizeResult optimizeMask(const IltObjective& objective,
       record.stepSize = step;
       record.wallMs = iterTimer.seconds() * 1000.0;
       result.history.push_back(record);
-      emitIterationRecord(options.runLog, options.runLogScope, record);
+      emitIterationRecord(options, record);
       result.converged = true;
       result.stopReason = StopReason::kConverged;
       if (callback) callback(record, mask);
@@ -276,7 +283,7 @@ OptimizeResult optimizeMask(const IltObjective& objective,
         result.stopReason = StopReason::kAbortedNonFinite;
         record.wallMs = iterTimer.seconds() * 1000.0;
         result.history.push_back(record);
-        emitIterationRecord(options.runLog, options.runLogScope, record);
+        emitIterationRecord(options, record);
         LOG_WARN("iter " << iter << ": non-finite evaluation with recovery "
                             "budget exhausted; returning best-so-far");
         break;
@@ -299,7 +306,7 @@ OptimizeResult optimizeMask(const IltObjective& objective,
       record.stepSize = step;
       record.wallMs = iterTimer.seconds() * 1000.0;
       result.history.push_back(record);
-      emitIterationRecord(options.runLog, options.runLogScope, record);
+      emitIterationRecord(options, record);
       LOG_WARN("iter " << iter << ": non-finite evaluation, rolled back to "
                        << "last good iterate, step -> " << step);
       if (callback) callback(record, mask);
@@ -342,7 +349,7 @@ OptimizeResult optimizeMask(const IltObjective& objective,
     record.jumped = jumped;
     record.wallMs = iterTimer.seconds() * 1000.0;
     result.history.push_back(record);
-    emitIterationRecord(options.runLog, options.runLogScope, record);
+    emitIterationRecord(options, record);
     LOG_DEBUG("iter " << iter << " F=" << eval.value << " target="
                       << eval.targetValue << " pvb=" << eval.pvbValue
                       << " |g|=" << gradRms << " step=" << step

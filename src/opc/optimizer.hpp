@@ -125,6 +125,11 @@ struct OptimizeOptions {
   /// docs/caching.md). Must match the target's grid shape. Ignored when
   /// `resumePath` is set — a checkpoint carries its own full state.
   RealGrid warmStartMask;
+  /// Invoked once per iteration with the same record the run log gets
+  /// (streaming progress: serve's watch op, docs/observability.md). Called
+  /// from the optimizing thread, so implementations must be cheap and
+  /// non-blocking — push to a bounded buffer, never write a socket.
+  std::function<void(const IterationRecord&)> progressSink;
 };
 
 /// Called after every iteration with the current (not best) mask.

@@ -1,0 +1,158 @@
+#include "serve/http.hpp"
+
+#include <memory>
+
+#include "serve/service.hpp"
+#include "support/error.hpp"
+#include "support/log.hpp"
+#include "support/socket.hpp"
+#include "support/telemetry/flightrec.hpp"
+#include "support/telemetry/json.hpp"
+#include "support/telemetry/metrics.hpp"
+#include "support/telemetry/prometheus.hpp"
+
+namespace mosaic {
+namespace serve {
+namespace {
+
+constexpr int kPollMs = 100;     ///< accept/read poll so stop() is prompt
+constexpr int kHeaderMs = 2000;  ///< budget for a peer to finish its request
+
+const char* statusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default:  return "Error";
+  }
+}
+
+std::string jobsJson(JobService& service) {
+  const ServiceStats stats = service.stats();
+  std::string out = "{\"queue_depth\":" + std::to_string(stats.queued);
+  out += ",\"states\":{\"queued\":" + std::to_string(stats.queued);
+  out += ",\"running\":" + std::to_string(stats.running);
+  out += ",\"done\":" + std::to_string(stats.done);
+  out += ",\"failed\":" + std::to_string(stats.failed);
+  out += ",\"canceled\":" + std::to_string(stats.canceled);
+  out += ",\"expired\":" + std::to_string(stats.expired) + "}";
+  out += ",\"jobs\":[";
+  bool first = true;
+  for (const JobSnapshot& snap : service.snapshots()) {
+    telemetry::JsonObject o;
+    o.set("job", snap.spec.id);
+    o.set("case", snap.spec.caseName);
+    o.set("state", jobStateName(snap.state));
+    o.set("phase", snap.phase);
+    o.set("trace", snap.traceId);
+    o.set("attempts", snap.attempts);
+    o.set("iteration", snap.iterationsDone);
+    o.set("F", snap.objective);
+    o.set("wall_s", snap.wallSeconds);
+    if (!snap.error.empty()) o.set("error", snap.error);
+    out += first ? "" : ",";
+    out += o.str();
+    first = false;
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace
+
+HttpResponse routeHttpRequest(JobService& service, const std::string& path) {
+  HttpResponse res;
+  if (path == "/metrics") {
+    // Sample the process gauges at scrape time so RSS/CPU are current.
+    telemetry::updateProcessGauges();
+    res.body = telemetry::toPrometheusText(telemetry::metrics().snapshot());
+    res.contentType = "text/plain; version=0.0.4; charset=utf-8";
+  } else if (path == "/healthz") {
+    const bool draining = service.draining();
+    res.status = draining ? 503 : 200;
+    res.contentType = "application/json";
+    res.body = std::string("{\"ok\":") + (draining ? "false" : "true") +
+               ",\"draining\":" + (draining ? "true" : "false") + "}\n";
+  } else if (path == "/jobs") {
+    res.contentType = "application/json";
+    res.body = jobsJson(service);
+  } else if (path == "/debug/flightrec") {
+    res.contentType = "application/x-ndjson";
+    res.body = telemetry::flightrec::dumpJsonl();
+  } else {
+    res.status = 404;
+    res.body = "not found: " + path + "\n";
+  }
+  return res;
+}
+
+HttpServer::HttpServer(JobService& service, int port) : service_(service) {
+  auto listener = std::make_unique<ServerSocket>(port, /*backlog=*/16);
+  port_ = listener->port();
+  listener_ = listener.release();
+  thread_ = std::thread([this] { acceptLoop(); });
+  LOG_INFO("http endpoint listening on 127.0.0.1:" << port_);
+}
+
+HttpServer::~HttpServer() {
+  stop();
+  delete static_cast<ServerSocket*>(listener_);
+}
+
+void HttpServer::stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+}
+
+void HttpServer::acceptLoop() {
+  auto* listener = static_cast<ServerSocket*>(listener_);
+  while (!stop_.load(std::memory_order_relaxed)) {
+    Socket conn = listener->accept(kPollMs);
+    if (!conn.valid()) continue;
+    try {
+      LineChannel channel(std::move(conn));
+      // Request line: "GET /path HTTP/1.1". Lines end \r\n; LineChannel
+      // splits on \n, so trim the \r.
+      std::string line;
+      if (!channel.readLine(&line, kHeaderMs)) continue;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      const auto sp1 = line.find(' ');
+      const auto sp2 = line.find(' ', sp1 + 1);
+      if (sp1 == std::string::npos || sp2 == std::string::npos) continue;
+      const std::string method = line.substr(0, sp1);
+      std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      const auto query = path.find('?');
+      if (query != std::string::npos) path.erase(query);
+
+      // Drain the headers up to the blank line; none influence routing.
+      std::string header;
+      while (channel.readLine(&header, kHeaderMs)) {
+        if (!header.empty() && header.back() == '\r') header.pop_back();
+        if (header.empty()) break;
+      }
+
+      HttpResponse res;
+      if (method != "GET") {
+        res.status = 405;
+        res.body = "only GET is supported\n";
+      } else {
+        res = routeHttpRequest(service_, path);
+      }
+
+      std::string out = "HTTP/1.1 " + std::to_string(res.status) + " " +
+                        statusText(res.status) + "\r\n";
+      out += "Content-Type: " + res.contentType + "\r\n";
+      out += "Content-Length: " + std::to_string(res.body.size()) + "\r\n";
+      out += "Connection: close\r\n\r\n";
+      out += res.body;
+      channel.writeAll(out);
+    } catch (const std::exception& e) {
+      // A misbehaving scraper must not take the endpoint down.
+      LOG_WARN("http connection error: " << e.what());
+    }
+  }
+}
+
+}  // namespace serve
+}  // namespace mosaic

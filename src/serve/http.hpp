@@ -1,0 +1,70 @@
+#pragma once
+/// \file http.hpp
+/// Minimal HTTP/1.1 observability endpoint of the mosaic_serve daemon
+/// (docs/observability.md). A second loopback listener, separate from the
+/// JSONL job protocol, speaking just enough HTTP for curl and a Prometheus
+/// scraper:
+///
+///   GET /metrics          Prometheus text exposition of every registered
+///                         metric (prometheus.hpp), process gauges
+///                         refreshed at scrape time
+///   GET /healthz          200 {"ok":true,...} while serving, 503 when
+///                         draining
+///   GET /jobs             JSON: queue depth, per-state counts, and one
+///                         entry per job with live phase/iteration/F
+///   GET /debug/flightrec  the flight-recorder ring as JSONL
+///
+/// Scope limits are deliberate: GET only (405 otherwise), request headers
+/// read and discarded, every response carries Content-Length and
+/// Connection: close. One connection is served at a time — scrapes are
+/// tiny and an observability port must never compete with workers for
+/// threads.
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+namespace mosaic {
+namespace serve {
+
+class JobService;
+
+class HttpServer {
+ public:
+  /// Binds 127.0.0.1:port (0 = ephemeral; port() reports the choice) and
+  /// starts the accept thread. Throws mosaic::Error when the bind fails.
+  HttpServer(JobService& service, int port);
+
+  /// Stops the accept loop and joins the thread.
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  [[nodiscard]] int port() const { return port_; }
+
+  void stop();
+
+ private:
+  void acceptLoop();
+
+  JobService& service_;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  void* listener_ = nullptr;  ///< ServerSocket, kept out of the header
+  std::thread thread_;
+};
+
+/// Route one request path to its response body + content type + status.
+/// Pure function of the service state, so unit tests cover the routing
+/// without sockets. Unknown paths yield 404.
+struct HttpResponse {
+  int status = 200;
+  std::string contentType = "text/plain; charset=utf-8";
+  std::string body;
+};
+[[nodiscard]] HttpResponse routeHttpRequest(JobService& service,
+                                            const std::string& path);
+
+}  // namespace serve
+}  // namespace mosaic

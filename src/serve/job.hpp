@@ -54,6 +54,12 @@ struct JobSnapshot {
   std::string maskHash;  ///< FNV-1a 64 of the final mask bytes (hex), done only
   std::string error;     ///< failure detail (failed/expired/canceled)
   bool recovered = false;  ///< re-enqueued by journal replay after a restart
+  /// What the worker is doing right now ("queued", "cache_lookup",
+  /// "optimize", "finalize", ...). Live while running; last value after.
+  std::string phase = "queued";
+  /// Trace id ("t-%016llx") assigned at admission; stamps this job's
+  /// spans, run-log records and flight-recorder events (observability.md).
+  std::string traceId;
 };
 
 /// Serialize the client-settable JobSpec fields into `out` (id excluded —

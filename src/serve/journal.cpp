@@ -1,5 +1,6 @@
 #include "serve/journal.hpp"
 
+#include <cstdlib>
 #include <fstream>
 
 #include "support/error.hpp"
@@ -69,6 +70,10 @@ ReplayResult JobJournal::replay(const std::string& path) {
         continue;
       }
       job.spec.id = id;
+      const std::string trace = record.stringOr("trace", "");
+      if (trace.rfind("t-", 0) == 0) {
+        job.traceId = std::strtoull(trace.c_str() + 2, nullptr, 16);
+      }
       index[id] = result.jobs.size();
       result.jobs.push_back(std::move(job));
       continue;

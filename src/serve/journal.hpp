@@ -35,6 +35,10 @@ struct ReplayedJob {
   double wallSeconds = 0.0;
   std::string maskHash;
   std::string error;
+  /// Trace id from the submit record ("t-%016llx"; 0 when the journal
+  /// predates trace stamping), so a recovered job keeps correlating with
+  /// its pre-crash records.
+  std::uint64_t traceId = 0;
 };
 
 /// Everything replay learned from one journal file.

@@ -1,0 +1,132 @@
+#include "serve/progress.hpp"
+
+#include <chrono>
+
+namespace mosaic {
+namespace serve {
+
+bool ProgressSubscription::next(ProgressEvent* out, int timeoutMs) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!cv_.wait_for(lock, std::chrono::milliseconds(timeoutMs),
+                    [this] { return !queue_.empty() || closed_; })) {
+    return false;  // timeout
+  }
+  if (queue_.empty()) return false;  // closed and drained
+  if (out) *out = std::move(queue_.front());
+  queue_.pop_front();
+  return true;
+}
+
+bool ProgressSubscription::finished() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_ && queue_.empty();
+}
+
+std::uint64_t ProgressSubscription::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void ProgressSubscription::push(const ProgressEvent& event) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return;
+    if (queue_.size() >= kQueueCapacity) {
+      // Drop-oldest: a stalled watcher loses history, never the worker's
+      // time. The terminal event is always the newest, so it survives.
+      queue_.pop_front();
+      ++dropped_;
+    }
+    queue_.push_back(event);
+  }
+  cv_.notify_all();
+}
+
+void ProgressSubscription::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+void ProgressBus::publish(const ProgressEvent& event) {
+  std::vector<std::shared_ptr<ProgressSubscription>> targets;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Topic& topic = topics_[event.job];
+    if (topic.closed) return;
+    topic.replay.push_back(event);
+    if (topic.replay.size() > kReplayCapacity) topic.replay.pop_front();
+    // Collect live subscribers (and compact expired ones) under the bus
+    // lock, but push outside it: a subscriber queue's mutex is only ever
+    // taken after the bus mutex is released, so next() callers can't
+    // deadlock against publishers.
+    auto& subs = topic.subscribers;
+    for (std::size_t i = 0; i < subs.size();) {
+      if (auto sub = subs[i].lock()) {
+        targets.push_back(std::move(sub));
+        ++i;
+      } else {
+        subs[i] = subs.back();
+        subs.pop_back();
+      }
+    }
+    if (event.terminal) {
+      topic.closed = true;
+      // Keep the closed topic around so a watch opened after completion
+      // still replays the tail and terminates (the header's contract) —
+      // but bound the retention so a long-lived daemon doesn't accumulate
+      // one topic per job forever. Evicted jobs fall back to the watch
+      // handler's snapshot check, which synthesizes the end event.
+      closedOrder_.push_back(event.job);
+      while (closedOrder_.size() > kClosedRetain) {
+        topics_.erase(closedOrder_.front());
+        closedOrder_.pop_front();
+      }
+    }
+  }
+  for (const auto& sub : targets) {
+    sub->push(event);
+    if (event.terminal) sub->close();
+  }
+}
+
+void ProgressBus::publishTerminal(const std::string& jobId,
+                                  const std::string& state, int iteration,
+                                  double objective, double wallMs) {
+  ProgressEvent event;
+  event.job = jobId;
+  event.seq = nextSeq(jobId);
+  event.iteration = iteration;
+  event.objective = objective;
+  event.wallMs = wallMs;
+  event.terminal = true;
+  event.state = state;
+  publish(event);
+}
+
+std::shared_ptr<ProgressSubscription> ProgressBus::subscribe(
+    const std::string& jobId) {
+  auto sub = std::make_shared<ProgressSubscription>();
+  std::deque<ProgressEvent> replay;
+  bool closed = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Topic& topic = topics_[jobId];
+    replay = topic.replay;
+    closed = topic.closed;
+    if (!closed) topic.subscribers.push_back(sub);
+  }
+  for (const ProgressEvent& event : replay) sub->push(event);
+  if (closed) sub->close();
+  return sub;
+}
+
+long long ProgressBus::nextSeq(const std::string& jobId) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return topics_[jobId].nextSeq++;
+}
+
+}  // namespace serve
+}  // namespace mosaic

@@ -1,0 +1,117 @@
+#pragma once
+/// \file progress.hpp
+/// Streaming job progress: the bus between optimizer iterations running on
+/// worker threads and `watch` clients blocked on the protocol thread
+/// (docs/serving.md, docs/observability.md).
+///
+/// Design constraints:
+///   - A stalled watcher must never backpressure a worker: publish() only
+///     appends to bounded buffers, dropping the oldest event when a
+///     subscriber's queue is full (the subscriber learns how many it lost).
+///   - Subscribing after a job started (the common case — submit returns,
+///     then the client opens a watch) must not miss the whole run: each
+///     job topic keeps a small replay ring of recent events that a new
+///     subscriber receives first.
+///   - Terminal states close the topic so watch loops end deterministically
+///     instead of timing out.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mosaic {
+namespace serve {
+
+/// One per-iteration progress sample (or the terminal marker closing the
+/// stream). Field names mirror the optimizer's run-log iteration records.
+struct ProgressEvent {
+  std::string job;
+  long long seq = 0;      ///< per-job sequence (gaps = dropped events)
+  int iteration = 0;
+  double objective = 0.0; ///< combined objective F
+  double fTarget = 0.0;
+  double fPvb = 0.0;
+  double gradRms = 0.0;
+  double wallMs = 0.0;    ///< wall time since the job attempt started
+  bool terminal = false;  ///< last event of the stream
+  std::string state;      ///< terminal only: done/failed/canceled/expired
+};
+
+/// One watcher's bounded event queue. Handed out as a shared_ptr: the
+/// server's connection thread pops while the bus pushes; either side may
+/// go away first.
+class ProgressSubscription {
+ public:
+  /// Wait up to timeoutMs for the next event. False on timeout or when the
+  /// stream is closed and drained (check finished() to distinguish).
+  bool next(ProgressEvent* out, int timeoutMs);
+
+  /// True once the terminal event has been consumed (or the topic closed):
+  /// no further events will ever arrive.
+  [[nodiscard]] bool finished() const;
+
+  /// Events lost to the bounded queue so far (slow-consumer drops).
+  [[nodiscard]] std::uint64_t dropped() const;
+
+ private:
+  friend class ProgressBus;
+  static constexpr std::size_t kQueueCapacity = 256;
+
+  void push(const ProgressEvent& event);
+  void close();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<ProgressEvent> queue_;
+  std::uint64_t dropped_ = 0;
+  bool closed_ = false;
+};
+
+/// Fan-out hub: workers publish per-iteration events keyed by job id;
+/// protocol threads subscribe. Topics are created lazily on first publish
+/// or subscribe and retired when closed with no subscribers.
+class ProgressBus {
+ public:
+  /// Append to the job's replay ring and every live subscriber's queue.
+  /// Never blocks beyond the internal mutexes (no I/O, no waits).
+  void publish(const ProgressEvent& event);
+
+  /// Publish a terminal event (state = terminal job state) and close the
+  /// topic: subscribers drain what is queued, then next() returns false
+  /// with finished() true.
+  void publishTerminal(const std::string& jobId, const std::string& state,
+                       int iteration, double objective, double wallMs);
+
+  /// Subscribe to a job's events. The replay ring (most recent
+  /// kReplayCapacity events, terminal included) is delivered first, so a
+  /// watch opened after completion still sees the tail and terminates.
+  std::shared_ptr<ProgressSubscription> subscribe(const std::string& jobId);
+
+  /// Next per-job sequence number (publish helper for producers that
+  /// build events themselves).
+  long long nextSeq(const std::string& jobId);
+
+ private:
+  static constexpr std::size_t kReplayCapacity = 64;
+  /// Closed topics retained for late subscribers before eviction.
+  static constexpr std::size_t kClosedRetain = 256;
+
+  struct Topic {
+    std::deque<ProgressEvent> replay;  ///< most recent events, oldest first
+    std::vector<std::weak_ptr<ProgressSubscription>> subscribers;
+    long long nextSeq = 0;
+    bool closed = false;
+  };
+
+  std::mutex mutex_;
+  std::map<std::string, Topic> topics_;
+  std::deque<std::string> closedOrder_;  ///< closed topics, oldest first
+};
+
+}  // namespace serve
+}  // namespace mosaic

@@ -31,6 +31,8 @@ void fillSnapshot(const JobSnapshot& snap, telemetry::JsonObject* obj) {
   obj->set("wall_s", snap.wallSeconds);
   if (!snap.error.empty()) obj->set("error_detail", snap.error);
   if (snap.recovered) obj->set("recovered", true);
+  obj->set("phase", snap.phase);
+  if (!snap.traceId.empty()) obj->set("trace", snap.traceId);
 }
 
 std::string handleSubmit(JobService& service,
@@ -150,7 +152,55 @@ std::string handleStats(JobService& service) {
             static_cast<unsigned long long>(s.cache.evictions));
     obj.set("cache_hit_rate", s.cache.hitRate());
   }
+  // Process resource gauges (getrusage), sampled at request time — the
+  // same numbers GET /metrics exports as process.*.
+  telemetry::updateProcessGauges();
+  obj.set("process_peak_rss_mb",
+          telemetry::metrics().gauge("process.peak_rss_mb").value());
+  obj.set("process_user_cpu_sec",
+          telemetry::metrics().gauge("process.user_cpu_sec").value());
+  obj.set("process_sys_cpu_sec",
+          telemetry::metrics().gauge("process.sys_cpu_sec").value());
   return obj.str();
+}
+
+/// watch op: validate the job, reply with its current snapshot, and hand
+/// the server a subscription to stream from. Subscribing works for
+/// terminal jobs too — the replay ring ends the stream immediately with
+/// the terminal event.
+ProtocolResult handleWatch(JobService& service,
+                           const telemetry::JsonValue& req) {
+  ProtocolResult result;
+  const std::string id = req.stringOr("job", "");
+  if (id.empty()) {
+    result.response = errorResponse("bad_request", "missing job id");
+    return result;
+  }
+  JobSnapshot snap;
+  if (!service.snapshot(id, &snap)) {
+    result.response = errorResponse("not_found", "unknown job id: " + id);
+    return result;
+  }
+  telemetry::JsonObject obj;
+  obj.set("ok", true);
+  obj.set("watching", id);
+  fillSnapshot(snap, &obj);
+  result.response = obj.str();
+  result.watch = service.progress().subscribe(id);
+  // A job that reached its terminal state before this daemon published any
+  // event for it (terminal in a previous incarnation, or a race between
+  // the snapshot and the subscribe) has an open-but-silent topic; close it
+  // with a synthesized end event so the watcher terminates. publish() on a
+  // topic the worker already closed is a no-op, so a live stream never
+  // sees two ends.
+  JobSnapshot post;
+  if (service.snapshot(id, &post) && post.state != JobState::kQueued &&
+      post.state != JobState::kRunning) {
+    service.progress().publishTerminal(id, jobStateName(post.state),
+                                       post.iterationsDone, post.objective,
+                                       post.wallSeconds * 1e3);
+  }
+  return result;
 }
 
 }  // namespace
@@ -158,6 +208,30 @@ std::string handleStats(JobService& service) {
 std::string snapshotToJson(const JobSnapshot& snap) {
   telemetry::JsonObject obj;
   fillSnapshot(snap, &obj);
+  return obj.str();
+}
+
+std::string progressEventToJson(const ProgressEvent& event) {
+  telemetry::JsonObject obj;
+  if (event.terminal) {
+    obj.set("ev", "end");
+    obj.set("job", event.job);
+    obj.set("seq", event.seq);
+    obj.set("state", event.state);
+    obj.set("iteration", event.iteration);
+    obj.set("F", event.objective);
+    obj.set("wall_ms", event.wallMs);
+    return obj.str();
+  }
+  obj.set("ev", "progress");
+  obj.set("job", event.job);
+  obj.set("seq", event.seq);
+  obj.set("iteration", event.iteration);
+  obj.set("F", event.objective);
+  obj.set("F_target", event.fTarget);
+  obj.set("F_pvb", event.fPvb);
+  obj.set("grad_rms", event.gradRms);
+  obj.set("wall_ms", event.wallMs);
   return obj.str();
 }
 
@@ -189,6 +263,8 @@ ProtocolResult handleRequestLine(JobService& service,
       result.response = handleCancel(service, req);
     } else if (op == "stats") {
       result.response = handleStats(service);
+    } else if (op == "watch") {
+      result = handleWatch(service, req);
     } else if (op == "shutdown") {
       const std::string mode = req.stringOr("mode", "finish");
       if (mode != "finish" && mode != "checkpoint") {

@@ -8,6 +8,7 @@
 /// request->response string mapping over a JobService, shared by the TCP
 /// server and in-process tests — it never touches a socket.
 
+#include <memory>
 #include <string>
 
 #include "serve/service.hpp"
@@ -20,6 +21,10 @@ struct ProtocolResult {
   std::string response;   ///< one JSON line (no trailing newline)
   bool shutdown = false;  ///< a shutdown op: stop the server after replying
   DrainMode shutdownMode = DrainMode::kFinish;
+  /// Set by the watch op: after writing `response`, the server switches
+  /// this connection into streaming mode, pushing one JSON line per
+  /// progress event until the subscription finishes.
+  std::shared_ptr<ProgressSubscription> watch;
 };
 
 /// Handle one request line against the service. Never throws: malformed
@@ -30,6 +35,11 @@ struct ProtocolResult {
 /// Render one job snapshot as the protocol's job object (shared by the
 /// status and result ops and by mosaic_cli's client-side printing).
 [[nodiscard]] std::string snapshotToJson(const JobSnapshot& snap);
+
+/// Render one streamed progress event as its wire line ("ev":"progress"
+/// samples, "ev":"end" terminal). Shared by the server push loop and the
+/// tests that assert the schema.
+[[nodiscard]] std::string progressEventToJson(const ProgressEvent& event);
 
 }  // namespace serve
 }  // namespace mosaic

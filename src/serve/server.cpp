@@ -81,6 +81,29 @@ void ServeServer::handleConnection(Socket socket) {
         shutdownOp_.store(true, std::memory_order_relaxed);
         break;
       }
+      if (result.watch) {
+        // Streaming mode: push one line per progress event until the job's
+        // stream ends (terminal event) or the daemon stops. The short poll
+        // keeps the stop flag responsive; the worker never waits on this
+        // socket — a slow reader only fills the subscription's bounded
+        // queue (drop-oldest).
+        ProgressEvent event;
+        while (!stopping_.load(std::memory_order_relaxed)) {
+          if (result.watch->next(&event, opts_.pollMs)) {
+            channel.writeLine(progressEventToJson(event));
+            telemetry::metrics().counter("serve.progress_pushed").add();
+          } else if (result.watch->finished()) {
+            break;
+          }
+        }
+        const std::uint64_t dropped = result.watch->dropped();
+        if (dropped > 0) {
+          telemetry::metrics().counter("serve.progress_dropped").add(dropped);
+        }
+        // One watch per connection: the stream ends, the connection ends
+        // (mirrors the HTTP endpoint's connection-per-request model).
+        break;
+      }
     }
   } catch (const std::exception& e) {
     // A broken pipe or oversized line kills this connection, never the

@@ -13,7 +13,9 @@
 #include "support/error.hpp"
 #include "support/failpoint.hpp"
 #include "support/log.hpp"
+#include "support/telemetry/flightrec.hpp"
 #include "support/telemetry/metrics.hpp"
+#include "support/telemetry/trace.hpp"
 #include "support/timer.hpp"
 
 namespace mosaic {
@@ -90,6 +92,7 @@ void JobService::recoverFromJournal() {
     maxId = std::max(maxId, jobIdNumber(rj.spec.id));
     auto job = std::make_unique<Job>();
     job->spec = rj.spec;
+    job->traceId = rj.traceId != 0 ? rj.traceId : telemetry::newTraceId();
     job->attempts = rj.attempts;
     job->iterationsDone = rj.iterationsDone;
     job->objective = rj.objective;
@@ -107,6 +110,10 @@ void JobService::recoverFromJournal() {
       job->resumable = true;
       job->recovered = true;
       ++recoveredJobs_;
+      {
+        telemetry::TraceScope traceScope(job->traceId);
+        telemetry::flightrec::record("admit", rj.spec.id + " recovered");
+      }
       queue_.forcePush(rj.spec.id);
     } else {
       // Terminal: keep the record so status/result survive restarts.
@@ -138,19 +145,29 @@ SubmitResult JobService::submit(JobSpec spec) {
   }
 
   spec.id = formatJobId(nextId_.fetch_add(1, std::memory_order_relaxed));
+  const std::uint64_t traceId = telemetry::newTraceId();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto job = std::make_unique<Job>();
     job->spec = spec;
+    job->traceId = traceId;
     jobs_.emplace(spec.id, std::move(job));
   }
   // WAL ordering: the submit record hits the journal before the job can
-  // run, so a crash at any later point still replays it.
+  // run, so a crash at any later point still replays it. The trace id is
+  // journaled so a recovered job keeps the one assigned here.
   telemetry::JsonObject record;
   record.set("ev", "submit");
   record.set("job", spec.id);
+  record.set("trace", telemetry::traceIdString(traceId));
   specToJson(spec, &record);
   journal_->append(record);
+  {
+    // Record the admission under the job's trace scope so the flight
+    // recorder's admit event carries the same id /jobs reports.
+    telemetry::TraceScope traceScope(traceId);
+    telemetry::flightrec::record("admit", spec.id + " case=" + spec.caseName);
+  }
 
   if (!queue_.tryPush(spec.id)) {
     // Roll the admission back, in the journal too, so replay forgets it.
@@ -246,6 +263,12 @@ JobSnapshot JobService::snapshotLocked(const Job& job) const {
   snap.maskHash = job.maskHash;
   snap.error = job.error;
   snap.recovered = job.recovered;
+  // Terminal jobs report their state as the phase, so a watcher of /jobs
+  // never sees a stale "optimize" on a job that already finished.
+  const bool terminal =
+      job.state != JobState::kQueued && job.state != JobState::kRunning;
+  snap.phase = terminal ? jobStateName(job.state) : job.phase;
+  snap.traceId = telemetry::traceIdString(job.traceId);
   return snap;
 }
 
@@ -319,9 +342,17 @@ std::string JobService::checkpointPath(const std::string& id) const {
 
 void JobService::journalTerminal(const Job& job) {
   telemetry::JsonObject record;
+  std::string state;
+  int iterations = 0;
+  double objective = 0.0;
+  double wallMs = 0.0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    record.set("ev", jobStateName(job.state));
+    state = jobStateName(job.state);
+    iterations = job.iterationsDone;
+    objective = job.objective;
+    wallMs = job.wallSeconds * 1e3;
+    record.set("ev", state);
     record.set("job", job.spec.id);
     record.set("attempts", job.attempts);
     record.set("iterations", job.iterationsDone);
@@ -331,6 +362,11 @@ void JobService::journalTerminal(const Job& job) {
     if (!job.error.empty()) record.set("error", job.error);
   }
   journal_->append(record);
+  // Every terminal transition funnels through here, so this is the single
+  // point that closes the job's progress stream and annotates the flight
+  // recorder with the final state.
+  telemetry::flightrec::record("state", job.spec.id + " -> " + state);
+  progress_.publishTerminal(job.spec.id, state, iterations, objective, wallMs);
 }
 
 const LithoSimulator& JobService::simulatorFor(
@@ -399,14 +435,20 @@ void JobService::workerLoop() {
 
 void JobService::runJob(Job& job) {
   WallTimer jobTimer;
+  // Install the job's trace context on this worker for the whole run:
+  // spans, run-log records and flight-recorder events emitted below all
+  // pick it up implicitly (trace.hpp).
+  telemetry::TraceScope traceScope(job.traceId);
   bool resumeAllowed = false;
   int startAttempt = 1;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     job.state = JobState::kRunning;
+    job.phase = "starting";
     resumeAllowed = job.resumable;
     startAttempt = job.attempts + 1;
   }
+  telemetry::flightrec::record("state", job.spec.id + " -> running");
   // The deadline clock starts when the job first runs (not at submission:
   // queue wait is the service's fault, not the client's budget).
   if (job.spec.deadlineSeconds > 0.0 && !job.token.expired()) {
@@ -476,6 +518,10 @@ void JobService::runJob(Job& job) {
       RealGrid warmMask;
       bool haveFingerprint = false;
       if (patternStore_) {
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          job.phase = "cache_lookup";
+        }
         const RectNm clipCore{0, 0, layout.sizeNm, layout.sizeNm};
         fp = fingerprintWindow(
             layout, clipCore, job.spec.pixelNm,
@@ -521,9 +567,37 @@ void JobService::runJob(Job& job) {
       opt.runLog = cfg_.runLog;
       opt.runLogScope = job.spec.id;
       opt.warmStartMask = std::move(warmMask);
+      // Per-iteration streaming: refresh the job's live fields (status op,
+      // GET /jobs) and publish to any watch subscribers. Bounded-buffer
+      // publish only — a stalled watcher can never slow this worker.
+      opt.progressSink = [this, &job](const IterationRecord& r) {
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          job.iterationsDone = r.iteration;
+          job.objective = r.objective;
+        }
+        ProgressEvent event;
+        event.job = job.spec.id;
+        event.seq = progress_.nextSeq(job.spec.id);
+        event.iteration = r.iteration;
+        event.objective = r.objective;
+        event.fTarget = r.targetTerm;
+        event.fPvb = r.pvbTerm;
+        event.gradRms = r.rmsGradient;
+        event.wallMs = r.wallMs;
+        progress_.publish(event);
+      };
 
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job.phase = "optimize";
+      }
       const OpcResult res =
           runOpc(sim, target, method, &cfg, {}, {}, opt);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job.phase = "finalize";
+      }
       // Simulated-kill site: fires after the work (and its checkpoints)
       // but before the terminal journal record — exactly the window a real
       // SIGKILL would hit. The catch below recognizes it and makes the
@@ -597,6 +671,8 @@ void JobService::runJob(Job& job) {
                         << " failed: " << what << "; retrying");
         retries_.fetch_add(1, std::memory_order_relaxed);
         telemetry::metrics().counter("serve.retries").add();
+        telemetry::flightrec::record(
+            "retry", job.spec.id + " attempt=" + std::to_string(attempt));
         std::this_thread::sleep_for(
             std::chrono::milliseconds(cfg_.backoffMs * attempt));
       }

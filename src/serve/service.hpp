@@ -26,6 +26,7 @@
 #include "litho/simulator.hpp"
 #include "serve/job.hpp"
 #include "serve/journal.hpp"
+#include "serve/progress.hpp"
 #include "serve/queue.hpp"
 #include "support/cancel.hpp"
 
@@ -131,6 +132,10 @@ class JobService {
   [[nodiscard]] int recoveredJobs() const { return recoveredJobs_; }
   [[nodiscard]] const std::string& workDir() const { return cfg_.workDir; }
 
+  /// Streaming per-iteration progress (the watch op). Workers publish one
+  /// event per optimizer iteration plus a terminal event per job.
+  [[nodiscard]] ProgressBus& progress() { return progress_; }
+
  private:
   /// One job's mutable state. Lives behind a unique_ptr so the token's
   /// address is stable for the optimizer polling it from a worker thread.
@@ -147,6 +152,11 @@ class JobService {
     std::string maskHash;
     std::string error;
     bool recovered = false;
+    /// Trace id assigned at admission (journaled, so a recovered job keeps
+    /// its id and the post-restart records still correlate).
+    std::uint64_t traceId = 0;
+    /// Live worker phase for /jobs and the status op.
+    std::string phase = "queued";
   };
 
   void recoverFromJournal();
@@ -180,6 +190,8 @@ class JobService {
 
   /// Pattern-library store shared by all workers (null = caching off).
   std::unique_ptr<PatternStore> patternStore_;
+
+  ProgressBus progress_;
 
   std::vector<std::thread> workers_;
 };

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "support/error.hpp"
+#include "support/telemetry/flightrec.hpp"
 
 namespace mosaic {
 namespace failpoint {
@@ -162,6 +163,11 @@ Action onHit(const char* site) {
         break;
       }
     }
+  }
+  if (fired != Action::kNone) {
+    // An armed site firing is exactly the kind of event a post-mortem
+    // wants in view; unarmed hits stay off the recorder (hot paths).
+    telemetry::flightrec::record("failpoint", site);
   }
   switch (fired) {
     case Action::kThrow:

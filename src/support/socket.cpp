@@ -149,18 +149,22 @@ bool LineChannel::readLine(std::string* line, int timeoutMs) {
 }
 
 void LineChannel::writeLine(const std::string& line) {
-  MOSAIC_CHECK(socket_.valid(), "writeLine on a closed channel");
   std::string out = line;
   out += '\n';
+  writeAll(out);
+}
+
+void LineChannel::writeAll(std::string_view data) {
+  MOSAIC_CHECK(socket_.valid(), "write on a closed channel");
   std::size_t sent = 0;
-  while (sent < out.size()) {
+  while (sent < data.size()) {
 #if defined(MSG_NOSIGNAL)
     const int flags = MSG_NOSIGNAL;  // EPIPE as errno, not SIGPIPE
 #else
     const int flags = 0;
 #endif
     const ssize_t n =
-        ::send(socket_.fd(), out.data() + sent, out.size() - sent, flags);
+        ::send(socket_.fd(), data.data() + sent, data.size() - sent, flags);
     if (n < 0) {
       if (errno == EINTR) continue;
       throwErrno("send");

@@ -9,6 +9,7 @@
 /// one-JSON-object-per-line protocol.
 
 #include <string>
+#include <string_view>
 
 namespace mosaic {
 
@@ -75,6 +76,11 @@ class LineChannel {
   /// Write `line` plus '\n'. Throws on socket errors (including EPIPE —
   /// SIGPIPE is suppressed per call).
   void writeLine(const std::string& line);
+
+  /// Write `data` verbatim (no terminator appended). Same error behavior
+  /// as writeLine. Used by the HTTP endpoint, whose responses are not
+  /// line-delimited.
+  void writeAll(std::string_view data);
 
   [[nodiscard]] bool valid() const { return socket_.valid(); }
   void close() { socket_.close(); }

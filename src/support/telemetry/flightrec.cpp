@@ -1,0 +1,178 @@
+#include "support/telemetry/flightrec.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+#include "support/telemetry/trace.hpp"
+
+namespace mosaic {
+namespace telemetry {
+namespace flightrec {
+namespace {
+
+struct Slot {
+  std::atomic<std::uint64_t> seq{0};  // 1 + event seq; 0 = never written
+  std::uint64_t tNs = 0;
+  std::uint64_t trace = 0;
+  int tid = 0;
+  char kind[24] = {};
+  char detail[160] = {};
+};
+
+Slot g_ring[kCapacity];
+std::atomic<std::uint64_t> g_next{0};
+
+char g_crashPath[512] = {};
+
+/// Copy `src` into a fixed buffer, replacing bytes that would need JSON
+/// escaping (quote, backslash, controls, DEL, non-ASCII) with spaces so
+/// the dump path can emit slots verbatim inside string literals.
+void copySanitized(char* dst, std::size_t cap, std::string_view src) {
+  std::size_t n = 0;
+  for (const char c : src) {
+    if (n + 1 >= cap) break;
+    const auto u = static_cast<unsigned char>(c);
+    dst[n++] = (u < 0x20 || u >= 0x7f || c == '"' || c == '\\') ? ' ' : c;
+  }
+  dst[n] = '\0';
+}
+
+/// Format one slot as a JSONL line. Returns the line length (bounded by
+/// `cap`). Pure snprintf so the crash handler can use it.
+int formatSlot(char* buf, std::size_t cap, std::uint64_t seq, const Slot& s) {
+  if (s.trace != 0) {
+    return std::snprintf(
+        buf, cap,
+        "{\"seq\":%llu,\"t_ns\":%llu,\"tid\":%d,\"trace\":\"t-%016llx\","
+        "\"kind\":\"%s\",\"detail\":\"%s\"}\n",
+        static_cast<unsigned long long>(seq),
+        static_cast<unsigned long long>(s.tNs), s.tid,
+        static_cast<unsigned long long>(s.trace), s.kind, s.detail);
+  }
+  return std::snprintf(
+      buf, cap,
+      "{\"seq\":%llu,\"t_ns\":%llu,\"tid\":%d,"
+      "\"kind\":\"%s\",\"detail\":\"%s\"}\n",
+      static_cast<unsigned long long>(seq),
+      static_cast<unsigned long long>(s.tNs), s.tid, s.kind, s.detail);
+}
+
+/// Oldest seq still plausibly in the ring.
+std::uint64_t dumpStart(std::uint64_t next) {
+  return next > kCapacity ? next - kCapacity : 0;
+}
+
+void crashHandler(int signo) {
+  // Record the signal itself so the dump's last line names the cause.
+  const char* name = signo == SIGSEGV   ? "SIGSEGV"
+                     : signo == SIGABRT ? "SIGABRT"
+                     : signo == SIGBUS  ? "SIGBUS"
+                                        : "signal";
+  record("signal", name);
+  if (g_crashPath[0] != '\0') dumpToFile(g_crashPath);
+  // Re-raise with the default disposition so the wait status (core dump,
+  // termination signal) is what the supervisor expects.
+  ::signal(signo, SIG_DFL);
+  ::raise(signo);
+}
+
+}  // namespace
+
+void record(std::string_view kind, std::string_view detail) {
+  const std::uint64_t seq = g_next.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = g_ring[seq % kCapacity];
+  // Mark the slot as in-flux (0) before touching the payload, so a
+  // concurrent dump skips it rather than reading a torn record.
+  slot.seq.store(0, std::memory_order_release);
+  slot.tNs = nowNs();
+  slot.trace = currentTraceId();
+  slot.tid = threadId();
+  copySanitized(slot.kind, sizeof slot.kind, kind);
+  copySanitized(slot.detail, sizeof slot.detail, detail);
+  slot.seq.store(seq + 1, std::memory_order_release);
+}
+
+std::uint64_t eventCount() {
+  return g_next.load(std::memory_order_relaxed);
+}
+
+std::string dumpJsonl() {
+  std::string out;
+  const std::uint64_t next = g_next.load(std::memory_order_acquire);
+  char line[512];
+  for (std::uint64_t seq = dumpStart(next); seq < next; ++seq) {
+    const Slot& slot = g_ring[seq % kCapacity];
+    if (slot.seq.load(std::memory_order_acquire) != seq + 1) continue;
+    Slot copy;
+    copy.tNs = slot.tNs;
+    copy.trace = slot.trace;
+    copy.tid = slot.tid;
+    std::memcpy(copy.kind, slot.kind, sizeof copy.kind);
+    std::memcpy(copy.detail, slot.detail, sizeof copy.detail);
+    // Re-check: if a writer lapped us mid-copy the payload is torn.
+    if (slot.seq.load(std::memory_order_acquire) != seq + 1) continue;
+    const int n = formatSlot(line, sizeof line, seq, copy);
+    if (n > 0) out.append(line, static_cast<std::size_t>(
+                                    std::min<int>(n, sizeof line - 1)));
+  }
+  return out;
+}
+
+void dumpTo(int fd) {
+  const std::uint64_t next = g_next.load(std::memory_order_acquire);
+  char line[512];
+  for (std::uint64_t seq = dumpStart(next); seq < next; ++seq) {
+    const Slot& slot = g_ring[seq % kCapacity];
+    if (slot.seq.load(std::memory_order_acquire) != seq + 1) continue;
+    const int n = formatSlot(line, sizeof line, seq, slot);
+    if (n <= 0) continue;
+    const auto len = static_cast<std::size_t>(
+        std::min<int>(n, static_cast<int>(sizeof line) - 1));
+    std::size_t off = 0;
+    while (off < len) {
+      const ssize_t w = ::write(fd, line + off, len - off);
+      if (w <= 0) return;
+      off += static_cast<std::size_t>(w);
+    }
+  }
+}
+
+bool dumpToFile(const char* path) {
+  const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  dumpTo(fd);
+  return ::close(fd) == 0;
+}
+
+bool dumpArmedPath() {
+  if (g_crashPath[0] == '\0') return false;
+  return dumpToFile(g_crashPath);
+}
+
+void installCrashHandlers(const std::string& path) {
+  std::snprintf(g_crashPath, sizeof g_crashPath, "%s", path.c_str());
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof sa);
+  sa.sa_handler = &crashHandler;
+  sigemptyset(&sa.sa_mask);
+  // No SA_RESETHAND: the handler restores SIG_DFL itself after dumping,
+  // and SIGBUS shares the SIGSEGV treatment on mmap'd I/O failures.
+  ::sigaction(SIGSEGV, &sa, nullptr);
+  ::sigaction(SIGABRT, &sa, nullptr);
+  ::sigaction(SIGBUS, &sa, nullptr);
+}
+
+void clearForTest() {
+  for (Slot& slot : g_ring) slot.seq.store(0, std::memory_order_relaxed);
+  g_next.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace flightrec
+}  // namespace telemetry
+}  // namespace mosaic

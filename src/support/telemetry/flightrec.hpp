@@ -1,0 +1,76 @@
+#pragma once
+/// \file flightrec.hpp
+/// Always-on crash flight recorder (docs/observability.md).
+///
+/// A fixed-size in-memory ring of short annotated events — job admissions,
+/// state transitions, retries, fail-point hits, checkpoint writes — that
+/// costs one atomic increment plus two bounded copies per record, so it
+/// stays armed in production. When the process dies on SIGSEGV/SIGABRT (or
+/// an explicit fatal-error dump), the ring is written out as JSONL, giving
+/// the post-mortem the last ~1k things the process did, each stamped with
+/// the thread id and the active trace id (trace.hpp) so the crashing job
+/// is identifiable.
+///
+/// Crash-path constraints shape the design:
+///   - recording takes no locks and allocates nothing (a signal handler
+///     can itself record the signal before dumping);
+///   - event text is sanitized at *record* time (quotes, backslashes and
+///     control bytes become spaces), so the dump path is plain snprintf +
+///     write(2) with no JSON escaping;
+///   - slots carry a sequence number written last (release), so a dump
+///     concurrent with writers skips torn slots instead of emitting
+///     garbage.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mosaic {
+namespace telemetry {
+namespace flightrec {
+
+/// Ring capacity in events. Old events are overwritten; a dump holds the
+/// most recent window.
+inline constexpr std::size_t kCapacity = 1024;
+
+/// Record one event. `kind` is a short category ("admit", "state",
+/// "retry", "failpoint", "checkpoint", "signal", "fatal"); `detail` is a
+/// one-line human payload. Both are truncated to the slot's fixed buffers
+/// and sanitized for the raw dump path. Thread id and current trace id
+/// are captured implicitly. Safe from any thread and (unlike most of the
+/// library) from signal handlers.
+void record(std::string_view kind, std::string_view detail);
+
+/// Total events recorded since process start (including overwritten ones).
+std::uint64_t eventCount();
+
+/// The ring as JSONL, oldest first: one
+///   {"seq":..,"t_ns":..,"tid":..,"trace":"t-..","kind":"..","detail":".."}
+/// object per line. For GET /debug/flightrec and tests.
+std::string dumpJsonl();
+
+/// Write dumpJsonl()'s content to an open descriptor using only snprintf
+/// and write(2). Used by the crash handlers; callable anywhere.
+void dumpTo(int fd);
+
+/// Open `path` (truncate), dumpTo() it, close. Returns false on I/O
+/// failure instead of throwing (the caller may already be crashing).
+bool dumpToFile(const char* path);
+
+/// Dump the ring to the path armed by installCrashHandlers (no-op when no
+/// path is armed). For fatal-error exits that bypass the signal path.
+/// Returns false if no path is armed or the write failed.
+bool dumpArmedPath();
+
+/// Install SIGSEGV/SIGABRT handlers that record the signal, dump the ring
+/// to `path`, then restore the default disposition and re-raise so the
+/// exit status still reflects the crash. The path is copied into static
+/// storage; later calls replace it.
+void installCrashHandlers(const std::string& path);
+
+/// Zero the ring (tests only; not safe concurrent with writers).
+void clearForTest();
+
+}  // namespace flightrec
+}  // namespace telemetry
+}  // namespace mosaic

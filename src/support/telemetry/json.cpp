@@ -5,12 +5,69 @@
 
 namespace mosaic {
 namespace telemetry {
+namespace {
+
+constexpr const char* kReplacement = "\xEF\xBF\xBD";  // U+FFFD
+
+/// Length of the valid UTF-8 sequence starting at s[i], or 0 when the
+/// bytes there are not well-formed (truncated, overlong, surrogate, or
+/// out-of-range encodings all count as invalid).
+std::size_t utf8SequenceLength(std::string_view s, std::size_t i) {
+  const auto byte = [&](std::size_t k) {
+    return static_cast<unsigned char>(s[k]);
+  };
+  const unsigned char lead = byte(i);
+  if (lead < 0x80) return 1;
+  std::size_t len = 0;
+  unsigned lo = 0x80, hi = 0xBF;  // allowed range of the first continuation
+  if (lead >= 0xC2 && lead <= 0xDF) {
+    len = 2;
+  } else if (lead >= 0xE0 && lead <= 0xEF) {
+    len = 3;
+    if (lead == 0xE0) lo = 0xA0;        // reject overlong
+    if (lead == 0xED) hi = 0x9F;        // reject surrogates U+D800..DFFF
+  } else if (lead >= 0xF0 && lead <= 0xF4) {
+    len = 4;
+    if (lead == 0xF0) lo = 0x90;        // reject overlong
+    if (lead == 0xF4) hi = 0x8F;        // reject > U+10FFFF
+  } else {
+    return 0;  // lone continuation byte or the invalid 0xC0/0xC1/0xF5+
+  }
+  if (i + len > s.size()) return 0;
+  const unsigned char c1 = byte(i + 1);
+  if (c1 < lo || c1 > hi) return 0;
+  for (std::size_t k = 2; k < len; ++k) {
+    const unsigned char c = byte(i + k);
+    if (c < 0x80 || c > 0xBF) return 0;
+  }
+  return len;
+}
+
+}  // namespace
+
+std::string sanitizeUtf8(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  std::size_t i = 0;
+  while (i < s.size()) {
+    const std::size_t len = utf8SequenceLength(s, i);
+    if (len == 0) {
+      out += kReplacement;
+      ++i;
+    } else {
+      out.append(s.substr(i, len));
+      i += len;
+    }
+  }
+  return out;
+}
 
 std::string jsonEscape(std::string_view s) {
   std::string out;
   out.reserve(s.size());
-  for (const char ch : s) {
-    const unsigned char c = static_cast<unsigned char>(ch);
+  std::size_t i = 0;
+  while (i < s.size()) {
+    const unsigned char c = static_cast<unsigned char>(s[i]);
     switch (c) {
       case '"':
         out += "\\\"";
@@ -32,10 +89,22 @@ std::string jsonEscape(std::string_view s) {
           char buf[8];
           std::snprintf(buf, sizeof buf, "\\u%04x", c);
           out += buf;
+        } else if (c < 0x80) {
+          out += s[i];
         } else {
-          out += ch;
+          // Multi-byte sequence: copy only when well-formed so the emitted
+          // document stays valid UTF-8 even for garbage inputs (truncated
+          // file names, raw bytes smuggled into error strings).
+          const std::size_t len = utf8SequenceLength(s, i);
+          if (len == 0) {
+            out += kReplacement;
+          } else {
+            out.append(s.substr(i, len));
+            i += len - 1;
+          }
         }
     }
+    ++i;
   }
   return out;
 }
@@ -82,6 +151,13 @@ JsonObject& JsonObject::set(std::string_view key, const char* value) {
 JsonObject& JsonObject::setRaw(std::string_view key, std::string rawJson) {
   fields_.emplace_back(std::string(key), std::move(rawJson));
   return *this;
+}
+
+bool JsonObject::has(std::string_view key) const {
+  for (const auto& [k, v] : fields_) {
+    if (k == key) return true;
+  }
+  return false;
 }
 
 std::string JsonObject::str() const {

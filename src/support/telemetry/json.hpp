@@ -14,8 +14,16 @@ namespace mosaic {
 namespace telemetry {
 
 /// Escape a string for use inside a JSON string literal (quotes not
-/// included). Control characters become \u00XX.
+/// included). Control characters become \u00XX; invalid UTF-8 byte
+/// sequences are replaced with U+FFFD so the emitted document is always
+/// valid UTF-8 JSON no matter what bytes reach the sink.
 [[nodiscard]] std::string jsonEscape(std::string_view s);
+
+/// Replace every invalid UTF-8 sequence in `s` with U+FFFD (the
+/// replacement character). Valid input is returned unchanged. Shared by
+/// the JSON emitter (jsonEscape) and the parser (jsonin) so the two sides
+/// agree on what survives a round trip.
+[[nodiscard]] std::string sanitizeUtf8(std::string_view s);
 
 /// Render a double as a JSON number. Non-finite values (which JSON cannot
 /// represent) render as null so a NaN in telemetry never produces an
@@ -36,6 +44,9 @@ class JsonObject {
   JsonObject& set(std::string_view key, const char* value);
   /// Insert a pre-rendered JSON value (array/object) verbatim.
   JsonObject& setRaw(std::string_view key, std::string rawJson);
+
+  /// True iff a field with this key was inserted.
+  [[nodiscard]] bool has(std::string_view key) const;
 
   /// Render as {"k":v,...}.
   [[nodiscard]] std::string str() const;

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "support/error.hpp"
+#include "support/telemetry/json.hpp"
 
 namespace mosaic {
 namespace telemetry {
@@ -137,12 +138,19 @@ class JsonParser {
   std::string parseString() {
     expect('"');
     std::string out;
+    bool sawHighByte = false;
     for (;;) {
       check(pos_ < text_.size(), "unterminated string");
       const char c = text_[pos_++];
-      if (c == '"') return out;
+      if (c == '"') {
+        // Raw multi-byte input is sanitized on the way in: a malformed
+        // UTF-8 sequence in a journal or protocol line becomes U+FFFD
+        // instead of propagating garbage bytes into re-emitted records.
+        return sawHighByte ? sanitizeUtf8(out) : out;
+      }
       if (static_cast<unsigned char>(c) < 0x20) fail("raw control character");
       if (c != '\\') {
+        if (static_cast<unsigned char>(c) >= 0x80) sawHighByte = true;
         out += c;
         continue;
       }
@@ -182,10 +190,12 @@ class JsonParser {
     }
   }
 
-  /// Encode a BMP code point as UTF-8. Surrogate pairs are passed through
-  /// as-is (the emitter only writes \u00XX control escapes, so full
-  /// surrogate handling would be dead code here).
+  /// Encode a BMP code point as UTF-8. Surrogate code points (which are
+  /// not encodable as UTF-8 and would need pair decoding the emitter never
+  /// produces) are sanitized to U+FFFD instead of emitted as invalid
+  /// three-byte sequences.
   static void appendUtf8(std::string& out, unsigned code) {
+    if (code >= 0xD800 && code <= 0xDFFF) code = 0xFFFD;
     if (code < 0x80) {
       out += static_cast<char>(code);
     } else if (code < 0x800) {

@@ -9,6 +9,7 @@
 #include "support/hash.hpp"
 #include "support/table.hpp"
 #include "support/telemetry/json.hpp"
+#include "support/timer.hpp"
 
 namespace mosaic {
 namespace telemetry {
@@ -85,9 +86,8 @@ void Histogram::record(double micros) {
 
 HistogramStats Histogram::stats() const {
   HistogramStats s;
-  std::array<std::uint64_t, kBuckets> counts{};
   for (int i = 0; i < kBuckets; ++i) {
-    counts[static_cast<std::size_t>(i)] =
+    s.buckets[static_cast<std::size_t>(i)] =
         buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
   }
   s.count = count_.load(std::memory_order_relaxed);
@@ -96,9 +96,9 @@ HistogramStats Histogram::stats() const {
   s.minUs = minUs_.load(std::memory_order_relaxed);
   s.maxUs = maxUs_.load(std::memory_order_relaxed);
   s.meanUs = s.sumUs / static_cast<double>(s.count);
-  s.p50Us = percentileFromBuckets(counts, s.count, 0.50, s.minUs, s.maxUs);
-  s.p95Us = percentileFromBuckets(counts, s.count, 0.95, s.minUs, s.maxUs);
-  s.p99Us = percentileFromBuckets(counts, s.count, 0.99, s.minUs, s.maxUs);
+  s.p50Us = percentileFromBuckets(s.buckets, s.count, 0.50, s.minUs, s.maxUs);
+  s.p95Us = percentileFromBuckets(s.buckets, s.count, 0.95, s.minUs, s.maxUs);
+  s.p99Us = percentileFromBuckets(s.buckets, s.count, 0.99, s.minUs, s.maxUs);
   return s;
 }
 
@@ -256,6 +256,13 @@ std::string MetricsSnapshot::summaryTable() const {
 MetricsRegistry& metrics() {
   static MetricsRegistry registry;
   return registry;
+}
+
+void updateProcessGauges() {
+  const ResourceProbe probe = ResourceProbe::sample();
+  metrics().gauge("process.peak_rss_mb").set(probe.peakRssMb);
+  metrics().gauge("process.user_cpu_sec").set(probe.userCpuSec);
+  metrics().gauge("process.sys_cpu_sec").set(probe.sysCpuSec);
 }
 
 }  // namespace telemetry

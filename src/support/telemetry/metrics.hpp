@@ -55,8 +55,12 @@ class Gauge {
 };
 
 /// Derived statistics of one histogram at snapshot time. Latencies are in
-/// microseconds throughout.
+/// microseconds throughout. `buckets` carries the raw per-bucket counts
+/// (non-cumulative, same sampling moment as `count`) so exporters that
+/// need the full distribution — the Prometheus renderer's cumulative
+/// `_bucket` series — do not have to re-read the live atomics.
 struct HistogramStats {
+  static constexpr int kBuckets = 46;
   std::uint64_t count = 0;
   double sumUs = 0.0;
   double minUs = 0.0;
@@ -65,6 +69,7 @@ struct HistogramStats {
   double p50Us = 0.0;
   double p95Us = 0.0;
   double p99Us = 0.0;
+  std::array<std::uint64_t, kBuckets> buckets{};
 };
 
 /// Concurrent fixed-bucket latency histogram. Buckets are powers of two in
@@ -75,7 +80,7 @@ struct HistogramStats {
 /// reports that value exactly.
 class Histogram {
  public:
-  static constexpr int kBuckets = 46;
+  static constexpr int kBuckets = HistogramStats::kBuckets;
 
   /// Bucket index for a latency in microseconds (clamped to the range).
   [[nodiscard]] static int bucketIndex(double micros);
@@ -140,6 +145,12 @@ class MetricsRegistry {
 
 /// The process-wide registry.
 MetricsRegistry& metrics();
+
+/// Refresh the `process.peak_rss_mb` / `process.user_cpu_sec` /
+/// `process.sys_cpu_sec` gauges from a getrusage probe (support/timer.hpp).
+/// Called by the scrape handlers (/metrics, the serve stats op) so the
+/// exported values are sampled at read time, not at some earlier tick.
+void updateProcessGauges();
 
 }  // namespace telemetry
 }  // namespace mosaic

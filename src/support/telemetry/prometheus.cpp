@@ -1,0 +1,106 @@
+#include "support/telemetry/prometheus.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+#include "support/telemetry/json.hpp"
+
+namespace mosaic {
+namespace telemetry {
+namespace {
+
+void appendLine(std::string& out, const std::string& series,
+                const std::string& labels, double value) {
+  out += series;
+  out += labels;
+  out += ' ';
+  out += jsonNumber(value);  // same %.12g rendering; NaN/Inf cannot occur here
+  out += '\n';
+}
+
+void appendCount(std::string& out, const std::string& series,
+                 const std::string& labels, std::uint64_t value) {
+  out += series;
+  out += labels;
+  out += ' ';
+  out += std::to_string(value);
+  out += '\n';
+}
+
+void appendType(std::string& out, const std::string& series,
+                const char* type) {
+  out += "# TYPE ";
+  out += series;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+/// Upper bound of bucket i as a le= label value. Bounds are exact powers
+/// of two in microseconds, so integer rendering is lossless up to the
+/// open-ended last bucket.
+std::string bucketLabel(int index) {
+  if (index >= Histogram::kBuckets - 1) return "+Inf";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.0f", Histogram::bucketUpperUs(index));
+  return buf;
+}
+
+}  // namespace
+
+std::string prometheusName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                    c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0])) != 0) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string toPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  out.reserve(1024 + 128 * (snapshot.counters.size() + snapshot.gauges.size()) +
+              2048 * snapshot.histograms.size());
+
+  for (const auto& [name, value] : snapshot.counters) {
+    std::string series = prometheusName(name);
+    // The _total suffix is the Prometheus counter convention; applied
+    // unless the source name already ends with it.
+    if (series.size() < 6 || series.compare(series.size() - 6, 6, "_total") != 0) {
+      series += "_total";
+    }
+    appendType(out, series, "counter");
+    appendCount(out, series, "", value);
+  }
+
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string series = prometheusName(name);
+    appendType(out, series, "gauge");
+    appendLine(out, series, "", value);
+  }
+
+  for (const auto& [name, h] : snapshot.histograms) {
+    // Latencies are recorded in microseconds; the unit goes into the name
+    // per the Prometheus naming convention.
+    const std::string series = prometheusName(name) + "_us";
+    appendType(out, series, "histogram");
+    std::uint64_t cumulative = 0;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      cumulative += h.buckets[static_cast<std::size_t>(i)];
+      appendCount(out, series,
+                  "_bucket{le=\"" + bucketLabel(i) + "\"}", cumulative);
+    }
+    appendLine(out, series, "_sum", h.sumUs);
+    appendCount(out, series, "_count", h.count);
+  }
+  return out;
+}
+
+}  // namespace telemetry
+}  // namespace mosaic

@@ -1,0 +1,36 @@
+#pragma once
+/// \file prometheus.hpp
+/// Prometheus text exposition (version 0.0.4) rendering of a metrics
+/// snapshot, served by the mosaic_serve HTTP endpoint at GET /metrics
+/// (docs/observability.md).
+///
+/// Mapping rules:
+///   - metric names are sanitized to the Prometheus grammar
+///     [a-zA-Z_:][a-zA-Z0-9_:]*  ('.' and every other illegal byte -> '_');
+///   - counters are suffixed `_total`;
+///   - the 46-bucket pow2 latency histograms render as cumulative
+///     `<name>_us_bucket{le="..."}` series (upper bounds in microseconds,
+///     matching the recording unit) plus `<name>_us_sum` and
+///     `<name>_us_count`. The last bucket is open-ended -> le="+Inf".
+///
+/// The renderer is a pure snapshot -> string function so it is testable
+/// without a socket and benchmarkable without a daemon (bm_telemetry
+/// measures its encode cost).
+
+#include <string>
+
+#include "support/telemetry/metrics.hpp"
+
+namespace mosaic {
+namespace telemetry {
+
+/// Sanitize one metric name to the Prometheus grammar.
+[[nodiscard]] std::string prometheusName(std::string_view name);
+
+/// Render a full snapshot as a text exposition document. Keys render in
+/// the snapshot's (sorted) order; every series is preceded by a # TYPE
+/// line so scrapers ingest the document without per-target configuration.
+[[nodiscard]] std::string toPrometheusText(const MetricsSnapshot& snapshot);
+
+}  // namespace telemetry
+}  // namespace mosaic

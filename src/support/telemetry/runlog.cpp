@@ -1,6 +1,7 @@
 #include "support/telemetry/runlog.hpp"
 
 #include "support/error.hpp"
+#include "support/telemetry/trace.hpp"
 
 namespace mosaic {
 namespace telemetry {
@@ -15,7 +16,18 @@ RunLog::~RunLog() {
 }
 
 void RunLog::write(const JsonObject& record) {
-  std::string line = record.str();
+  std::string line;
+  // Stamp the thread's active trace context into every record here, so
+  // the emitters (optimizer, scheduler, serve) don't each need to thread
+  // the id through. Records that already carry a trace keep theirs.
+  const std::uint64_t trace = currentTraceId();
+  if (trace != 0 && !record.has("trace")) {
+    JsonObject stamped = record;
+    stamped.set("trace", traceIdString(trace));
+    line = stamped.str();
+  } else {
+    line = record.str();
+  }
   line += '\n';
   std::lock_guard<std::mutex> lock(mutex_);
   const std::size_t written =

@@ -1,5 +1,7 @@
 #include "support/telemetry/trace.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -20,6 +22,7 @@ struct SpanEvent {
   const char* name = nullptr;
   std::uint64_t startNs = 0;
   std::uint64_t durNs = 0;
+  std::uint64_t trace = 0;  // currentTraceId() at record time, 0 = none
 };
 
 /// Per-thread ring of completed spans. The owning thread appends under the
@@ -61,6 +64,8 @@ TraceState& traceState() {
 
 std::atomic<bool> g_traceEnabled{false};
 
+thread_local std::uint64_t t_traceId = 0;
+
 ThreadTraceBuffer& threadBuffer() {
   thread_local std::shared_ptr<ThreadTraceBuffer> buffer = [] {
     TraceState& state = traceState();
@@ -76,6 +81,36 @@ ThreadTraceBuffer& threadBuffer() {
 }  // namespace
 
 int threadId() { return threadBuffer().tid; }
+
+std::uint64_t currentTraceId() { return t_traceId; }
+
+std::string traceIdString(std::uint64_t traceId) {
+  if (traceId == 0) return "";
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "t-%016llx",
+                static_cast<unsigned long long>(traceId));
+  return buf;
+}
+
+std::uint64_t newTraceId() {
+  // Sequence counter mixed with the pid via splitmix64 so a recovered
+  // daemon never reissues ids already persisted in its journal.
+  static std::atomic<std::uint64_t> next{1};
+  std::uint64_t x = next.fetch_add(1, std::memory_order_relaxed);
+  x += 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(::getpid()) + 1);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x == 0 ? 1 : x;
+}
+
+TraceScope::TraceScope(std::uint64_t traceId) : previous_(t_traceId) {
+  t_traceId = traceId;
+}
+
+TraceScope::~TraceScope() { t_traceId = previous_; }
 
 std::uint64_t nowNs() {
   using Clock = std::chrono::steady_clock;
@@ -130,7 +165,7 @@ namespace detail {
 
 void recordSpan(const char* name, std::uint64_t startNs,
                 std::uint64_t durNs) {
-  threadBuffer().push({name, startNs, durNs});
+  threadBuffer().push({name, startNs, durNs, t_traceId});
 }
 
 }  // namespace detail
@@ -190,6 +225,9 @@ std::string chromeTraceJson() {
         .set("dur", static_cast<double>(te.event.durNs) * 1e-3)
         .set("pid", 1)
         .set("tid", te.tid);
+    if (te.event.trace != 0) {
+      o.setRaw("args", "{\"trace\":\"" + traceIdString(te.event.trace) + "\"}");
+    }
     if (!first) out += ",\n";
     out += o.str();
     first = false;

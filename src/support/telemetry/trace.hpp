@@ -33,6 +33,36 @@ namespace telemetry {
 /// export and the structured log sink.
 int threadId();
 
+/// Trace id of the calling thread's current trace context, or 0 when no
+/// TraceScope is active. Serve assigns one id per job at admission and
+/// workers enter it before running the job; the tile scheduler re-enters
+/// it on every tile task. Span recording, run-log emission, and the flight
+/// recorder all read this, so one job's records correlate end to end.
+std::uint64_t currentTraceId();
+
+/// Canonical string form of a trace id ("t-%016llx"), as stamped into
+/// run-log records and the flight recorder. Returns "" for id 0.
+std::string traceIdString(std::uint64_t traceId);
+
+/// Allocate a fresh nonzero trace id (process-unique, deterministic
+/// sequence seeded by the pid so ids from a restarted daemon don't
+/// collide with its journal's ids).
+std::uint64_t newTraceId();
+
+/// RAII: installs `traceId` as the calling thread's trace context, and
+/// restores the previous context (usually 0) on destruction. Entering id
+/// 0 is allowed and means "no trace" — used to mask an outer context.
+class TraceScope {
+ public:
+  explicit TraceScope(std::uint64_t traceId);
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+  ~TraceScope();
+
+ private:
+  std::uint64_t previous_;
+};
+
 /// Nanoseconds on the steady clock since the process-wide trace epoch
 /// (the first call in the process).
 std::uint64_t nowNs();

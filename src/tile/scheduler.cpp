@@ -213,6 +213,10 @@ ChipResult optimizeChip(const Layout& chip, const ChipConfig& cfg) {
 
   parallelFor(0, tileCount, [&](std::size_t i) {
     const TilePlan& tile = part.tiles[i];
+    // Each tile task re-enters the chip run's trace context on whatever
+    // pool thread it lands on, so the Chrome trace export and run-log
+    // records stay correlated end to end.
+    telemetry::TraceScope traceScope(cfg.traceId);
     TileOutcome& outcome = result.outcomes[i];
     outcome.index = tile.index;
     outcome.row = tile.row;
@@ -288,6 +292,12 @@ ChipResult optimizeChip(const Layout& chip, const ChipConfig& cfg) {
         options.runLog = cfg.runLog;
         options.runLogScope = tileScope(tile);
         options.cancel = cfg.cancel;
+        if (cfg.progressSink) {
+          options.progressSink = [&cfg, scope = options.runLogScope](
+                                     const IterationRecord& record) {
+            cfg.progressSink(scope, record);
+          };
+        }
         if (!cfg.checkpointDir.empty()) {
           const std::string path =
               tileCheckpointPath(cfg.checkpointDir, tile);

@@ -13,6 +13,8 @@
 /// diverging tile must never take the whole chip down. The fail-point
 /// site `tile.optimize` lets tests force tile failures deterministically.
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -75,6 +77,16 @@ struct ChipConfig {
   /// set), and the chip still stitches so partial work is inspectable.
   /// Restart with `resume` to continue. Not owned; may be nullptr.
   const CancelToken* cancel = nullptr;
+  /// Trace context for the whole chip run: every tile task enters this id
+  /// (telemetry::TraceScope), so tile spans, run-log records and
+  /// flight-recorder events correlate across the worker pool
+  /// (docs/observability.md). 0 = no trace context.
+  std::uint64_t traceId = 0;
+  /// Per-iteration streaming across all tiles: called with the tile's
+  /// run-log scope ("tile_r<r>_c<c>") and the iteration record, from the
+  /// optimizing worker thread. Must be cheap and non-blocking.
+  std::function<void(const std::string& scope, const IterationRecord&)>
+      progressSink;
 };
 
 /// Outcome of one tile's optimization.

@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Tier-1 smoke test for the HTTP observability endpoint
+# (docs/observability.md): a daemon started with --http-port 0 must write
+# <work-dir>/serve.http.port and answer, over real HTTP:
+#
+#   GET /healthz          200 with "ok":true
+#   GET /metrics          Prometheus 0.0.4 text with serve_*, cache_* and
+#                         process_* series after one cached job ran
+#   GET /jobs             JSON listing the finished job with its trace id
+#   GET /debug/flightrec  JSONL whose admission event carries the same
+#                         trace id as the job (trace propagation, end to
+#                         end through a real process)
+#
+# Usage: metrics_endpoint_smoke_test.sh <mosaic_serve> <mosaic_cli> <scratch>
+
+set -u
+
+SERVE="$1"
+CLI="$2"
+SCRATCH="$3"
+
+DAEMON_PID=""
+
+fail() {
+  echo "metrics_endpoint_smoke: FAIL: $*" >&2
+  [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null
+  exit 1
+}
+
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null
+}
+trap cleanup EXIT
+
+rm -rf "$SCRATCH"
+mkdir -p "$SCRATCH/work"
+
+"$SERVE" --work-dir "$SCRATCH/work" --port 0 --http-port 0 --workers 1 \
+  --pattern-cache "$SCRATCH/cache" >"$SCRATCH/serve.log" 2>&1 &
+DAEMON_PID=$!
+for _ in $(seq 1 300); do
+  [ -s "$SCRATCH/work/serve.port" ] && [ -s "$SCRATCH/work/serve.http.port" ] && break
+  kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died at startup: $(cat "$SCRATCH/serve.log")"
+  sleep 0.1
+done
+[ -s "$SCRATCH/work/serve.http.port" ] \
+  || fail "daemon never wrote serve.http.port: $(cat "$SCRATCH/serve.log")"
+HTTP_PORT=$(cat "$SCRATCH/work/serve.http.port")
+
+fetch() {
+  curl -sS --max-time 10 "http://127.0.0.1:$HTTP_PORT$1" \
+    || fail "curl $1 failed"
+}
+
+# Endpoint is alive before any job ran.
+HEALTH=$(fetch /healthz)
+grep -q '"ok":true' <<<"$HEALTH" || fail "unhealthy /healthz: $HEALTH"
+
+# Run one job through the pattern cache so serve_* and cache_* series have
+# samples.
+OUT=$("$CLI" submit --port-file "$SCRATCH/work/serve.port" \
+  --case B1 --method baseline --pixel 16 --iters 6 --wait) \
+  || fail "submit --wait failed: $OUT"
+grep -q '"state":"done"' <<<"$OUT" || fail "job not done: $OUT"
+JOB=$(sed -n 's/.*"job":"\([^"]*\)".*/\1/p' <<<"$OUT" | head -1)
+[ -n "$JOB" ] || fail "no job id in: $OUT"
+
+METRICS=$(fetch /metrics)
+grep -q '^# TYPE serve_submitted_total counter' <<<"$METRICS" \
+  || fail "no serve_submitted_total TYPE line in /metrics"
+grep -q '^serve_submitted_total 1$' <<<"$METRICS" \
+  || fail "serve_submitted_total != 1: $(grep serve_submitted <<<"$METRICS")"
+grep -q '^cache_miss_total ' <<<"$METRICS" \
+  || fail "no cache_miss_total series in /metrics"
+grep -q '^process_peak_rss_mb ' <<<"$METRICS" \
+  || fail "no process_peak_rss_mb gauge in /metrics"
+grep -q '^serve_job_wall_us_bucket{le="+Inf"} 1$' <<<"$METRICS" \
+  || fail "serve_job_wall histogram +Inf bucket != 1"
+grep -q '^serve_job_wall_us_count 1$' <<<"$METRICS" \
+  || fail "serve_job_wall histogram count != 1"
+
+JOBS=$(fetch /jobs)
+grep -q "\"job\":\"$JOB\"" <<<"$JOBS" || fail "/jobs missing $JOB: $JOBS"
+grep -q '"state":"done"' <<<"$JOBS" || fail "/jobs job not done: $JOBS"
+TRACE=$(sed -n 's/.*"trace":"\(t-[0-9a-f]*\)".*/\1/p' <<<"$JOBS" | head -1)
+[ -n "$TRACE" ] || fail "/jobs entry has no trace id: $JOBS"
+
+# The flight recorder's admission event must carry the same trace id that
+# /jobs reports — the trace is propagated, not re-generated per surface.
+FLIGHTREC=$(fetch /debug/flightrec)
+grep -q "\"trace\":\"$TRACE\".*\"kind\":\"admit\"" <<<"$FLIGHTREC" \
+  || fail "no admit event with trace $TRACE in flight recorder: $FLIGHTREC"
+
+NOTFOUND_CODE=$(curl -s -o /dev/null -w '%{http_code}' --max-time 10 \
+  "http://127.0.0.1:$HTTP_PORT/definitely-missing")
+[ "$NOTFOUND_CODE" = "404" ] || fail "unknown path returned $NOTFOUND_CODE, want 404"
+
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID"
+DAEMON_PID=""
+
+echo "metrics_endpoint_smoke: OK (job $JOB traced as $TRACE across /jobs and /debug/flightrec)"
+exit 0

@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Tier-1 smoke test for streaming job progress (docs/serving.md,
+# docs/observability.md): `mosaic_cli submit --watch <id> --wait` must
+# receive pushed per-iteration events over the watch stream — not poll —
+# and terminate on the stream's end event.
+#
+# The daemon is slowed with an optimizer.step delay fail point so the job
+# is still running when the watch attaches; the client must then see
+# "ev":"progress" lines with monotone iterations followed by exactly one
+# "ev":"end" line, and still print the usual final result line.
+#
+# Usage: serve_watch_smoke_test.sh <mosaic_serve> <mosaic_cli> <scratch>
+
+set -u
+
+SERVE="$1"
+CLI="$2"
+SCRATCH="$3"
+
+DAEMON_PID=""
+
+fail() {
+  echo "serve_watch_smoke: FAIL: $*" >&2
+  [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null
+  exit 1
+}
+
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null
+}
+trap cleanup EXIT
+
+rm -rf "$SCRATCH"
+mkdir -p "$SCRATCH/work"
+
+# 100 ms per iteration stretches the 12-iteration job to >1 s, so the watch
+# reliably attaches mid-run and sees live pushes (replayed events would
+# pass too — the ring covers attach races — but this exercises the push
+# path).
+"$SERVE" --work-dir "$SCRATCH/work" --port 0 --workers 1 \
+  --failpoints "optimizer.step:delay=100" >"$SCRATCH/serve.log" 2>&1 &
+DAEMON_PID=$!
+for _ in $(seq 1 300); do
+  [ -s "$SCRATCH/work/serve.port" ] && break
+  kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died at startup: $(cat "$SCRATCH/serve.log")"
+  sleep 0.1
+done
+[ -s "$SCRATCH/work/serve.port" ] || fail "daemon never wrote serve.port"
+
+OUT=$("$CLI" submit --port-file "$SCRATCH/work/serve.port" \
+  --case B1 --method baseline --pixel 16 --iters 12) \
+  || fail "submit failed: $OUT"
+JOB=$(sed -n 's/.*"job":"\([^"]*\)".*/\1/p' <<<"$OUT" | head -1)
+[ -n "$JOB" ] || fail "no job id in submit reply: $OUT"
+
+WATCH_OUT=$("$CLI" submit --port-file "$SCRATCH/work/serve.port" \
+  --watch "$JOB" --wait) || fail "watch failed: $WATCH_OUT"
+
+PROGRESS_LINES=$(grep -c '"ev":"progress"' <<<"$WATCH_OUT")
+END_LINES=$(grep -c '"ev":"end"' <<<"$WATCH_OUT")
+[ "$PROGRESS_LINES" -ge 2 ] \
+  || fail "want >=2 pushed progress events, got $PROGRESS_LINES: $WATCH_OUT"
+[ "$END_LINES" -eq 1 ] || fail "want exactly 1 end event, got $END_LINES: $WATCH_OUT"
+
+# Progress events carry the documented payload with monotone iterations.
+grep -q '"ev":"progress".*"F":' <<<"$WATCH_OUT" || fail "progress event lacks F: $WATCH_OUT"
+grep -q '"ev":"progress".*"grad_rms":' <<<"$WATCH_OUT" \
+  || fail "progress event lacks grad_rms: $WATCH_OUT"
+ITERS=$(sed -n 's/.*"ev":"progress".*"iteration":\([0-9]*\).*/\1/p' <<<"$WATCH_OUT")
+LAST=0
+for it in $ITERS; do
+  [ "$it" -gt "$LAST" ] || fail "iterations not monotone: $ITERS"
+  LAST=$it
+done
+
+# The end event closes the stream with the terminal state, and the final
+# result line still reports the finished job the way --wait always has.
+grep -q '"ev":"end".*"state":"done"' <<<"$WATCH_OUT" \
+  || fail "end event does not say done: $WATCH_OUT"
+LAST_LINE=$(tail -n 1 <<<"$WATCH_OUT")
+grep -q '"state":"done"' <<<"$LAST_LINE" || fail "final line not done: $LAST_LINE"
+grep -q '"mask_hash":"' <<<"$LAST_LINE" || fail "final line lacks mask_hash: $LAST_LINE"
+
+# Watching a job that already finished must terminate immediately with the
+# replayed/synthesized end event rather than hanging.
+REWATCH=$(timeout 30 "$CLI" submit --port-file "$SCRATCH/work/serve.port" \
+  --watch "$JOB" --wait) || fail "re-watch of finished job failed or hung"
+grep -q '"ev":"end"' <<<"$REWATCH" || fail "re-watch saw no end event: $REWATCH"
+
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID"
+DAEMON_PID=""
+
+echo "serve_watch_smoke: OK (job $JOB streamed $PROGRESS_LINES progress events)"
+exit 0

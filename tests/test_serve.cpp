@@ -6,13 +6,16 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <thread>
 
 #include "opc/optimizer.hpp"
+#include "serve/http.hpp"
 #include "serve/job.hpp"
 #include "serve/journal.hpp"
+#include "serve/progress.hpp"
 #include "serve/protocol.hpp"
 #include "serve/queue.hpp"
 #include "serve/server.hpp"
@@ -798,6 +801,283 @@ TEST(ServeServer, EightClientHammerOverTcp) {
   // No leaked jobs: everything submitted reached a terminal state.
   EXPECT_EQ(stats.queued, 0);
   EXPECT_EQ(stats.running, 0);
+}
+
+// ----------------------------------------------------------- progress bus
+
+TEST(ProgressBus, DeliversInOrderAndTerminalCloses) {
+  ProgressBus bus;
+  auto sub = bus.subscribe("job-1");
+  for (int i = 1; i <= 3; ++i) {
+    ProgressEvent ev;
+    ev.job = "job-1";
+    ev.seq = bus.nextSeq("job-1");
+    ev.iteration = i;
+    ev.objective = 100.0 - i;
+    bus.publish(ev);
+  }
+  bus.publishTerminal("job-1", "done", 3, 97.0, 12.5);
+
+  ProgressEvent ev;
+  for (int i = 1; i <= 3; ++i) {
+    ASSERT_TRUE(sub->next(&ev, 1000));
+    EXPECT_EQ(ev.iteration, i);
+    EXPECT_FALSE(ev.terminal);
+  }
+  ASSERT_TRUE(sub->next(&ev, 1000));
+  EXPECT_TRUE(ev.terminal);
+  EXPECT_EQ(ev.state, "done");
+  EXPECT_EQ(ev.iteration, 3);
+  EXPECT_FALSE(sub->next(&ev, 10));
+  EXPECT_TRUE(sub->finished());
+  EXPECT_EQ(sub->dropped(), 0u);
+}
+
+TEST(ProgressBus, ReplayRingServesLateSubscriber) {
+  ProgressBus bus;
+  for (int i = 1; i <= 2; ++i) {
+    ProgressEvent ev;
+    ev.job = "job-2";
+    ev.seq = bus.nextSeq("job-2");
+    ev.iteration = i;
+    bus.publish(ev);
+  }
+  bus.publishTerminal("job-2", "failed", 2, 0.0, 3.0);
+
+  // Subscribe after everything already happened: the replay ring delivers
+  // the tail and the stream still terminates.
+  auto sub = bus.subscribe("job-2");
+  ProgressEvent ev;
+  ASSERT_TRUE(sub->next(&ev, 1000));
+  EXPECT_EQ(ev.iteration, 1);
+  ASSERT_TRUE(sub->next(&ev, 1000));
+  EXPECT_EQ(ev.iteration, 2);
+  ASSERT_TRUE(sub->next(&ev, 1000));
+  EXPECT_TRUE(ev.terminal);
+  EXPECT_EQ(ev.state, "failed");
+  EXPECT_TRUE(sub->finished());
+}
+
+TEST(ProgressBus, SlowConsumerDropsOldestNotNewest) {
+  ProgressBus bus;
+  auto sub = bus.subscribe("job-3");
+  constexpr int kPublished = 600;  // far above the 256-event queue cap
+  for (int i = 0; i < kPublished; ++i) {
+    ProgressEvent ev;
+    ev.job = "job-3";
+    ev.seq = bus.nextSeq("job-3");
+    ev.iteration = i;
+    bus.publish(ev);
+  }
+  bus.publishTerminal("job-3", "done", kPublished - 1, 0.0, 1.0);
+
+  EXPECT_GT(sub->dropped(), 0u);
+  ProgressEvent ev;
+  ASSERT_TRUE(sub->next(&ev, 1000));
+  // The oldest events were evicted, so the first delivered seq has a gap —
+  // exactly what the wire protocol documents as the drop signal.
+  EXPECT_GT(ev.seq, 0);
+  ProgressEvent last;
+  while (sub->next(&last, 1000)) ev = last;
+  EXPECT_TRUE(ev.terminal);
+  EXPECT_EQ(ev.iteration, kPublished - 1);
+}
+
+TEST(ProgressBus, SecondTerminalIsNoOp) {
+  ProgressBus bus;
+  auto sub = bus.subscribe("job-4");
+  bus.publishTerminal("job-4", "done", 1, 0.0, 1.0);
+  bus.publishTerminal("job-4", "done", 1, 0.0, 1.0);  // must not double-end
+  ProgressEvent ev;
+  int ends = 0;
+  while (sub->next(&ev, 200)) {
+    if (ev.terminal) ++ends;
+  }
+  EXPECT_EQ(ends, 1);
+  EXPECT_TRUE(sub->finished());
+}
+
+// ------------------------------------------------------------- watch op
+
+TEST(Protocol, WatchValidatesJobId) {
+  const std::string workDir = freshWorkDir("watch_validate");
+  JobService service(tinyConfig(workDir));
+  ProtocolResult missing = handleRequestLine(service, R"({"op":"watch"})");
+  EXPECT_NE(missing.response.find("bad_request"), std::string::npos);
+  EXPECT_EQ(missing.watch, nullptr);
+  ProtocolResult unknown =
+      handleRequestLine(service, R"({"op":"watch","job":"nope"})");
+  EXPECT_NE(unknown.response.find("not_found"), std::string::npos);
+  EXPECT_EQ(unknown.watch, nullptr);
+  service.drain(DrainMode::kFinish);
+}
+
+TEST(Protocol, WatchStreamsProgressThenEnd) {
+  const std::string workDir = freshWorkDir("watch_stream");
+  JobService service(tinyConfig(workDir));
+  const SubmitResult submit = service.submit(tinySpec(6));
+  ASSERT_EQ(submit.status, SubmitStatus::kAccepted);
+
+  const ProtocolResult watch = handleRequestLine(
+      service, R"({"op":"watch","job":")" + submit.id + R"("})");
+  ASSERT_NE(watch.watch, nullptr) << watch.response;
+  const JsonValue ack = JsonValue::parse(watch.response);
+  EXPECT_TRUE(ack.boolOr("ok", false)) << watch.response;
+  EXPECT_EQ(ack.stringOr("watching", ""), submit.id);
+
+  int progressEvents = 0;
+  long long lastSeq = -1;
+  bool sawEnd = false;
+  ProgressEvent ev;
+  WallTimer timer;
+  while (timer.seconds() < 60.0) {
+    if (!watch.watch->next(&ev, 200)) {
+      if (watch.watch->finished()) break;
+      continue;
+    }
+    EXPECT_GT(ev.seq, lastSeq);
+    lastSeq = ev.seq;
+    if (ev.terminal) {
+      sawEnd = true;
+      EXPECT_EQ(ev.state, "done");
+      break;
+    }
+    ++progressEvents;
+    EXPECT_GT(ev.iteration, 0);
+    EXPECT_TRUE(std::isfinite(ev.objective));
+  }
+  EXPECT_TRUE(sawEnd);
+  EXPECT_GT(progressEvents, 0);
+
+  // The streamed JSON for both event shapes parses and carries the
+  // documented fields.
+  ProgressEvent sample;
+  sample.job = submit.id;
+  sample.seq = 5;
+  sample.iteration = 3;
+  sample.objective = 12.0;
+  const std::string progressLine = progressEventToJson(sample);
+  const JsonValue parsed = JsonValue::parse(progressLine);
+  EXPECT_EQ(parsed.stringOr("ev", ""), "progress");
+  EXPECT_EQ(parsed.numberOr("iteration", 0), 3.0);
+  sample.terminal = true;
+  sample.state = "done";
+  const JsonValue endParsed = JsonValue::parse(progressEventToJson(sample));
+  EXPECT_EQ(endParsed.stringOr("ev", ""), "end");
+  EXPECT_EQ(endParsed.stringOr("state", ""), "done");
+
+  service.drain(DrainMode::kFinish);
+}
+
+TEST(Protocol, WatchOnFinishedJobEndsImmediately) {
+  const std::string workDir = freshWorkDir("watch_done");
+  JobService service(tinyConfig(workDir));
+  const SubmitResult submit = service.submit(tinySpec(3));
+  ASSERT_EQ(submit.status, SubmitStatus::kAccepted);
+  ASSERT_TRUE(eventually(
+      [&] { return isTerminal(stateOf(service, submit.id)); }, 60.0));
+
+  const ProtocolResult watch = handleRequestLine(
+      service, R"({"op":"watch","job":")" + submit.id + R"("})");
+  ASSERT_NE(watch.watch, nullptr) << watch.response;
+  bool sawEnd = false;
+  ProgressEvent ev;
+  WallTimer timer;
+  while (timer.seconds() < 20.0) {
+    if (!watch.watch->next(&ev, 200)) {
+      if (watch.watch->finished()) break;
+      continue;
+    }
+    if (ev.terminal) {
+      sawEnd = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(sawEnd) << "watch on a terminal job must end, not hang";
+  service.drain(DrainMode::kFinish);
+}
+
+// ------------------------------------------------------------- http plane
+
+TEST(Http, RoutesMetricsHealthzJobsAndFlightrec) {
+  const std::string workDir = freshWorkDir("http_routes");
+  JobService service(tinyConfig(workDir));
+  const SubmitResult submit = service.submit(tinySpec(3));
+  ASSERT_EQ(submit.status, SubmitStatus::kAccepted);
+  ASSERT_TRUE(eventually(
+      [&] { return stateOf(service, submit.id) == JobState::kDone; }, 60.0));
+
+  const HttpResponse health = routeHttpRequest(service, "/healthz");
+  EXPECT_EQ(health.status, 200);
+  EXPECT_NE(health.body.find("\"ok\":true"), std::string::npos);
+
+  const HttpResponse metrics = routeHttpRequest(service, "/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.contentType.find("version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.body.find("# TYPE"), std::string::npos);
+  EXPECT_NE(metrics.body.find("process_peak_rss_mb"), std::string::npos)
+      << "process gauges must be refreshed at scrape time";
+
+  const HttpResponse jobs = routeHttpRequest(service, "/jobs");
+  EXPECT_EQ(jobs.status, 200);
+  const JsonValue parsed = JsonValue::parse(jobs.body);
+  EXPECT_GE(parsed.numberOr("queue_depth", -1.0), 0.0) << jobs.body;
+  EXPECT_NE(jobs.body.find("\"job\":\"" + submit.id + "\""),
+            std::string::npos)
+      << jobs.body;
+  EXPECT_NE(jobs.body.find("\"trace\":\"t-"), std::string::npos) << jobs.body;
+
+  const HttpResponse flightrec = routeHttpRequest(service, "/debug/flightrec");
+  EXPECT_EQ(flightrec.status, 200);
+  EXPECT_EQ(flightrec.contentType, "application/x-ndjson");
+  EXPECT_NE(flightrec.body.find("\"kind\":\"admit\""), std::string::npos)
+      << "the submit above must have left an admission event";
+
+  const HttpResponse missing = routeHttpRequest(service, "/nope");
+  EXPECT_EQ(missing.status, 404);
+  service.drain(DrainMode::kFinish);
+}
+
+TEST(Http, ServesCurlStyleRequestsOverTcp) {
+  const std::string workDir = freshWorkDir("http_tcp");
+  JobService service(tinyConfig(workDir));
+  HttpServer http(service, 0);
+  ASSERT_GT(http.port(), 0);
+
+  const auto fetch = [&](const std::string& path) {
+    LineChannel channel(connectTcp("127.0.0.1", http.port()));
+    channel.writeAll("GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n");
+    std::string all;
+    std::string line;
+    while (channel.readLine(&line, 5000)) {
+      all += line;
+      all += '\n';
+    }
+    return all;
+  };
+
+  const std::string health = fetch("/healthz");
+  EXPECT_NE(health.find("HTTP/1.1 200 OK"), std::string::npos) << health;
+  EXPECT_NE(health.find("Content-Length:"), std::string::npos);
+  EXPECT_NE(health.find("\"ok\":true"), std::string::npos) << health;
+
+  const std::string metrics = fetch("/metrics?refresh=1");  // query stripped
+  EXPECT_NE(metrics.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("# TYPE"), std::string::npos);
+
+  const std::string missing = fetch("/definitely-not-a-route");
+  EXPECT_NE(missing.find("HTTP/1.1 404"), std::string::npos) << missing;
+
+  {
+    LineChannel channel(connectTcp("127.0.0.1", http.port()));
+    channel.writeAll("POST /metrics HTTP/1.1\r\n\r\n");
+    std::string line;
+    ASSERT_TRUE(channel.readLine(&line, 5000));
+    EXPECT_NE(line.find("405"), std::string::npos) << line;
+  }
+
+  http.stop();
+  service.drain(DrainMode::kFinish);
 }
 
 }  // namespace

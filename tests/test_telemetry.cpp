@@ -24,11 +24,16 @@
 #include "support/error.hpp"
 #include "support/log.hpp"
 #include "support/parallel.hpp"
+#include "support/telemetry/flightrec.hpp"
 #include "support/telemetry/json.hpp"
 #include "support/telemetry/metrics.hpp"
+#include "support/telemetry/prometheus.hpp"
 #include "support/telemetry/runlog.hpp"
 #include "support/telemetry/trace.hpp"
 #include "support/timer.hpp"
+
+#include <csignal>
+#include <cstdlib>
 
 namespace mosaic {
 namespace {
@@ -215,6 +220,42 @@ TEST(TelemetryJson, NonFiniteNumbersBecomeNull) {
   EXPECT_EQ(text, "{\"nan\":null,\"inf\":null}");
 }
 
+TEST(TelemetryJson, InvalidUtf8BytesBecomeReplacement) {
+  // Golden escapes: the emitter must never let a malformed byte through —
+  // a scraper parsing the run log as UTF-8 would reject the whole line.
+  JsonObject obj;
+  obj.set("lone", std::string_view("\xFF" "A", 2));
+  const std::string text = obj.str();
+  EXPECT_TRUE(isValidJson(text)) << text;
+  EXPECT_EQ(text, "{\"lone\":\"\xEF\xBF\xBD" "A\"}");
+
+  JsonObject truncated;  // 3-byte lead with only one continuation byte
+  truncated.set("t", std::string_view("\xE2\x82", 2));
+  EXPECT_EQ(truncated.str(), "{\"t\":\"\xEF\xBF\xBD\xEF\xBF\xBD\"}");
+
+  JsonObject overlong;  // 0xC0 0xAF is the classic overlong '/'
+  overlong.set("o", std::string_view("\xC0\xAF", 2));
+  EXPECT_EQ(overlong.str(), "{\"o\":\"\xEF\xBF\xBD\xEF\xBF\xBD\"}");
+
+  JsonObject surrogate;  // UTF-8-encoded UTF-16 surrogate U+D800
+  surrogate.set("s", std::string_view("\xED\xA0\x80", 3));
+  EXPECT_EQ(surrogate.str(),
+            "{\"s\":\"\xEF\xBF\xBD\xEF\xBF\xBD\xEF\xBF\xBD\"}");
+
+  JsonObject valid;  // well-formed multi-byte sequences pass through intact
+  valid.set("euro", "\xE2\x82\xAC");
+  EXPECT_EQ(valid.str(), "{\"euro\":\"\xE2\x82\xAC\"}");
+}
+
+TEST(TelemetryJson, SanitizeUtf8PreservesValidReplacesInvalid) {
+  EXPECT_EQ(telemetry::sanitizeUtf8("plain ascii"), "plain ascii");
+  EXPECT_EQ(telemetry::sanitizeUtf8("caf\xC3\xA9"), "caf\xC3\xA9");
+  EXPECT_EQ(telemetry::sanitizeUtf8(std::string_view("\x80", 1)),
+            "\xEF\xBF\xBD");
+  EXPECT_EQ(telemetry::sanitizeUtf8(std::string_view("a\xF5z", 3)),
+            "a\xEF\xBF\xBDz");
+}
+
 // ------------------------------------------------------------ histogram
 
 TEST(TelemetryHistogram, BucketBoundaries) {
@@ -327,6 +368,284 @@ TEST(TelemetryRegistry, SnapshotJsonAndTable) {
   const std::string table = snap.summaryTable();
   EXPECT_NE(table.find("latency"), std::string::npos);
   EXPECT_NE(table.find("queue.depth"), std::string::npos);
+}
+
+// ----------------------------------------------------------- prometheus
+
+TEST(PrometheusText, EmptySnapshotRendersEmptyDocument) {
+  MetricsRegistry reg;
+  EXPECT_EQ(telemetry::toPrometheusText(reg.snapshot()), "");
+}
+
+TEST(PrometheusText, NameSanitization) {
+  EXPECT_EQ(telemetry::prometheusName("serve.job_wall"), "serve_job_wall");
+  EXPECT_EQ(telemetry::prometheusName("cache.hit-rate"), "cache_hit_rate");
+  EXPECT_EQ(telemetry::prometheusName("a:b"), "a:b");
+  // A leading digit is illegal in the Prometheus grammar.
+  EXPECT_EQ(telemetry::prometheusName("9lives"), "_9lives");
+  EXPECT_EQ(telemetry::prometheusName(""), "_");
+}
+
+TEST(PrometheusText, CountersGetTotalSuffixExactlyOnce) {
+  MetricsRegistry reg;
+  reg.counter("serve.jobs").add(3);
+  reg.counter("events_total").add(7);
+  reg.gauge("queue.depth").set(2.5);
+  const std::string text = telemetry::toPrometheusText(reg.snapshot());
+  EXPECT_NE(text.find("# TYPE serve_jobs_total counter\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("serve_jobs_total 3\n"), std::string::npos) << text;
+  // Already-suffixed counters are not doubled.
+  EXPECT_EQ(text.find("events_total_total"), std::string::npos) << text;
+  EXPECT_NE(text.find("events_total 7\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("# TYPE queue_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("queue_depth 2.5\n"), std::string::npos) << text;
+}
+
+TEST(PrometheusText, SingleSampleHistogramCumulativeBuckets) {
+  MetricsRegistry reg;
+  reg.histogram("lat").record(300.0);  // 256 < 300 <= 512 -> bucket le=512
+  const std::string text = telemetry::toPrometheusText(reg.snapshot());
+  EXPECT_NE(text.find("# TYPE lat_us histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_bucket{le=\"256\"} 0\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("lat_us_bucket{le=\"512\"} 1\n"), std::string::npos)
+      << text;
+  // Cumulative convention: every later bucket, +Inf included, holds it too.
+  EXPECT_NE(text.find("lat_us_bucket{le=\"1024\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_bucket{le=\"+Inf\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_sum 300\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("lat_us_count 1\n"), std::string::npos) << text;
+}
+
+TEST(PrometheusText, FarOutlierClampsToOpenEndedBucket) {
+  MetricsRegistry reg;
+  reg.histogram("clamp").record(1e18);  // beyond every finite boundary
+  const std::string text = telemetry::toPrometheusText(reg.snapshot());
+  // Only the open-ended bucket holds the sample; the largest finite
+  // boundary still reads 0.
+  char largest[64];
+  std::snprintf(largest, sizeof largest,
+                "clamp_us_bucket{le=\"%.0f\"} 0\n",
+                Histogram::bucketUpperUs(Histogram::kBuckets - 2));
+  EXPECT_NE(text.find(largest), std::string::npos) << text;
+  EXPECT_NE(text.find("clamp_us_bucket{le=\"+Inf\"} 1\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("clamp_us_count 1\n"), std::string::npos);
+}
+
+TEST(PrometheusText, BucketCountsMonotoneAndEndAtCount) {
+  MetricsRegistry reg;
+  auto& h = reg.histogram("mono");
+  for (int i = 1; i <= 500; ++i) h.record(static_cast<double>(i * 7 % 900));
+  const std::string text = telemetry::toPrometheusText(reg.snapshot());
+  // Walk every mono_us_bucket line in order; cumulative counts must be
+  // non-decreasing and the +Inf bucket must equal the total count.
+  std::uint64_t previous = 0;
+  std::uint64_t last = 0;
+  int buckets = 0;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("mono_us_bucket{", 0) != 0) continue;
+    const auto space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos);
+    const std::uint64_t value = std::stoull(line.substr(space + 1));
+    EXPECT_GE(value, previous) << line;
+    previous = value;
+    last = value;
+    ++buckets;
+  }
+  EXPECT_EQ(buckets, Histogram::kBuckets);
+  EXPECT_EQ(last, 500u);
+  EXPECT_NE(text.find("mono_us_count 500\n"), std::string::npos);
+}
+
+// ------------------------------------------------------------- trace ids
+
+TEST(TelemetryTraceId, ScopeSetsAndRestores) {
+  EXPECT_EQ(telemetry::currentTraceId(), 0u);
+  {
+    telemetry::TraceScope outer(42);
+    EXPECT_EQ(telemetry::currentTraceId(), 42u);
+    {
+      telemetry::TraceScope inner(7);
+      EXPECT_EQ(telemetry::currentTraceId(), 7u);
+    }
+    EXPECT_EQ(telemetry::currentTraceId(), 42u);
+  }
+  EXPECT_EQ(telemetry::currentTraceId(), 0u);
+}
+
+TEST(TelemetryTraceId, NewIdsNonZeroAndDistinct) {
+  const std::uint64_t a = telemetry::newTraceId();
+  const std::uint64_t b = telemetry::newTraceId();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(telemetry::traceIdString(0x2a), "t-000000000000002a");
+}
+
+TEST(TelemetryTraceId, ScopeIsPerThread) {
+  telemetry::TraceScope scope(99);
+  std::uint64_t seenInThread = 1;  // sentinel: must become 0
+  std::thread t([&] { seenInThread = telemetry::currentTraceId(); });
+  t.join();
+  EXPECT_EQ(seenInThread, 0u);
+  EXPECT_EQ(telemetry::currentTraceId(), 99u);
+}
+
+TEST(TelemetryRunLog, StampsActiveTraceId) {
+  const std::string path = tempPath("mosaic_runlog_trace.jsonl");
+  {
+    telemetry::RunLog log(path);
+    {
+      telemetry::TraceScope scope(0xbeef);
+      JsonObject obj;
+      obj.set("type", "stamped");
+      log.write(obj);
+      JsonObject explicitTrace;
+      explicitTrace.set("type", "explicit");
+      explicitTrace.set("trace", "t-custom");
+      log.write(explicitTrace);
+    }
+    JsonObject bare;
+    bare.set("type", "bare");
+    log.write(bare);
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("\"trace\":\"t-000000000000beef\""),
+            std::string::npos)
+      << lines[0];
+  // An explicit trace field wins over the ambient scope.
+  EXPECT_NE(lines[1].find("\"trace\":\"t-custom\""), std::string::npos);
+  EXPECT_EQ(lines[1].find("beef"), std::string::npos) << lines[1];
+  // No active scope, no stamped field.
+  EXPECT_EQ(lines[2].find("\"trace\""), std::string::npos) << lines[2];
+  std::filesystem::remove(path);
+}
+
+TEST(TelemetrySpansTrace, ChromeExportCarriesTraceArg) {
+  telemetry::clearTrace();
+  telemetry::setTraceEnabled(true);
+  {
+    telemetry::TraceScope scope(0x1234);
+    MOSAIC_SPAN("test.traced_span");
+  }
+  telemetry::setTraceEnabled(false);
+  const std::string json = telemetry::chromeTraceJson();
+  EXPECT_TRUE(isValidJson(json)) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"trace\":\"t-0000000000001234\""), std::string::npos)
+      << json.substr(0, 400);
+  telemetry::clearTrace();
+}
+
+// -------------------------------------------------------- flight recorder
+
+TEST(FlightRec, RecordsAndDumpsValidJsonl) {
+  telemetry::flightrec::clearForTest();
+  {
+    telemetry::TraceScope scope(0xabc);
+    telemetry::flightrec::record("admit", "job-1 case=B1");
+  }
+  telemetry::flightrec::record("state", "job-1 -> done");
+  EXPECT_EQ(telemetry::flightrec::eventCount(), 2u);
+  const std::string dump = telemetry::flightrec::dumpJsonl();
+  std::istringstream in(dump);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& record : lines) {
+    EXPECT_TRUE(isValidJson(record)) << record;
+  }
+  EXPECT_NE(lines[0].find("\"kind\":\"admit\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"trace\":\"t-0000000000000abc\""),
+            std::string::npos)
+      << lines[0];
+  EXPECT_NE(lines[1].find("job-1 -> done"), std::string::npos);
+  EXPECT_EQ(lines[1].find("\"trace\""), std::string::npos)
+      << "no scope was active: " << lines[1];
+  telemetry::flightrec::clearForTest();
+}
+
+TEST(FlightRec, SanitizesPayloadAtRecordTime) {
+  telemetry::flightrec::clearForTest();
+  telemetry::flightrec::record("state", "quote\" slash\\ ctrl\n high\xFF end");
+  const std::string dump = telemetry::flightrec::dumpJsonl();
+  ASSERT_FALSE(dump.empty());
+  const std::string line = dump.substr(0, dump.find('\n'));
+  EXPECT_TRUE(isValidJson(line)) << line;
+  EXPECT_NE(line.find("quote  slash  ctrl  high  end"), std::string::npos)
+      << line;
+  telemetry::flightrec::clearForTest();
+}
+
+TEST(FlightRec, RingKeepsMostRecentWindow) {
+  telemetry::flightrec::clearForTest();
+  const std::size_t total = telemetry::flightrec::kCapacity + 10;
+  for (std::size_t i = 0; i < total; ++i) {
+    telemetry::flightrec::record("tick", "n=" + std::to_string(i));
+  }
+  EXPECT_EQ(telemetry::flightrec::eventCount(), total);
+  const std::string dump = telemetry::flightrec::dumpJsonl();
+  // Oldest surviving record is seq 10; seq 9 was overwritten.
+  EXPECT_NE(dump.find("\"detail\":\"n=10\""), std::string::npos);
+  EXPECT_EQ(dump.find("\"detail\":\"n=9\""), std::string::npos);
+  EXPECT_NE(dump.find("\"detail\":\"n=" + std::to_string(total - 1) + "\""),
+            std::string::npos);
+  telemetry::flightrec::clearForTest();
+}
+
+TEST(FlightRec, DumpToFileRoundTrips) {
+  telemetry::flightrec::clearForTest();
+  telemetry::flightrec::record("checkpoint", "tile_r0_c0 iter=5");
+  const std::string path = tempPath("mosaic_flightrec_dump.jsonl");
+  ASSERT_TRUE(telemetry::flightrec::dumpToFile(path.c_str()));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), telemetry::flightrec::dumpJsonl());
+  std::filesystem::remove(path);
+  telemetry::flightrec::clearForTest();
+}
+
+using FlightRecDeathTest = ::testing::Test;
+
+TEST(FlightRecDeathTest, CrashDumpCarriesTraceIdAndSignal) {
+  // The acceptance check for the crash path: a process dying on SIGABRT
+  // must leave a flight-recorder file whose records carry the crashing
+  // job's trace id, with the signal itself as the final event. EXPECT_EXIT
+  // forks, so the install/record/abort all happen in the child while the
+  // parent inspects the file it left behind.
+  const std::string path = tempPath("mosaic_flightrec_crash.jsonl");
+  std::filesystem::remove(path);
+  EXPECT_EXIT(
+      {
+        telemetry::flightrec::installCrashHandlers(path);
+        telemetry::TraceScope scope(0xdead);
+        telemetry::flightrec::record("state", "job-7 -> running");
+        std::abort();
+      },
+      ::testing::KilledBySignal(SIGABRT), "");
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "crash handler did not write " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string dump = buffer.str();
+  EXPECT_NE(dump.find("\"trace\":\"t-000000000000dead\""), std::string::npos)
+      << dump;
+  EXPECT_NE(dump.find("job-7 -> running"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("\"kind\":\"signal\",\"detail\":\"SIGABRT\""),
+            std::string::npos)
+      << dump;
+  std::filesystem::remove(path);
 }
 
 // ---------------------------------------------------------------- spans
