@@ -53,6 +53,7 @@
 #include "geometry/raster.hpp"
 #include "io/glp.hpp"
 #include "litho/simulator.hpp"
+#include "math/backend.hpp"
 #include "opc/baselines.hpp"
 #include "opc/edge_opc.hpp"
 #include "opc/levelset.hpp"
@@ -83,6 +84,19 @@ void applyThreads(int threads) {
   MOSAIC_CHECK(threads >= 0, "--threads must be >= 0");
   if (threads > 0) setParallelism(threads);
 }
+
+/// Apply --backend: resolve the name and install it process-wide (the
+/// library default is cpu_scalar; the apps default to auto-detection).
+void applyBackend(const std::string& name) {
+  const exec::Backend* backend = exec::findBackend(name);
+  MOSAIC_CHECK(backend != nullptr, "unknown --backend '"
+                                       << name << "' (expected one of: "
+                                       << exec::backendNames() << ")");
+  exec::setCurrentBackend(*backend);
+}
+
+constexpr const char* kBackendHelp =
+    "execution backend: auto | cpu_scalar | cpu_simd | cpu_simd_f32";
 
 /// Shared telemetry wiring of the long-running subcommands
 /// (docs/observability.md): --metrics-out, --trace-out, --run-log and
@@ -203,6 +217,7 @@ int cmdRun(int argc, char** argv) {
   double deadline = 0.0;
   int maxRecoveries = 3;
   int threads = 0;
+  std::string backend = "auto";
   TelemetryFlags tele;
 
   double maskLow = 0.0;
@@ -230,10 +245,12 @@ int cmdRun(int argc, char** argv) {
   cli.addInt("max-recoveries", &maxRecoveries,
              "non-finite rollbacks before aborting with best-so-far");
   cli.addInt("threads", &threads, "worker threads (0 = hardware default)");
+  cli.addString("backend", &backend, kBackendHelp);
   tele.addOptions(cli);
   if (!cli.parse(argc, argv)) return 0;
   setLogLevel(parseLogLevel(logLevel));
   applyThreads(threads);
+  applyBackend(backend);
   if (!failpoints.empty()) failpoint::configure(failpoints);
   const std::unique_ptr<telemetry::RunLog> runLog = tele.begin();
 
@@ -373,6 +390,7 @@ int cmdBatch(int argc, char** argv) {
   double deadline = 0.0;
   int backoffMs = 50;
   int threads = 0;
+  std::string backend = "auto";
   std::string checkpointDir;
   int checkpointEvery = 5;
   bool resume = false;
@@ -393,6 +411,7 @@ int cmdBatch(int argc, char** argv) {
                 "per-clip optimizer wall-clock budget in seconds");
   cli.addInt("backoff-ms", &backoffMs, "retry backoff in milliseconds");
   cli.addInt("threads", &threads, "worker threads (0 = hardware default)");
+  cli.addString("backend", &backend, kBackendHelp);
   cli.addString("checkpoint-dir", &checkpointDir,
                 "directory for per-clip optimizer checkpoints (B<i>.ckpt)");
   cli.addInt("checkpoint-every", &checkpointEvery,
@@ -403,6 +422,7 @@ int cmdBatch(int argc, char** argv) {
   if (!cli.parse(argc, argv)) return 0;
   setLogLevel(parseLogLevel(logLevel));
   applyThreads(threads);
+  applyBackend(backend);
   if (!failpoints.empty()) failpoint::configure(failpoints);
   MOSAIC_CHECK(retries >= 0, "--retries must be >= 0");
   MOSAIC_CHECK(backoffMs >= 0, "--backoff-ms must be >= 0");
@@ -638,6 +658,7 @@ int cmdChip(int argc, char** argv) {
   int tileSize = 1024;
   int halo = -1;
   int threads = 0;
+  std::string backend = "auto";
   int retries = 1;
   int backoffMs = 50;
   double deadline = 0.0;
@@ -670,6 +691,7 @@ int cmdChip(int argc, char** argv) {
   cli.addInt("halo", &halo,
              "halo margin in nm (-1 = 2x optical interaction radius)");
   cli.addInt("threads", &threads, "worker threads (0 = hardware default)");
+  cli.addString("backend", &backend, kBackendHelp);
   cli.addInt("retries", &retries, "retries per tile on failure");
   cli.addInt("backoff-ms", &backoffMs, "retry backoff in milliseconds");
   cli.addDouble("deadline", &deadline,
@@ -700,6 +722,7 @@ int cmdChip(int argc, char** argv) {
   if (!cli.parse(argc, argv)) return 0;
   setLogLevel(parseLogLevel(logLevel));
   applyThreads(threads);
+  applyBackend(backend);
   if (!failpoints.empty()) failpoint::configure(failpoints);
   const std::unique_ptr<telemetry::RunLog> runLog = tele.begin();
 
@@ -863,6 +886,7 @@ int cmdSimulate(int argc, char** argv) {
   double dose = 1.0;
   std::string images;
   std::string logLevel = "warn";
+  std::string backend = "auto";
 
   CliParser cli("mosaic_cli simulate",
                 "forward-simulate a mask at a process corner");
@@ -873,8 +897,10 @@ int cmdSimulate(int argc, char** argv) {
   cli.addDouble("dose", &dose, "relative exposure dose");
   cli.addString("images", &images, "directory for PGM dumps");
   cli.addString("log", &logLevel, "log level");
+  cli.addString("backend", &backend, kBackendHelp);
   if (!cli.parse(argc, argv)) return 0;
   setLogLevel(parseLogLevel(logLevel));
+  applyBackend(backend);
 
   const Layout layout = loadTarget(input, caseIndex);
   LithoSimulator sim = makeSim(pixel);
@@ -912,6 +938,7 @@ int cmdEvaluate(int argc, char** argv) {
   int targetCase = 0;
   int pixel = 4;
   std::string logLevel = "warn";
+  std::string backend = "auto";
 
   CliParser cli("mosaic_cli evaluate",
                 "contest metrics + MRC for a mask against a target");
@@ -920,8 +947,10 @@ int cmdEvaluate(int argc, char** argv) {
   cli.addInt("target-case", &targetCase, "built-in target testcase (1..10)");
   cli.addInt("pixel", &pixel, "pixel size in nm");
   cli.addString("log", &logLevel, "log level");
+  cli.addString("backend", &backend, kBackendHelp);
   if (!cli.parse(argc, argv)) return 0;
   setLogLevel(parseLogLevel(logLevel));
+  applyBackend(backend);
 
   MOSAIC_CHECK(!input.empty(), "--input <mask.glp> is required");
   const Layout maskLayout = readGlpFile(input);

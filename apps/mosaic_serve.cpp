@@ -17,6 +17,7 @@
 #include <fstream>
 #include <memory>
 
+#include "math/backend.hpp"
 #include "serve/http.hpp"
 #include "serve/server.hpp"
 #include "support/cli.hpp"
@@ -45,6 +46,7 @@ int serveMain(int argc, char** argv) {
   std::string failpoints;
   std::string metricsOut;
   std::string runLogPath;
+  std::string backend = "auto";
 
   CliParser cli("mosaic_serve",
                 "fault-tolerant ILT job service over line-delimited JSON");
@@ -73,9 +75,19 @@ int serveMain(int argc, char** argv) {
                 "write the metrics snapshot (JSON) here at exit");
   cli.addString("run-log", &runLogPath,
                 "append per-iteration/job JSONL telemetry here");
+  cli.addString("backend", &backend,
+                "execution backend: auto | cpu_scalar | cpu_simd | "
+                "cpu_simd_f32");
   if (!cli.parse(argc, argv)) return 0;
   setLogLevel(parseLogLevel(logLevel));
   MOSAIC_CHECK(!workDir.empty(), "--work-dir is required");
+  {
+    const exec::Backend* chosen = exec::findBackend(backend);
+    MOSAIC_CHECK(chosen != nullptr, "unknown --backend '"
+                                        << backend << "' (expected one of: "
+                                        << exec::backendNames() << ")");
+    exec::setCurrentBackend(*chosen);
+  }
   if (!failpoints.empty()) failpoint::configure(failpoints);
 
   // Flight recorder: always on. A fatal signal (SIGSEGV/SIGABRT/SIGBUS)

@@ -11,6 +11,8 @@
 /// gate size (enforced at 1.0 -- "never slower" -- by the fft_perf_smoke
 /// ctest; the recorded full-run numbers are the >= 2x evidence).
 
+#include <algorithm>
+#include <cmath>
 #include <complex>
 #include <cstdio>
 #include <exception>
@@ -18,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "math/backend.hpp"
 #include "math/fft.hpp"
 #include "math/grid.hpp"
 #include "support/cli.hpp"
@@ -77,6 +80,72 @@ struct Row {
   double realMs = 0.0;
 };
 
+// ---------------------------------------------------------------------------
+// Execution-backend series: the batched SOCS aerial + gradient hot path
+// (docs/performance.md "Execution backends"). Synthetic pupil-disc
+// kernels reproduce the sparsity structure the cpu_simd pruning exploits
+// (support ~ a disc around DC, a few percent of rows at production size).
+// ---------------------------------------------------------------------------
+
+struct SyntheticKernels {
+  std::vector<std::vector<int>> flat;
+  std::vector<std::vector<std::complex<double>>> values;
+  std::vector<exec::SpectrumView> views;
+  std::vector<double> weights;
+
+  SyntheticKernels(int n, int count) {
+    // Radius chosen so the live-row fraction matches real SOCS kernel
+    // sets (~5-6% of rows at 1024^2; see litho/kernels).
+    const int radius = std::max(3, n / 36);
+    Rng rng(42);
+    for (int k = 0; k < count; ++k) {
+      std::vector<int> f;
+      std::vector<std::complex<double>> v;
+      for (int r = 0; r < n; ++r) {
+        const int fr = (r <= n / 2) ? r : r - n;
+        for (int c = 0; c < n; ++c) {
+          const int fc = (c <= n / 2) ? c : c - n;
+          if (fr * fr + fc * fc > radius * radius) continue;
+          f.push_back(r * n + c);
+          v.push_back({rng.uniform(-1, 1), rng.uniform(-1, 1)});
+        }
+      }
+      flat.push_back(std::move(f));
+      values.push_back(std::move(v));
+      weights.push_back(1.0 / (1.0 + k));
+    }
+    for (int k = 0; k < count; ++k) {
+      views.push_back({flat[static_cast<std::size_t>(k)].data(),
+                       values[static_cast<std::size_t>(k)].data(),
+                       flat[static_cast<std::size_t>(k)].size()});
+    }
+  }
+};
+
+struct BackendRow {
+  const char* backend = nullptr;
+  int size = 0;
+  double aerialMs = 0.0;
+  double gradMs = 0.0;
+  double speedup = 0.0;  ///< scalar total / this total
+};
+
+double maxAbsDiff(const RealGrid& a, const RealGrid& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a.data()[i] - b.data()[i]));
+  }
+  return m;
+}
+
+double maxAbsDiff(const ComplexGrid& a, const ComplexGrid& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a.data()[i] - b.data()[i]));
+  }
+  return m;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -84,6 +153,8 @@ int main(int argc, char** argv) {
   int gateSize = 1024;
   double minSpeedup = -1.0;
   bool smoke = false;
+  bool simdSmoke = false;
+  double simdGate = -1.0;
   std::string jsonPath = "BENCH_fft.json";
 
   CliParser cli("bm_fft",
@@ -95,6 +166,13 @@ int main(int argc, char** argv) {
                 "at the gate size, single thread (<0 = off)");
   cli.addFlag("smoke", &smoke,
               "gate size only, single thread (the tier-1 perf smoke)");
+  cli.addFlag("simd-smoke", &simdSmoke,
+              "backend series only, at the gate size (the fft_simd_smoke "
+              "tier-1 test); skips cleanly without AVX2");
+  cli.addDouble("simd-gate", &simdGate,
+                "fail when cpu_simd is not this many times faster than "
+                "cpu_scalar on the batched aerial+gradient path at the "
+                "gate size, and verify scalar/SIMD equivalence (<0 = off)");
   cli.addString("json", &jsonPath, "output JSON path");
   try {
     if (!cli.parse(argc, argv)) return 0;
@@ -103,8 +181,9 @@ int main(int argc, char** argv) {
                  "gate size must be a power of two");
 
     const std::vector<int> sizes =
-        smoke ? std::vector<int>{gateSize}
-              : std::vector<int>{256, 512, 1024, 2048};
+        simdSmoke ? std::vector<int>{}
+        : smoke   ? std::vector<int>{gateSize}
+                  : std::vector<int>{256, 512, 1024, 2048};
     const std::vector<int> threadCounts =
         smoke ? std::vector<int>{1} : std::vector<int>{1, 2, 4};
 
@@ -167,6 +246,97 @@ int main(int argc, char** argv) {
       }
     }
 
+    // ---- execution-backend series (batched SOCS aerial + gradient) ----
+    std::vector<BackendRow> backendRows;
+    bool simdSkipped = false;
+    bool backendEquivOk = true;
+    double gateSimdSpeedup = 0.0;
+    if (!smoke) {
+      if (simdSmoke && !exec::cpuHasAvx2()) {
+        std::printf("fft_simd_smoke: CPU has no AVX2+FMA, skipping the "
+                    "backend gate\n");
+        simdSkipped = true;
+      } else {
+        const std::vector<int> backendSizes =
+            simdSmoke ? std::vector<int>{gateSize}
+                      : std::vector<int>{512, 1024};
+        constexpr int kKernels = 24;  // one focus' SOCS kernel count
+        for (const int n : backendSizes) {
+          const Fft2d& fft = fft2dFor(n, n);
+          const SyntheticKernels kern(n, kKernels);
+          const ComplexGrid spectrum = randomGrid(n, 7);
+          const RealGrid gField = randomRealGrid(n, 8);
+          const exec::Backend* backends[] = {&exec::scalarBackend(),
+                                             &exec::simdBackend(),
+                                             &exec::simdFloatBackend()};
+          RealGrid intensityRef(n, n, 0.0);
+          ComplexGrid accumRef(n, n, {0.0, 0.0});
+          double intensityScale = 1.0;
+          double accumScale = 1.0;
+          double scalarTotal = 0.0;
+          for (const exec::Backend* backend : backends) {
+            RealGrid intensity(n, n, 0.0);
+            ComplexGrid accum(n, n, {0.0, 0.0});
+            BackendRow row;
+            row.backend = backend->name();
+            row.size = n;
+            row.aerialMs = 1000.0 * timeBatch(1, 1, reps, [&](int) {
+              intensity.fill(0.0);
+              backend->accumulateCoherentIntensity(
+                  fft, spectrum, kern.views.data(), kern.weights.data(),
+                  kKernels, 1.05, intensity);
+            });
+            row.gradMs = 1000.0 * timeBatch(1, 1, reps, [&](int) {
+              accum.fill({0.0, 0.0});
+              backend->accumulateGradientChains(
+                  fft, spectrum, kern.views.data(), kern.weights.data(),
+                  kKernels, gField, accum);
+            });
+            const double total = row.aerialMs + row.gradMs;
+            if (backend == &exec::scalarBackend()) {
+              scalarTotal = total;
+              row.speedup = 1.0;
+              intensityRef = intensity;
+              accumRef = accum;
+              for (const double v : intensityRef) {
+                intensityScale = std::max(intensityScale, std::abs(v));
+              }
+              for (const auto& v : accumRef) {
+                accumScale = std::max(accumScale, std::abs(v));
+              }
+            } else {
+              row.speedup = scalarTotal / total;
+              // Per-backend equivalence vs the scalar oracle, relative to
+              // the result magnitude (f32 gets the documented loose
+              // aerial tolerance; its gradient path is double).
+              const bool isF32 = backend == &exec::simdFloatBackend();
+              const double aerialRel =
+                  maxAbsDiff(intensity, intensityRef) / intensityScale;
+              const double gradRel =
+                  maxAbsDiff(accum, accumRef) / accumScale;
+              const double aerialTol = isF32 ? 1e-4 : 1e-9;
+              if (aerialRel > aerialTol || gradRel > 1e-9) {
+                backendEquivOk = false;
+                std::fprintf(stderr,
+                             "bm_fft: %s diverges from cpu_scalar at %d^2 "
+                             "(aerial rel %.2e, grad rel %.2e)\n",
+                             backend->name(), n, aerialRel, gradRel);
+              }
+              if (backend == &exec::simdBackend() && n == gateSize) {
+                gateSimdSpeedup = row.speedup;
+              }
+            }
+            backendRows.push_back(row);
+            std::printf("backend %-12s size %4d  aerial %8.2f ms  grad "
+                        "%8.2f ms  (%.2fx vs scalar)\n",
+                        row.backend, n, row.aerialMs, row.gradMs,
+                        row.speedup);
+            std::fflush(stdout);
+          }
+        }
+      }
+    }
+
     TextTable table;
     table.setHeader({"size", "threads", "legacy ms", "new ms", "speedup",
                      "real ms", "real speedup"});
@@ -178,9 +348,26 @@ int main(int argc, char** argv) {
                     TextTable::num(row.realMs, 2),
                     TextTable::num(row.legacyMs / row.realMs, 2)});
     }
-    std::printf("\n== bm_fft: forward+inverse pair per thread, best of %d "
-                "reps ==\n%s",
-                reps, table.render().c_str());
+    if (!rows.empty()) {
+      std::printf("\n== bm_fft: forward+inverse pair per thread, best of %d "
+                  "reps ==\n%s",
+                  reps, table.render().c_str());
+    }
+
+    if (!backendRows.empty()) {
+      TextTable btable;
+      btable.setHeader(
+          {"backend", "size", "aerial ms", "grad ms", "vs scalar"});
+      for (const BackendRow& row : backendRows) {
+        btable.addRow({row.backend, std::to_string(row.size),
+                       TextTable::num(row.aerialMs, 2),
+                       TextTable::num(row.gradMs, 2),
+                       TextTable::num(row.speedup, 2)});
+      }
+      std::printf("\n== bm_fft: batched SOCS aerial + gradient (24 kernels) "
+                  "per backend ==\n%s",
+                  btable.render().c_str());
+    }
 
     FILE* json = std::fopen(jsonPath.c_str(), "w");
     MOSAIC_CHECK(json != nullptr, "cannot write " << jsonPath);
@@ -199,6 +386,16 @@ int main(int argc, char** argv) {
                    row.legacyMs / row.realMs,
                    i + 1 < rows.size() ? "," : "");
     }
+    std::fprintf(json, "  ],\n  \"backends\": [\n");
+    for (std::size_t i = 0; i < backendRows.size(); ++i) {
+      const BackendRow& row = backendRows[i];
+      std::fprintf(json,
+                   "    {\"backend\": \"%s\", \"size\": %d, "
+                   "\"aerial_ms\": %.3f, \"grad_ms\": %.3f, "
+                   "\"speedup_vs_scalar\": %.3f}%s\n",
+                   row.backend, row.size, row.aerialMs, row.gradMs,
+                   row.speedup, i + 1 < backendRows.size() ? "," : "");
+    }
     std::fprintf(json, "  ]\n}\n");
     std::fclose(json);
     std::printf("wrote %s\n", jsonPath.c_str());
@@ -216,6 +413,26 @@ int main(int argc, char** argv) {
       }
       std::printf("gate: %.2fx >= %.2fx at %d^2, ok\n", speedup, minSpeedup,
                   gateSize);
+    }
+
+    if (simdGate >= 0.0 && !simdSkipped) {
+      if (!backendEquivOk) {
+        std::fprintf(stderr,
+                     "bm_fft: backend equivalence check failed (above)\n");
+        return 1;
+      }
+      MOSAIC_CHECK(gateSimdSpeedup > 0.0,
+                   "cpu_simd at gate size " << gateSize
+                                            << " was not measured");
+      if (gateSimdSpeedup < simdGate) {
+        std::fprintf(stderr,
+                     "bm_fft: cpu_simd speedup %.2fx at %d^2 is below the "
+                     "%.2fx gate\n",
+                     gateSimdSpeedup, gateSize, simdGate);
+        return 1;
+      }
+      std::printf("simd gate: %.2fx >= %.2fx at %d^2, equivalence ok\n",
+                  gateSimdSpeedup, simdGate, gateSize);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bm_fft: %s\n", e.what());

@@ -17,8 +17,15 @@ CaseEvaluation evaluateMask(const LithoSimulator& sim, const RealGrid& mask,
   CaseEvaluation eval;
   eval.runtimeSec = runtimeSec;
 
+  // One forward mask FFT for the whole evaluation: the nominal print and
+  // every PV-band corner below share this spectrum. (Previously print()
+  // and computePvBand() each recomputed it; the litho.mask_spectrum
+  // counter pins the single-FFT contract in tests/test_backend.cpp.)
+  const ComplexGrid spectrum = sim.maskSpectrum(mask);
+
   // Nominal print: EPE + shape.
-  const BitGrid nominalPrint = sim.print(mask, nominalCorner());
+  const BitGrid nominalPrint =
+      sim.printBinary(sim.aerialFromSpectrum(spectrum, nominalCorner()));
   const auto samples = extractSamples(target, config.sampleSpacingNm / pixelNm);
   const EpeResult epe = measureEpe(nominalPrint, target, samples, pixelNm,
                                    config.epeThresholdNm);
@@ -31,8 +38,8 @@ CaseEvaluation evaluateMask(const LithoSimulator& sim, const RealGrid& mask,
   eval.holes = shape.holes;
   eval.missingFeatures = shape.missingFeatures;
 
-  // PV band across the full corner set.
-  const PvBandResult pvb = computePvBand(sim, mask, config.corners);
+  // PV band across the full corner set, reusing the hoisted spectrum.
+  const PvBandResult pvb = computePvBand(sim, spectrum, config.corners);
   eval.pvbandAreaNm2 = pvb.bandAreaNm2;
 
   eval.score = contestScore(runtimeSec, eval.pvbandAreaNm2,

@@ -7,9 +7,14 @@ namespace mosaic {
 
 PvBandResult computePvBand(const LithoSimulator& sim, const RealGrid& mask,
                            const std::vector<ProcessCorner>& corners) {
+  return computePvBand(sim, sim.maskSpectrum(mask), corners);
+}
+
+PvBandResult computePvBand(const LithoSimulator& sim,
+                           const ComplexGrid& spectrum,
+                           const std::vector<ProcessCorner>& corners) {
   MOSAIC_CHECK(!corners.empty(), "PV band needs at least one corner");
   MOSAIC_SPAN("eval.pvband");
-  const ComplexGrid spectrum = sim.maskSpectrum(mask);
   PvBandResult result;
   bool first = true;
   for (const auto& corner : corners) {

@@ -24,4 +24,11 @@ struct PvBandResult {
 PvBandResult computePvBand(const LithoSimulator& sim, const RealGrid& mask,
                            const std::vector<ProcessCorner>& corners);
 
+/// Same, starting from a precomputed mask spectrum — callers that already
+/// paid the forward FFT (eval/evaluator shares one spectrum between the
+/// nominal print and the PV band) must not pay it again per corner set.
+PvBandResult computePvBand(const LithoSimulator& sim,
+                           const ComplexGrid& spectrum,
+                           const std::vector<ProcessCorner>& corners);
+
 }  // namespace mosaic

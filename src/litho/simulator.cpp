@@ -3,8 +3,8 @@
 #include "litho/kernel_cache.hpp"
 #include "litho/tcc.hpp"
 #include "math/convolution.hpp"
-#include "math/scratch.hpp"
 #include "support/failpoint.hpp"
+#include "support/telemetry/metrics.hpp"
 #include "support/log.hpp"
 #include "support/telemetry/trace.hpp"
 #include "support/timer.hpp"
@@ -80,6 +80,11 @@ ComplexGrid LithoSimulator::maskSpectrum(const RealGrid& mask) const {
                "mask is " << mask.rows() << "x" << mask.cols()
                           << ", expected " << n << "x" << n);
   MOSAIC_SPAN("litho.mask_spectrum");
+  // Counts forward mask FFTs so tests can pin "exactly one spectrum per
+  // mask per evaluation" (the PV-band hoist fix in eval/evaluator).
+  static telemetry::Counter& spectra =
+      telemetry::metrics().counter("litho.mask_spectrum");
+  spectra.add(1);
   return fft2dFor(n, n).forwardReal(mask);
 }
 
@@ -102,21 +107,21 @@ RealGrid LithoSimulator::aerialFromSpectrum(const ComplexGrid& spectrum,
                         : std::min(maxKernels, set.kernelCount());
   const Fft2d& fft = fft2dFor(n, n);
   RealGrid intensity(n, n, 0.0);
-  // multiplyInto overwrites every element, so the (unzeroed) pooled grid
-  // is safe here.
-  scratch::ComplexLease fieldLease(n, n);
-  ComplexGrid& field = *fieldLease;
+  // The SOCS sum runs on the selected execution backend. The dose factor
+  // is applied exactly once, inside the backend (however it folds it);
+  // the resist blur below stays outside so it also applies exactly once
+  // regardless of backend (regression-tested in tests/test_backend.cpp
+  // for dose != 1 combined with blur > 0).
+  std::vector<exec::SpectrumView> views(static_cast<std::size_t>(count));
   for (int k = 0; k < count; ++k) {
-    set.kernels[static_cast<std::size_t>(k)].multiplyInto(spectrum, field);
-    fft.inverse(field);
-    const double w = set.weights[static_cast<std::size_t>(k)];
-    for (std::size_t i = 0; i < intensity.size(); ++i) {
-      intensity.data()[i] += w * std::norm(field.data()[i]);
-    }
+    const SparseSpectrum& spec = set.kernels[static_cast<std::size_t>(k)];
+    views[static_cast<std::size_t>(k)] = {spec.flatIndex.data(),
+                                          spec.value.data(),
+                                          spec.flatIndex.size()};
   }
-  if (corner.dose != 1.0) {
-    for (auto& v : intensity) v *= corner.dose;
-  }
+  activeBackend().accumulateCoherentIntensity(fft, spectrum, views.data(),
+                                              set.weights.data(), count,
+                                              corner.dose, intensity);
   if (resist_.diffusionSigmaNm > 0.0) {
     intensity = gaussianBlur(
         intensity, resist_.diffusionSigmaNm / optics_.pixelNm);

@@ -116,6 +116,12 @@ class Fft2d {
   void forwardLegacy(ComplexGrid& grid) const;
   void inverseLegacy(ComplexGrid& grid) const;
 
+  /// The cached 1-D plans, exposed so execution backends (math/backend)
+  /// can drive their own pruned/batched passes off the same twiddle and
+  /// bit-reversal tables instead of rebuilding them.
+  [[nodiscard]] const FftPlan& rowPlan() const { return rowPlan_; }
+  [[nodiscard]] const FftPlan& colPlan() const { return colPlan_; }
+
  private:
   void transformRows(ComplexGrid& grid, bool invert) const;
   /// Row-vector-butterfly column pass over columns [0, colLimit).

@@ -1,7 +1,9 @@
 #include "math/scratch.hpp"
 
+#include <atomic>
 #include <vector>
 
+#include "support/parallel.hpp"
 #include "support/telemetry/metrics.hpp"
 
 namespace mosaic {
@@ -13,9 +15,40 @@ namespace {
 /// is 16 MB. Overflow is simply freed.
 constexpr std::size_t kMaxCachedPerThread = 6;
 
+/// Bytes currently cached (not leased) across every thread's free list.
+/// Kept in a plain atomic so ThreadPool destructors — which can run
+/// during thread/process teardown, after telemetry statics may already be
+/// gone — never touch the metrics registry.
+std::atomic<long long> g_residentBytes{0};
+
+template <typename GridT>
+long long bytesOf(const GridT& grid) {
+  return static_cast<long long>(grid.size() * sizeof(*grid.data()));
+}
+
+/// Mirror the atomic into the scratch.resident_bytes gauge. Only called
+/// from the normal acquire/release/clear paths, never from destructors.
+void publishResidentBytes() {
+  static telemetry::Gauge& gauge =
+      telemetry::metrics().gauge("scratch.resident_bytes");
+  gauge.set(static_cast<double>(
+      g_residentBytes.load(std::memory_order_relaxed)));
+}
+
 template <typename GridT>
 struct ThreadPool {
   std::vector<std::unique_ptr<GridT>> freeList;
+
+  ~ThreadPool() {
+    // Account for grids freed by thread exit (atomic only; see above).
+    long long bytes = 0;
+    for (const auto& grid : freeList) {
+      if (grid) bytes += bytesOf(*grid);
+    }
+    if (bytes != 0) {
+      g_residentBytes.fetch_sub(bytes, std::memory_order_relaxed);
+    }
+  }
 };
 
 template <typename GridT>
@@ -35,6 +68,8 @@ std::unique_ptr<GridT> acquire(int rows, int cols) {
       static telemetry::Counter& hits =
           telemetry::metrics().counter("scratch.hit");
       hits.add();
+      g_residentBytes.fetch_sub(bytesOf(*grid), std::memory_order_relaxed);
+      publishResidentBytes();
       return grid;
     }
   }
@@ -48,8 +83,20 @@ template <typename GridT>
 void release(std::unique_ptr<GridT> grid) {
   if (!grid) return;
   auto& list = threadPool<GridT>().freeList;
-  if (list.size() < kMaxCachedPerThread) list.push_back(std::move(grid));
+  if (list.size() < kMaxCachedPerThread) {
+    g_residentBytes.fetch_add(bytesOf(*grid), std::memory_order_relaxed);
+    list.push_back(std::move(grid));
+    publishResidentBytes();
+  }
 }
+
+/// Worker threads spawned by parallelFor drop their cached grids on exit;
+/// long-lived daemons otherwise pin kMaxCachedPerThread full-size grids
+/// per dead thread.
+[[maybe_unused]] const bool g_teardownRegistered = [] {
+  registerWorkerTeardown(&clearThreadPool);
+  return true;
+}();
 
 }  // namespace
 
@@ -71,8 +118,23 @@ void releaseComplex(std::unique_ptr<ComplexGrid> grid) {
 }  // namespace detail
 
 void clearThreadPool() {
+  long long bytes = 0;
+  for (const auto& grid : threadPool<RealGrid>().freeList) {
+    if (grid) bytes += bytesOf(*grid);
+  }
+  for (const auto& grid : threadPool<ComplexGrid>().freeList) {
+    if (grid) bytes += bytesOf(*grid);
+  }
   threadPool<RealGrid>().freeList.clear();
   threadPool<ComplexGrid>().freeList.clear();
+  if (bytes != 0) {
+    g_residentBytes.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+  publishResidentBytes();
+}
+
+long long residentBytes() {
+  return g_residentBytes.load(std::memory_order_relaxed);
 }
 
 }  // namespace scratch

@@ -79,8 +79,14 @@ class Lease {
 using RealLease = Lease<RealGrid>;
 using ComplexLease = Lease<ComplexGrid>;
 
-/// Drop every grid cached by the calling thread (tests / memory pressure).
+/// Drop every grid cached by the calling thread (tests / memory pressure,
+/// worker-thread teardown — parallelFor workers run this automatically
+/// via registerWorkerTeardown; serve workers call it on loop exit).
 void clearThreadPool();
+
+/// Bytes currently cached across all threads' free lists (leased grids
+/// are not counted). Also exported as the scratch.resident_bytes gauge.
+long long residentBytes();
 
 }  // namespace scratch
 }  // namespace mosaic

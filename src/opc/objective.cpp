@@ -3,6 +3,7 @@
 #include <cmath>
 #include <map>
 
+#include "math/backend.hpp"
 #include "math/convolution.hpp"
 #include "math/scratch.hpp"
 #include "math/stats.hpp"
@@ -146,39 +147,37 @@ void IltObjective::accumulateGradient(const ComplexGrid& maskSpectrum,
   const int n = kernels.gridSize;
   const Fft2d& fft = fft2dFor(n, n);
 
-  // One pooled work grid reused across every kernel chain (multiplyInto
-  // overwrites all of it, so no zeroing is needed), instead of a fresh
-  // n x n allocation per kernel per iteration.
-  scratch::ComplexLease fieldLease(n, n);
-  ComplexGrid& field = *fieldLease;
-  auto addChain = [&](const SparseSpectrum& spec, double weight,
-                      ComplexGrid& accumSpectrum) {
-    // field A = ifft(Mhat .* spec)
-    spec.multiplyInto(maskSpectrum, field);
-    fft.inverse(field);
-    // B = G .* conj(A); accumulate w * fft(B) .* spec_flipped.
-    for (std::size_t i = 0; i < field.size(); ++i) {
-      field.data()[i] = gField.data()[i] * std::conj(field.data()[i]);
-    }
-    fft.forward(field);
-    spec.flipped().accumulateProduct(field, weight, accumSpectrum);
-  };
-
-  scratch::ComplexLease accumLease(n, n);
-  ComplexGrid& accum = *accumLease;
-  accum.fill({0.0, 0.0});
+  // The per-kernel convolution chains of Eq. 17 run on the simulator's
+  // execution backend (same selection as the aerial path). The backend
+  // accumulates into the spectral accumulator, including the flip —
+  // equivalent to the old spec.flipped().accumulateProduct() without
+  // materializing a flipped copy per kernel per iteration.
+  std::vector<exec::SpectrumView> views;
+  std::vector<double> weights;
   if (config_.gradientMode == GradientMode::kCombinedKernel) {
-    addChain(kernels.combined, 1.0, accum);
+    const SparseSpectrum& spec = kernels.combined;
+    views.push_back({spec.flatIndex.data(), spec.value.data(),
+                     spec.flatIndex.size()});
+    weights.push_back(1.0);
   } else {
     const int count = (config_.inLoopKernels <= 0)
                           ? kernels.kernelCount()
                           : std::min(config_.inLoopKernels,
                                      kernels.kernelCount());
     for (int k = 0; k < count; ++k) {
-      addChain(kernels.kernels[static_cast<std::size_t>(k)],
-               kernels.weights[static_cast<std::size_t>(k)], accum);
+      const SparseSpectrum& spec = kernels.kernels[static_cast<std::size_t>(k)];
+      views.push_back({spec.flatIndex.data(), spec.value.data(),
+                       spec.flatIndex.size()});
+      weights.push_back(kernels.weights[static_cast<std::size_t>(k)]);
     }
   }
+
+  scratch::ComplexLease accumLease(n, n);
+  ComplexGrid& accum = *accumLease;
+  accum.fill({0.0, 0.0});
+  sim_.activeBackend().accumulateGradientChains(
+      fft, maskSpectrum, views.data(), weights.data(),
+      static_cast<int>(views.size()), gField, accum);
   fft.inverse(accum);
   for (std::size_t i = 0; i < grad.size(); ++i) {
     grad.data()[i] += 2.0 * accum.data()[i].real();
@@ -233,16 +232,25 @@ IltObjective::Evaluation IltObjective::evaluate(const RealGrid& mask,
       const RealGrid aerialRaw = sim_.aerialFromSpectrum(
           maskSpectrum, ProcessCorner{corner.focusNm, 1.0},
           config_.inLoopKernels);
-      RealGrid zCorner;
-      RealGrid dZdICorner;
-      resistForward(sim_.resist(), aerialRaw, corner.dose, zCorner,
-                    &dZdICorner);
-      RealGrid g(n, n);
-      for (std::size_t i = 0; i < g.size(); ++i) {
-        const double diff = zCorner.data()[i] - targetReal_.data()[i];
+      // Fused corner epilogue: dose scaling, resist sigmoid, dZ/dI, the
+      // PVB residual and the dF/dI field all come out of one sweep over
+      // the aerial image instead of the former resistForward + residual
+      // passes (and the Z/dZdI corner grids are never materialized).
+      // Arithmetic and accumulation order match the unfused code exactly.
+      const ResistModel& resist = sim_.resist();
+      RealGrid g;
+      if (needGradient) g = RealGrid(n, n);
+      for (std::size_t i = 0; i < aerialRaw.size(); ++i) {
+        const double intensity = corner.dose * aerialRaw.data()[i];
+        const double zv = resist.sigmoid(intensity);
+        const double diff = zv - targetReal_.data()[i];
         pvbValue += diff * diff;
-        // dF/dI_raw = 2 (Z - Zt) * dZ/dI * dose (intensity scales by dose).
-        g.data()[i] = 2.0 * diff * dZdICorner.data()[i] * corner.dose;
+        if (needGradient) {
+          // dF/dI_raw = 2 (Z - Zt) * dZ/dI * dose (intensity scales by
+          // dose), with dZ/dI = theta_Z Z (1 - Z).
+          const double dZdI = resist.thetaZ * zv * (1.0 - zv);
+          g.data()[i] = 2.0 * diff * dZdI * corner.dose;
+        }
       }
       if (needGradient) addField(corner.focusNm, g, config_.beta);
     }

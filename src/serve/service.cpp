@@ -8,6 +8,7 @@
 
 #include "cache/fingerprint.hpp"
 #include "geometry/raster.hpp"
+#include "math/scratch.hpp"
 #include "opc/mosaic.hpp"
 #include "suite/testcases.hpp"
 #include "support/error.hpp"
@@ -431,6 +432,10 @@ void JobService::workerLoop() {
         static_cast<double>(queue_.size()));
     runJob(*job);
   }
+  // Worker is exiting (shutdown/drain): drop its thread-local scratch
+  // grids — a long-lived daemon otherwise pins up to 6 full-size grids
+  // per dead worker thread (visible on the scratch.resident_bytes gauge).
+  scratch::clearThreadPool();
 }
 
 void JobService::runJob(Job& job) {

@@ -25,6 +25,16 @@ struct RegionGuard {
   ~RegionGuard() { t_inParallelRegion = previous; }
 };
 
+std::mutex& teardownMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::vector<void (*)()>& teardownHooks() {
+  static std::vector<void (*)()> hooks;
+  return hooks;
+}
+
 int resolveWorkers() {
   const int requested = g_workers.load();
   if (requested > 0) return requested;
@@ -42,6 +52,20 @@ void setParallelism(int workers) {
 }
 
 bool inParallelRegion() { return t_inParallelRegion; }
+
+void registerWorkerTeardown(void (*hook)()) {
+  std::lock_guard<std::mutex> lock(teardownMutex());
+  teardownHooks().push_back(hook);
+}
+
+void runWorkerTeardowns() {
+  std::vector<void (*)()> hooks;
+  {
+    std::lock_guard<std::mutex> lock(teardownMutex());
+    hooks = teardownHooks();
+  }
+  for (void (*hook)() : hooks) hook();
+}
 
 void parallelFor(std::size_t begin, std::size_t end,
                  const std::function<void(std::size_t)>& fn) {
@@ -79,7 +103,15 @@ void parallelFor(std::size_t begin, std::size_t end,
 
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(workers) - 1);
-  for (int t = 1; t < workers; ++t) threads.emplace_back(worker);
+  for (int t = 1; t < workers; ++t) {
+    // Spawned workers tear down their thread-locals before exiting (the
+    // scratch pool otherwise pins cached grids per dead thread). The
+    // calling thread keeps its state — it outlives the loop.
+    threads.emplace_back([&worker] {
+      worker();
+      runWorkerTeardowns();
+    });
+  }
   worker();
   for (auto& thread : threads) thread.join();
   if (firstError) std::rethrow_exception(firstError);

@@ -34,4 +34,16 @@ void parallelFor(std::size_t begin, std::size_t end,
 /// (i.e. a nested parallelFor would degrade to serial). Exposed for tests.
 bool inParallelRegion();
 
+/// Register a hook that worker threads run right before they exit, for
+/// thread-local cleanup that must not outlive the thread (the scratch
+/// grid pool registers scratch::clearThreadPool here — without it every
+/// dead worker pins up to 6 cached full-size grids forever). Hooks run in
+/// registration order on each pool-spawned thread; the calling thread of
+/// a parallelFor is not torn down (it lives on). Long-lived daemon
+/// workers (serve) call runWorkerTeardowns() themselves on loop exit.
+void registerWorkerTeardown(void (*hook)());
+
+/// Run every registered teardown hook on the calling thread.
+void runWorkerTeardowns();
+
 }  // namespace mosaic
