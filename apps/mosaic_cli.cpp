@@ -79,11 +79,18 @@ namespace {
 
 using namespace mosaic;
 
-/// Apply --threads: 0 keeps the hardware default.
+/// Apply --threads: 0 keeps the hardware default. The count sizes the
+/// process-wide work-stealing executor (docs/performance.md): one pool
+/// shared by the tile fan-out and every nested pixel/corner loop, not a
+/// per-loop thread spawn.
 void applyThreads(int threads) {
   MOSAIC_CHECK(threads >= 0, "--threads must be >= 0");
   if (threads > 0) setParallelism(threads);
 }
+
+constexpr const char* kThreadsHelp =
+    "total executor workers shared by tile and nested pixel loops "
+    "(0 = hardware default)";
 
 /// Apply --backend: resolve the name and install it process-wide (the
 /// library default is cpu_scalar; the apps default to auto-detection).
@@ -244,7 +251,7 @@ int cmdRun(int argc, char** argv) {
                 "optimizer wall-clock budget in seconds (0 = unlimited)");
   cli.addInt("max-recoveries", &maxRecoveries,
              "non-finite rollbacks before aborting with best-so-far");
-  cli.addInt("threads", &threads, "worker threads (0 = hardware default)");
+  cli.addInt("threads", &threads, kThreadsHelp);
   cli.addString("backend", &backend, kBackendHelp);
   tele.addOptions(cli);
   if (!cli.parse(argc, argv)) return 0;
@@ -410,7 +417,7 @@ int cmdBatch(int argc, char** argv) {
   cli.addDouble("deadline", &deadline,
                 "per-clip optimizer wall-clock budget in seconds");
   cli.addInt("backoff-ms", &backoffMs, "retry backoff in milliseconds");
-  cli.addInt("threads", &threads, "worker threads (0 = hardware default)");
+  cli.addInt("threads", &threads, kThreadsHelp);
   cli.addString("backend", &backend, kBackendHelp);
   cli.addString("checkpoint-dir", &checkpointDir,
                 "directory for per-clip optimizer checkpoints (B<i>.ckpt)");
@@ -658,6 +665,8 @@ int cmdChip(int argc, char** argv) {
   int tileSize = 1024;
   int halo = -1;
   int threads = 0;
+  bool pinWorkers = false;
+  bool noCacheOrder = false;
   std::string backend = "auto";
   int retries = 1;
   int backoffMs = 50;
@@ -690,7 +699,11 @@ int cmdChip(int argc, char** argv) {
   cli.addInt("tile-size", &tileSize, "core tile edge in nm");
   cli.addInt("halo", &halo,
              "halo margin in nm (-1 = 2x optical interaction radius)");
-  cli.addInt("threads", &threads, "worker threads (0 = hardware default)");
+  cli.addInt("threads", &threads, kThreadsHelp);
+  cli.addFlag("pin-workers", &pinWorkers,
+              "pin executor workers round-robin onto CPUs");
+  cli.addFlag("no-cache-order", &noCacheOrder,
+              "disable cache-aware tile ordering (representatives first)");
   cli.addString("backend", &backend, kBackendHelp);
   cli.addInt("retries", &retries, "retries per tile on failure");
   cli.addInt("backoff-ms", &backoffMs, "retry backoff in milliseconds");
@@ -721,6 +734,7 @@ int cmdChip(int argc, char** argv) {
   tele.addOptions(cli);
   if (!cli.parse(argc, argv)) return 0;
   setLogLevel(parseLogLevel(logLevel));
+  setWorkerPinning(pinWorkers);
   applyThreads(threads);
   applyBackend(backend);
   if (!failpoints.empty()) failpoint::configure(failpoints);
@@ -751,6 +765,7 @@ int cmdChip(int argc, char** argv) {
   cfg.patternCacheDir = patternCache;
   cfg.patternCacheMaxBytes = static_cast<long long>(cacheMaxMb) << 20;
   cfg.warmIterations = warmIters;
+  cfg.cacheAwareOrder = !noCacheOrder;
   cfg.ecoBaseDir = ecoBase;
   cfg.runLog = runLog.get();
   CancelToken interruptToken;

@@ -23,6 +23,7 @@
 #include "support/cli.hpp"
 #include "support/failpoint.hpp"
 #include "support/log.hpp"
+#include "support/parallel.hpp"
 #include "support/signal.hpp"
 #include "support/telemetry/flightrec.hpp"
 #include "support/telemetry/metrics.hpp"
@@ -37,6 +38,8 @@ int serveMain(int argc, char** argv) {
   int port = 0;
   int httpPort = -1;
   int workers = 2;
+  int poolThreads = 0;
+  bool pinWorkers = false;
   int queueCapacity = 8;
   int backoffMs = 25;
   bool cold = false;
@@ -58,6 +61,11 @@ int serveMain(int argc, char** argv) {
              "(0 = ephemeral, written to <work-dir>/serve.http.port; "
              "-1 = disabled)");
   cli.addInt("workers", &workers, "worker threads sharing warm simulators");
+  cli.addInt("pool-threads", &poolThreads,
+             "work-stealing executor size shared by every job's nested "
+             "loops (0 = hardware default)");
+  cli.addFlag("pin-workers", &pinWorkers,
+              "pin executor workers round-robin onto CPUs");
   cli.addInt("queue", &queueCapacity,
              "bounded queue capacity (admission control)");
   cli.addInt("backoff-ms", &backoffMs, "retry backoff per failed attempt");
@@ -89,6 +97,8 @@ int serveMain(int argc, char** argv) {
     exec::setCurrentBackend(*chosen);
   }
   if (!failpoints.empty()) failpoint::configure(failpoints);
+  setWorkerPinning(pinWorkers);
+  if (poolThreads > 0) setParallelism(poolThreads);
 
   // Flight recorder: always on. A fatal signal (SIGSEGV/SIGABRT/SIGBUS)
   // dumps the event ring to <work-dir>/flightrec.jsonl from the handler;
@@ -169,6 +179,9 @@ int serveMain(int argc, char** argv) {
     MOSAIC_CHECK(out.good(), "cannot open for writing: " << metricsOut);
     out << snap.toJson() << "\n";
   }
+  // Join the executor workers before returning so the exit is clean under
+  // TSan/ASan (the pool would otherwise join in a static destructor).
+  shutdownParallelPool();
   return interrupted ? kExitInterrupted : 0;
 }
 

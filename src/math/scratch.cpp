@@ -90,9 +90,10 @@ void release(std::unique_ptr<GridT> grid) {
   }
 }
 
-/// Worker threads spawned by parallelFor drop their cached grids on exit;
-/// long-lived daemons otherwise pin kMaxCachedPerThread full-size grids
-/// per dead thread.
+/// Persistent executor workers drop their cached grids when they
+/// idle-trim and when the pool resizes or shuts down; long-lived daemon
+/// threads run the hook themselves on loop exit. Without it every parked
+/// or dead worker pins kMaxCachedPerThread full-size grids.
 [[maybe_unused]] const bool g_teardownRegistered = [] {
   registerWorkerTeardown(&clearThreadPool);
   return true;

@@ -2,12 +2,14 @@
 
 #include <cmath>
 #include <map>
+#include <vector>
 
 #include "math/backend.hpp"
 #include "math/convolution.hpp"
 #include "math/scratch.hpp"
 #include "math/stats.hpp"
 #include "support/failpoint.hpp"
+#include "support/parallel.hpp"
 #include "support/telemetry/trace.hpp"
 
 namespace mosaic {
@@ -228,7 +230,17 @@ IltObjective::Evaluation IltObjective::evaluate(const RealGrid& mask,
 
   double pvbValue = 0.0;
   if (config_.beta > 0.0) {
-    for (const auto& corner : config_.pvbCorners) {
+    // Process corners are independent until the merge, so they fan out
+    // over the work-stealing pool — inside a tile task this is nested
+    // parallelism that idle workers steal; in a single-clip run it is the
+    // top-level fan-out. Each corner accumulates into its own partial sum
+    // and field, and the merge below runs serially in corner order, so
+    // the result is identical at every worker count.
+    const std::size_t cornerCount = config_.pvbCorners.size();
+    std::vector<double> cornerValue(cornerCount, 0.0);
+    std::vector<RealGrid> cornerField(cornerCount);
+    parallelFor(0, cornerCount, [&](std::size_t ci) {
+      const auto& corner = config_.pvbCorners[ci];
       const RealGrid aerialRaw = sim_.aerialFromSpectrum(
           maskSpectrum, ProcessCorner{corner.focusNm, 1.0},
           config_.inLoopKernels);
@@ -236,15 +248,15 @@ IltObjective::Evaluation IltObjective::evaluate(const RealGrid& mask,
       // PVB residual and the dF/dI field all come out of one sweep over
       // the aerial image instead of the former resistForward + residual
       // passes (and the Z/dZdI corner grids are never materialized).
-      // Arithmetic and accumulation order match the unfused code exactly.
       const ResistModel& resist = sim_.resist();
       RealGrid g;
       if (needGradient) g = RealGrid(n, n);
+      double value = 0.0;
       for (std::size_t i = 0; i < aerialRaw.size(); ++i) {
         const double intensity = corner.dose * aerialRaw.data()[i];
         const double zv = resist.sigmoid(intensity);
         const double diff = zv - targetReal_.data()[i];
-        pvbValue += diff * diff;
+        value += diff * diff;
         if (needGradient) {
           // dF/dI_raw = 2 (Z - Zt) * dZ/dI * dose (intensity scales by
           // dose), with dZ/dI = theta_Z Z (1 - Z).
@@ -252,7 +264,15 @@ IltObjective::Evaluation IltObjective::evaluate(const RealGrid& mask,
           g.data()[i] = 2.0 * diff * dZdI * corner.dose;
         }
       }
-      if (needGradient) addField(corner.focusNm, g, config_.beta);
+      cornerValue[ci] = value;
+      if (needGradient) cornerField[ci] = std::move(g);
+    });
+    for (std::size_t ci = 0; ci < cornerCount; ++ci) {
+      pvbValue += cornerValue[ci];
+      if (needGradient) {
+        addField(config_.pvbCorners[ci].focusNm, cornerField[ci],
+                 config_.beta);
+      }
     }
   }
   eval.pvbValue = pvbValue;

@@ -8,12 +8,12 @@
 
 #include "cache/fingerprint.hpp"
 #include "geometry/raster.hpp"
-#include "math/scratch.hpp"
 #include "opc/mosaic.hpp"
 #include "suite/testcases.hpp"
 #include "support/error.hpp"
 #include "support/failpoint.hpp"
 #include "support/log.hpp"
+#include "support/parallel.hpp"
 #include "support/telemetry/flightrec.hpp"
 #include "support/telemetry/metrics.hpp"
 #include "support/telemetry/trace.hpp"
@@ -432,10 +432,11 @@ void JobService::workerLoop() {
         static_cast<double>(queue_.size()));
     runJob(*job);
   }
-  // Worker is exiting (shutdown/drain): drop its thread-local scratch
-  // grids — a long-lived daemon otherwise pins up to 6 full-size grids
-  // per dead worker thread (visible on the scratch.resident_bytes gauge).
-  scratch::clearThreadPool();
+  // Worker is exiting (shutdown/drain): run the registered worker
+  // teardown hooks — dropping its thread-local scratch grids, which would
+  // otherwise pin up to 6 full-size grids per dead worker thread (visible
+  // on the scratch.resident_bytes gauge).
+  runWorkerTeardowns();
 }
 
 void JobService::runJob(Job& job) {

@@ -2,27 +2,40 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
 #include <exception>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "support/error.hpp"
+#include "support/telemetry/metrics.hpp"
+#include "support/timer.hpp"
 
 namespace mosaic {
 namespace {
 
 std::atomic<int> g_workers{0};  // 0 == hardware default
+std::atomic<int> g_idleTrimMs{2000};
+std::atomic<bool> g_pinWorkers{false};
+std::atomic<int> g_backend{-1};  // -1 = unresolved (env), else ParallelBackend
 
-/// Set while a thread executes a parallelFor body; nested calls see it and
-/// degrade to serial execution instead of spawning a second tree of
-/// threads (see parallel.hpp).
-thread_local bool t_inParallelRegion = false;
+/// Depth of parallelFor bodies executing on this thread. Non-zero inside a
+/// task (pool worker or helping caller) and inside serial fallbacks.
+thread_local int t_parallelDepth = 0;
 
-struct RegionGuard {
-  bool previous;
-  RegionGuard() : previous(t_inParallelRegion) { t_inParallelRegion = true; }
-  ~RegionGuard() { t_inParallelRegion = previous; }
+struct DepthGuard {
+  DepthGuard() { ++t_parallelDepth; }
+  ~DepthGuard() { --t_parallelDepth; }
 };
 
 std::mutex& teardownMutex() {
@@ -42,40 +55,376 @@ int resolveWorkers() {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
-}  // namespace
-
-int hardwareParallelism() { return resolveWorkers(); }
-
-void setParallelism(int workers) {
-  MOSAIC_CHECK(workers >= 0, "worker count must be >= 0");
-  g_workers.store(workers);
-}
-
-bool inParallelRegion() { return t_inParallelRegion; }
-
-void registerWorkerTeardown(void (*hook)()) {
-  std::lock_guard<std::mutex> lock(teardownMutex());
-  teardownHooks().push_back(hook);
-}
-
-void runWorkerTeardowns() {
-  std::vector<void (*)()> hooks;
-  {
-    std::lock_guard<std::mutex> lock(teardownMutex());
-    hooks = teardownHooks();
+ParallelBackend resolveBackend() {
+  int b = g_backend.load(std::memory_order_acquire);
+  if (b < 0) {
+    b = static_cast<int>(ParallelBackend::kPool);
+    if (const char* env = std::getenv("MOSAIC_PARALLEL")) {
+      if (std::string(env) == "spawn") {
+        b = static_cast<int>(ParallelBackend::kSpawn);
+      }
+    }
+    g_backend.store(b, std::memory_order_release);
   }
-  for (void (*hook)() : hooks) hook();
+  return static_cast<ParallelBackend>(b);
 }
 
-void parallelFor(std::size_t begin, std::size_t end,
-                 const std::function<void(std::size_t)>& fn) {
-  if (begin >= end) return;
+// ---------------------------------------------------------------- group
+
+/// Shared completion state of one task group. Tasks hold a shared_ptr so
+/// the state outlives a TaskGroup abandoned mid-flight.
+struct GroupState {
+  std::atomic<std::size_t> pending{0};
+  std::atomic<bool> abort{false};
+  std::mutex mu;
+  std::condition_variable cv;  ///< notified when pending drops to zero
+  std::exception_ptr error;    ///< first task exception (guarded by mu)
+
+  void recordError(std::exception_ptr e) {
+    abort.store(true, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu);
+    if (!error) error = std::move(e);
+  }
+};
+
+struct Task {
+  std::shared_ptr<GroupState> group;
+  std::function<void()> fn;
+};
+
+// ----------------------------------------------------------------- pool
+
+/// The process-wide executor: one deque per persistent worker, LIFO for
+/// the owner, FIFO steals for everyone else. Deques are mutex-guarded —
+/// tasks are chunk-sized (microseconds to seconds), so the lock is never
+/// the bottleneck and the scheme stays trivially TSan-clean.
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  Pool() {
+    // Force the metrics registry (and our metric objects) to outlive the
+    // pool: worker threads touch them while draining during ~Pool, which
+    // runs at static destruction in reverse construction order.
+    telemetry::MetricsRegistry& reg = telemetry::metrics();
+    tasksCounter_ = &reg.counter("pool.tasks");
+    stealsCounter_ = &reg.counter("pool.steals");
+    trimsCounter_ = &reg.counter("pool.idle_trims");
+    idleHistogram_ = &reg.histogram("pool.idle_ms");
+    activeGauge_ = &reg.gauge("pool.active_workers");
+    workersGauge_ = &reg.gauge("pool.workers");
+  }
+
+  ~Pool() { shutdown(); }
+
+  /// Ensure `threads` persistent workers are running (0 is fine — the
+  /// caller then executes everything itself). Restart-on-resize is NOT
+  /// done here; setParallelism shuts the pool down explicitly, so a
+  /// nested call can never tear threads out from under running tasks.
+  void ensureStarted(int threads) {
+    if (threads <= 0) return;
+    if (started_.load(std::memory_order_acquire)) return;
+    std::lock_guard<std::mutex> lock(startMu_);
+    if (started_.load(std::memory_order_acquire)) return;
+    queues_.clear();
+    threads_.clear();
+    stop_.store(false, std::memory_order_relaxed);
+    const bool pin = g_pinWorkers.load(std::memory_order_relaxed);
+    for (int i = 0; i < threads; ++i) {
+      queues_.push_back(std::make_unique<WorkerQueue>());
+    }
+    threads_.reserve(static_cast<std::size_t>(threads));
+    for (int i = 0; i < threads; ++i) {
+      threads_.emplace_back([this, i, pin] { workerMain(i, pin); });
+    }
+    liveThreads_.store(threads, std::memory_order_relaxed);
+    workersGauge_->set(static_cast<double>(threads));
+    started_.store(true, std::memory_order_release);
+  }
+
+  /// Join every worker (each runs the teardown hooks on its way out).
+  void shutdown() {
+    std::lock_guard<std::mutex> lock(startMu_);
+    if (!started_.load(std::memory_order_acquire)) return;
+    MOSAIC_ASSERT(outstanding_.load() == 0,
+                  "parallel pool shutdown/resize with tasks in flight");
+    {
+      std::lock_guard<std::mutex> sleepLock(sleepMu_);
+      stop_.store(true, std::memory_order_release);
+      ++signal_;
+    }
+    sleepCv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+    threads_.clear();
+    queues_.clear();
+    liveThreads_.store(0, std::memory_order_relaxed);
+    workersGauge_->set(0.0);
+    started_.store(false, std::memory_order_release);
+  }
+
+  [[nodiscard]] bool running() const {
+    return started_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] int liveThreads() const {
+    return liveThreads_.load(std::memory_order_relaxed);
+  }
+
+  /// Enqueue one task. Pool workers push to the front of their own deque
+  /// (LIFO: nested subtasks stay cache-hot on the producing worker);
+  /// external threads scatter round-robin onto the back of the deques.
+  void submit(Task task) {
+    task.group->pending.fetch_add(1, std::memory_order_acq_rel);
+    outstanding_.fetch_add(1, std::memory_order_acq_rel);
+    const int self = t_workerIndex;
+    if (self >= 0) {
+      WorkerQueue& q = *queues_[static_cast<std::size_t>(self)];
+      std::lock_guard<std::mutex> lock(q.mu);
+      q.dq.push_front(std::move(task));
+    } else {
+      const std::size_t slot =
+          rr_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+      WorkerQueue& q = *queues_[slot];
+      std::lock_guard<std::mutex> lock(q.mu);
+      q.dq.push_back(std::move(task));
+    }
+    {
+      std::lock_guard<std::mutex> lock(sleepMu_);
+      ++signal_;
+    }
+    sleepCv_.notify_one();
+  }
+
+  /// Help until the group drains: run tasks from the current thread's own
+  /// deque (anything there descends from this thread's work), steal tasks
+  /// of the *same group* from other deques, and otherwise nap briefly on
+  /// the group's condition variable. Every participant keeps executing,
+  /// so group waits can never deadlock.
+  void waitGroup(const std::shared_ptr<GroupState>& group) {
+    while (group->pending.load(std::memory_order_acquire) != 0) {
+      Task task;
+      if (popOwn(&task) || stealFor(group.get(), &task)) {
+        execute(task);
+        continue;
+      }
+      std::unique_lock<std::mutex> lock(group->mu);
+      group->cv.wait_for(lock, std::chrono::microseconds(50), [&] {
+        return group->pending.load(std::memory_order_acquire) == 0;
+      });
+    }
+  }
+
+  PoolStats stats() const {
+    PoolStats s;
+    s.configuredWorkers = resolveWorkers();
+    s.liveThreads = liveThreads();
+    s.tasksExecuted = tasksCounter_->value();
+    s.tasksStolen = stealsCounter_->value();
+    s.idleTrims = trimsCounter_->value();
+    return s;
+  }
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<Task> dq;
+  };
+
+  static thread_local int t_workerIndex;  ///< -1 on non-pool threads
+
+  void execute(Task& task) {
+    const int active = 1 + activeWorkers_.fetch_add(1, std::memory_order_relaxed);
+    activeGauge_->set(static_cast<double>(active));
+    {
+      DepthGuard depth;
+      // Cooperative abort: once a sibling threw (or the group was
+      // canceled), remaining chunks are skipped instead of drained.
+      if (!task.group->abort.load(std::memory_order_relaxed)) {
+        try {
+          task.fn();
+        } catch (...) {
+          task.group->recordError(std::current_exception());
+        }
+      }
+    }
+    tasksCounter_->add();
+    activeGauge_->set(static_cast<double>(
+        activeWorkers_.fetch_sub(1, std::memory_order_relaxed) - 1));
+    outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+    if (task.group->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(task.group->mu);
+      task.group->cv.notify_all();
+    }
+  }
+
+  bool popOwn(Task* out) {
+    const int self = t_workerIndex;
+    if (self < 0 || !started_.load(std::memory_order_acquire)) return false;
+    WorkerQueue& q = *queues_[static_cast<std::size_t>(self)];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (q.dq.empty()) return false;
+    *out = std::move(q.dq.front());
+    q.dq.pop_front();
+    return true;
+  }
+
+  /// Steal from the back of another deque. `group` restricts the steal to
+  /// that group's tasks (used while waiting, so a waiter can't wedge
+  /// itself under an unrelated long task); nullptr steals anything.
+  bool stealFor(const GroupState* group, Task* out) {
+    if (!started_.load(std::memory_order_acquire)) return false;
+    const std::size_t n = queues_.size();
+    const std::size_t start = static_cast<std::size_t>(
+        t_workerIndex >= 0 ? t_workerIndex + 1 : 0);
+    for (std::size_t k = 0; k < n; ++k) {
+      WorkerQueue& q = *queues_[(start + k) % n];
+      std::lock_guard<std::mutex> lock(q.mu);
+      if (q.dq.empty()) continue;
+      if (group == nullptr) {
+        *out = std::move(q.dq.back());
+        q.dq.pop_back();
+        stealsCounter_->add();
+        return true;
+      }
+      for (auto it = q.dq.rbegin(); it != q.dq.rend(); ++it) {
+        if (it->group.get() == group) {
+          *out = std::move(*it);
+          q.dq.erase(std::next(it).base());
+          stealsCounter_->add();
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  void workerMain(int index, bool pin) {
+    t_workerIndex = index;
+    if (pin) pinToCpu(index);
+    bool trimmed = false;
+    bool idleTimed = false;
+    WallTimer idleTimer;
+    for (;;) {
+      Task task;
+      if (popOwn(&task) || stealFor(nullptr, &task)) {
+        if (idleTimed) {
+          idleHistogram_->record(idleTimer.milliseconds());
+          idleTimed = false;
+        }
+        trimmed = false;
+        execute(task);
+        continue;
+      }
+      if (!idleTimed) {
+        idleTimer.reset();
+        idleTimed = true;
+      }
+      // Brief spin before sleeping: back-to-back parallelFor calls (the
+      // dispatch-overhead hot case) hand the next batch to still-warm
+      // workers without paying a futex round trip.
+      bool found = false;
+      for (int spin = 0; spin < 64 && !found; ++spin) {
+        std::this_thread::yield();
+        found = popOwn(&task) || stealFor(nullptr, &task);
+      }
+      if (found) {
+        idleHistogram_->record(idleTimer.milliseconds());
+        idleTimed = false;
+        trimmed = false;
+        execute(task);
+        continue;
+      }
+      // Read the submit epoch BEFORE the last scan: a task submitted
+      // after that scan bumps signal_ past `seen`, so the wait predicate
+      // fires instead of napping over ready work.
+      std::uint64_t seen;
+      {
+        std::lock_guard<std::mutex> lock(sleepMu_);
+        seen = signal_;
+      }
+      if (popOwn(&task) || stealFor(nullptr, &task)) {
+        idleHistogram_->record(idleTimer.milliseconds());
+        idleTimed = false;
+        trimmed = false;
+        execute(task);
+        continue;
+      }
+      std::unique_lock<std::mutex> lock(sleepMu_);
+      if (stop_.load(std::memory_order_acquire)) break;
+      const int trimMs = g_idleTrimMs.load(std::memory_order_relaxed);
+      const int napMs =
+          (trimMs > 0 && !trimmed) ? std::min(trimMs, 100) : 100;
+      sleepCv_.wait_for(lock, std::chrono::milliseconds(napMs), [&] {
+        return stop_.load(std::memory_order_acquire) || signal_ != seen;
+      });
+      if (stop_.load(std::memory_order_acquire)) break;
+      lock.unlock();
+      if (!trimmed && trimMs > 0 && idleTimer.milliseconds() >= trimMs) {
+        // Idle long enough: drop thread-local caches (scratch grids) so a
+        // parked pool doesn't pin memory. The next task re-warms them.
+        runWorkerTeardowns();
+        trimsCounter_->add();
+        trimmed = true;
+      }
+    }
+    if (idleTimed) idleHistogram_->record(idleTimer.milliseconds());
+    runWorkerTeardowns();
+    t_workerIndex = -1;
+  }
+
+  static void pinToCpu(int index) {
+#if defined(__linux__)
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0) return;
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(static_cast<unsigned>(index) % hw, &set);
+    pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+    (void)index;
+#endif
+  }
+
+  std::mutex startMu_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stop_{false};
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> threads_;
+  std::atomic<int> liveThreads_{0};
+  std::atomic<std::size_t> rr_{0};
+  std::atomic<std::size_t> outstanding_{0};
+  std::atomic<int> activeWorkers_{0};
+
+  std::mutex sleepMu_;
+  std::condition_variable sleepCv_;
+  std::uint64_t signal_ = 0;  ///< guarded by sleepMu_
+
+  telemetry::Counter* tasksCounter_ = nullptr;
+  telemetry::Counter* stealsCounter_ = nullptr;
+  telemetry::Counter* trimsCounter_ = nullptr;
+  telemetry::Histogram* idleHistogram_ = nullptr;
+  telemetry::Gauge* activeGauge_ = nullptr;
+  telemetry::Gauge* workersGauge_ = nullptr;
+};
+
+thread_local int Pool::t_workerIndex = -1;
+
+// -------------------------------------------------- legacy spawn engine
+
+/// The seed scheduler, frozen: spawn workers-1 threads per call, chunk by
+/// atomic counter, nested calls degrade to serial. Kept selectable as the
+/// bit-for-bit equivalence oracle and the bm_parallel baseline.
+void parallelForSpawn(std::size_t begin, std::size_t end,
+                      const std::function<void(std::size_t)>& fn) {
   const std::size_t n = end - begin;
-  const int workers = t_inParallelRegion
+  const int workers = t_parallelDepth > 0
                           ? 1  // nested call: run serially on this worker
                           : std::min<std::size_t>(resolveWorkers(), n);
   if (workers <= 1) {
-    RegionGuard region;
+    DepthGuard depth;
     for (std::size_t i = begin; i < end; ++i) fn(i);
     return;
   }
@@ -86,7 +435,7 @@ void parallelFor(std::size_t begin, std::size_t end,
   const std::size_t chunk = std::max<std::size_t>(1, n / (4 * workers));
 
   auto worker = [&] {
-    RegionGuard region;
+    DepthGuard depth;
     for (;;) {
       const std::size_t lo = next.fetch_add(chunk);
       if (lo >= end) return;
@@ -104,9 +453,6 @@ void parallelFor(std::size_t begin, std::size_t end,
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(workers) - 1);
   for (int t = 1; t < workers; ++t) {
-    // Spawned workers tear down their thread-locals before exiting (the
-    // scratch pool otherwise pins cached grids per dead thread). The
-    // calling thread keeps its state — it outlives the loop.
     threads.emplace_back([&worker] {
       worker();
       runWorkerTeardowns();
@@ -115,6 +461,165 @@ void parallelFor(std::size_t begin, std::size_t end,
   worker();
   for (auto& thread : threads) thread.join();
   if (firstError) std::rethrow_exception(firstError);
+}
+
+// --------------------------------------------------- pool-backed ranges
+
+void parallelForPool(std::size_t begin, std::size_t end,
+                     const std::function<void(std::size_t)>& fn) {
+  const std::size_t n = end - begin;
+  const int workers = resolveWorkers();
+  if (workers <= 1 || n == 1) {
+    DepthGuard depth;
+    for (std::size_t i = begin; i < end; ++i) {
+      fn(i);
+    }
+    return;
+  }
+
+  Pool& pool = Pool::instance();
+  pool.ensureStarted(workers - 1);
+
+  // Chunking: enough chunks that idle workers can steal meaningful slack
+  // (4 per worker, the seed's granularity), never more chunks than items.
+  const std::size_t targetChunks =
+      std::min<std::size_t>(n, static_cast<std::size_t>(workers) * 4);
+  const std::size_t chunk = (n + targetChunks - 1) / targetChunks;
+
+  auto group = std::make_shared<GroupState>();
+  for (std::size_t lo = begin; lo < end; lo += chunk) {
+    const std::size_t hi = std::min(end, lo + chunk);
+    pool.submit({group, [lo, hi, &fn] {
+                   for (std::size_t i = lo; i < hi; ++i) fn(i);
+                 }});
+  }
+  pool.waitGroup(group);
+
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(group->mu);
+    error = group->error;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace
+
+// -------------------------------------------------------- public façade
+
+int hardwareParallelism() { return resolveWorkers(); }
+
+void setParallelism(int workers) {
+  MOSAIC_CHECK(workers >= 0, "worker count must be >= 0");
+  MOSAIC_CHECK(t_parallelDepth == 0,
+               "setParallelism inside a parallel region");
+  g_workers.store(workers);
+  Pool& pool = Pool::instance();
+  if (!pool.running()) return;
+  // Resize semantics: a change in the effective worker count tears the
+  // old pool down right away (teardown hooks run on every worker, so
+  // scratch residency drops deterministically); the next parallelFor
+  // starts the new one lazily.
+  if (pool.liveThreads() != resolveWorkers() - 1) {
+    pool.shutdown();
+  }
+}
+
+bool inParallelRegion() { return t_parallelDepth > 0; }
+
+void registerWorkerTeardown(void (*hook)()) {
+  std::lock_guard<std::mutex> lock(teardownMutex());
+  teardownHooks().push_back(hook);
+}
+
+void runWorkerTeardowns() {
+  std::vector<void (*)()> hooks;
+  {
+    std::lock_guard<std::mutex> lock(teardownMutex());
+    hooks = teardownHooks();
+  }
+  for (void (*hook)() : hooks) hook();
+}
+
+void setParallelBackend(ParallelBackend backend) {
+  g_backend.store(static_cast<int>(backend), std::memory_order_release);
+}
+
+ParallelBackend parallelBackend() { return resolveBackend(); }
+
+void setWorkerPinning(bool pin) {
+  g_pinWorkers.store(pin, std::memory_order_relaxed);
+}
+
+void setPoolIdleTrimMs(int ms) {
+  MOSAIC_CHECK(ms >= 0, "idle trim interval must be >= 0");
+  g_idleTrimMs.store(ms, std::memory_order_relaxed);
+}
+
+void shutdownParallelPool() { Pool::instance().shutdown(); }
+
+PoolStats poolStats() { return Pool::instance().stats(); }
+
+void parallelFor(std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  if (resolveBackend() == ParallelBackend::kSpawn) {
+    parallelForSpawn(begin, end, fn);
+  } else {
+    parallelForPool(begin, end, fn);
+  }
+}
+
+// ------------------------------------------------------------ TaskGroup
+
+struct TaskGroup::State {
+  std::shared_ptr<GroupState> group = std::make_shared<GroupState>();
+  bool waited = false;
+};
+
+TaskGroup::TaskGroup() : state_(std::make_shared<State>()) {}
+
+TaskGroup::~TaskGroup() {
+  if (!state_->waited) {
+    Pool::instance().waitGroup(state_->group);  // errors dropped; see hpp
+  }
+}
+
+void TaskGroup::run(std::function<void()> fn) {
+  const int workers = resolveWorkers();
+  Pool& pool = Pool::instance();
+  if (workers > 1) pool.ensureStarted(workers - 1);
+  if (workers <= 1 || !pool.running()) {
+    if (state_->group->abort.load(std::memory_order_relaxed)) return;
+    DepthGuard depth;
+    try {
+      fn();
+    } catch (...) {
+      state_->group->recordError(std::current_exception());
+    }
+    return;
+  }
+  pool.submit({state_->group, std::move(fn)});
+}
+
+void TaskGroup::wait() {
+  Pool::instance().waitGroup(state_->group);
+  state_->waited = true;
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(state_->group->mu);
+    error = state_->group->error;
+    state_->group->error = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void TaskGroup::cancel() {
+  state_->group->abort.store(true, std::memory_order_relaxed);
+}
+
+bool TaskGroup::canceled() const {
+  return state_->group->abort.load(std::memory_order_relaxed);
 }
 
 }  // namespace mosaic

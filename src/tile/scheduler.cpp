@@ -1,6 +1,7 @@
 #include "tile/scheduler.hpp"
 
 #include <chrono>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -53,6 +54,7 @@ void emitTileRecord(telemetry::RunLog* runLog, const TileOutcome& outcome,
   obj.set("wall_ms", outcome.seconds * 1000.0);
   if (cacheEnabled && !outcome.skippedEmpty) {
     obj.set("cache", cacheHitKindName(outcome.cacheHit));
+    if (outcome.representative) obj.set("representative", true);
   }
   if (!outcome.error.empty()) obj.set("error", outcome.error);
   runLog->write(obj);
@@ -87,6 +89,10 @@ void emitChipRecord(telemetry::RunLog* runLog, const ChipResult& result) {
     obj.set("cache_quarantined",
             static_cast<unsigned long long>(cs.quarantined));
     obj.set("cache_hit_rate", cs.hitRate());
+    obj.set("cache_ordered", result.cacheOrdered);
+    if (result.cacheOrdered) {
+      obj.set("cache_representatives", result.representatives);
+    }
   }
   if (result.eco.active) {
     obj.set("eco_base_valid", result.eco.baseValid);
@@ -211,7 +217,7 @@ ChipResult optimizeChip(const Layout& chip, const ChipConfig& cfg) {
                              : std::max(2, baseConfig.maxIterations / 4);
   const bool cacheOn = store != nullptr;
 
-  parallelFor(0, tileCount, [&](std::size_t i) {
+  const auto processTile = [&](std::size_t i) {
     const TilePlan& tile = part.tiles[i];
     // Each tile task re-enters the chip run's trace context on whatever
     // pool thread it lands on, so the Chrome trace export and run-log
@@ -363,7 +369,43 @@ ChipResult optimizeChip(const Layout& chip, const ChipConfig& cfg) {
     }
     outcome.seconds = tileTimer.seconds();
     emitTileRecord(cfg.runLog, outcome, cacheOn);
-  });
+  };
+
+  // Cache-aware scheduling (ChipConfig::cacheAwareOrder): optimize one
+  // representative of each fingerprint equivalence class first, then fan
+  // out the remaining members — by then every one of them exact-hits the
+  // store and pastes instead of optimizing. Without a store (or when the
+  // ordering is disabled) the tiles run as one wave, seed order.
+  result.cacheOrdered = cacheOn && cfg.cacheAwareOrder;
+  if (result.cacheOrdered) {
+    std::vector<std::size_t> representatives;
+    std::vector<std::size_t> members;
+    std::map<std::uint64_t, std::size_t> classSeen;
+    for (std::size_t i = 0; i < tileCount; ++i) {
+      if (part.tiles[i].empty) {
+        members.push_back(i);  // trivial; no reason to hold up wave 1
+        continue;
+      }
+      if (classSeen.emplace(fingerprints[i].combined(), i).second) {
+        representatives.push_back(i);
+        result.outcomes[i].representative = true;
+      } else {
+        members.push_back(i);
+      }
+    }
+    result.representatives = static_cast<int>(representatives.size());
+    telemetry::metrics().counter("cache.representatives")
+        .add(representatives.size());
+    LOG_INFO("chip: cache-aware order, "
+             << representatives.size() << " representative(s) for "
+             << tileCount << " tiles");
+    parallelFor(0, representatives.size(),
+                [&](std::size_t k) { processTile(representatives[k]); });
+    parallelFor(0, members.size(),
+                [&](std::size_t k) { processTile(members[k]); });
+  } else {
+    parallelFor(0, tileCount, processTile);
+  }
 
   for (const TileOutcome& outcome : result.outcomes) {
     if (outcome.ok) {

@@ -40,10 +40,26 @@ std::string freshWorkDir(const std::string& name) {
   return dir.string();
 }
 
+/// Sanitizer instrumentation slows the SOCS kernel precompute by an order
+/// of magnitude; give polled waits proportionally more rope there so the
+/// `tsan` suite exercises the threading, not the wall clock.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+constexpr double kWaitScale = 6.0;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+constexpr double kWaitScale = 6.0;
+#else
+constexpr double kWaitScale = 1.0;
+#endif
+#else
+constexpr double kWaitScale = 1.0;
+#endif
+
 /// Poll until `pred` holds or `timeoutSec` elapses; true iff it held.
 template <typename Pred>
 bool eventually(Pred pred, double timeoutSec = 20.0) {
   WallTimer timer;
+  timeoutSec *= kWaitScale;
   while (timer.seconds() < timeoutSec) {
     if (pred()) return true;
     std::this_thread::sleep_for(std::chrono::milliseconds(10));

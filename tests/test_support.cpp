@@ -4,10 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "support/cli.hpp"
@@ -377,10 +379,11 @@ TEST(Parallel, WorkerCountPositive) {
   EXPECT_THROW(setParallelism(-1), InvalidArgument);
 }
 
-TEST(Parallel, NestedParallelForDegradesToSerial) {
-  // The documented contract: a parallelFor inside a parallelFor body runs
-  // serially on the calling worker. Every (outer, inner) pair must still
-  // execute exactly once, and the inner calls must report being nested.
+TEST(Parallel, NestedParallelForComposes) {
+  // The executor contract (docs/performance.md): a parallelFor inside a
+  // parallelFor body enqueues steal-able subtasks onto the shared pool.
+  // Every (outer, inner) pair must execute exactly once, the inner calls
+  // must report being nested, and the call must drain without deadlock.
   setParallelism(4);
   constexpr std::size_t kOuter = 8, kInner = 64;
   std::vector<std::atomic<int>> cells(kOuter * kInner);
@@ -397,6 +400,178 @@ TEST(Parallel, NestedParallelForDegradesToSerial) {
   EXPECT_FALSE(inParallelRegion());
   EXPECT_EQ(nestedSeen.load(), static_cast<int>(kOuter));
   for (const auto& c : cells) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(Parallel, NestedCorrectAtEveryWorkerCount) {
+  // Three-level nesting must drain (no deadlock) and hit every index
+  // exactly once whether the pool is serial, tiny, or oversubscribed.
+  for (const int workers : {1, 2, 8}) {
+    setParallelism(workers);
+    constexpr std::size_t kA = 4, kB = 8, kC = 16;
+    std::vector<std::atomic<int>> cells(kA * kB * kC);
+    for (auto& c : cells) c.store(0);
+    parallelFor(0, kA, [&](std::size_t a) {
+      parallelFor(0, kB, [&](std::size_t b) {
+        parallelFor(0, kC, [&](std::size_t c) {
+          cells[(a * kB + b) * kC + c].fetch_add(1);
+        });
+      });
+    });
+    for (const auto& c : cells) ASSERT_EQ(c.load(), 1) << workers;
+  }
+  setParallelism(0);
+}
+
+TEST(Parallel, NestedExceptionPropagatesToOuterCaller) {
+  setParallelism(4);
+  EXPECT_THROW(parallelFor(0, 8,
+                           [](std::size_t outer) {
+                             parallelFor(0, 32, [outer](std::size_t inner) {
+                               if (outer == 3 && inner == 17) {
+                                 throw InvalidArgument("nested");
+                               }
+                             });
+                           }),
+               InvalidArgument);
+  setParallelism(0);
+  EXPECT_FALSE(inParallelRegion());
+}
+
+TEST(Parallel, ThrowCancelsRemainingChunksPromptly) {
+  // The cooperative-abort regression (docs/performance.md): the first
+  // exception must cancel chunks that have not started, so a throwing
+  // body over a large range finishes long before running every index.
+  // Each iteration sleeps, so executing all of them would take ~200x
+  // longer than the aborted run has any reason to.
+  setParallelism(2);
+  constexpr std::size_t kRange = 4000;
+  std::atomic<std::size_t> executed{0};
+  EXPECT_THROW(
+      parallelFor(0, kRange,
+                  [&](std::size_t i) {
+                    if (i == 0) throw InvalidArgument("abort now");
+                    executed.fetch_add(1);
+                    std::this_thread::sleep_for(
+                        std::chrono::microseconds(200));
+                  }),
+      InvalidArgument);
+  setParallelism(0);
+  // At most the chunks already in flight ran; the rest were skipped.
+  EXPECT_LT(executed.load(), kRange / 2);
+}
+
+TEST(Parallel, SpawnBackendStillServesAsOracle) {
+  // The legacy spawn scheduler stays available for equivalence testing:
+  // nested calls degrade to serial there, and results match the pool.
+  setParallelBackend(ParallelBackend::kSpawn);
+  EXPECT_EQ(parallelBackend(), ParallelBackend::kSpawn);
+  setParallelism(4);
+  std::vector<std::atomic<int>> cells(8 * 64);
+  for (auto& c : cells) c.store(0);
+  parallelFor(0, 8, [&](std::size_t outer) {
+    parallelFor(0, 64, [&](std::size_t inner) {
+      cells[outer * 64 + inner].fetch_add(1);
+    });
+  });
+  for (const auto& c : cells) EXPECT_EQ(c.load(), 1);
+  setParallelism(0);
+  setParallelBackend(ParallelBackend::kPool);
+}
+
+TEST(Parallel, TaskGroupRunsWaitsAndRethrows) {
+  setParallelism(4);
+  {
+    TaskGroup g;
+    std::atomic<int> done{0};
+    for (int i = 0; i < 100; ++i) g.run([&done] { done.fetch_add(1); });
+    g.wait();
+    EXPECT_EQ(done.load(), 100);
+    EXPECT_FALSE(g.canceled());
+  }
+  {
+    TaskGroup g;
+    for (int i = 0; i < 50; ++i) {
+      g.run([i] {
+        if (i == 25) throw InvalidArgument("task 25");
+      });
+    }
+    EXPECT_THROW(g.wait(), InvalidArgument);
+    EXPECT_TRUE(g.canceled());
+  }
+  {
+    TaskGroup g;
+    std::atomic<int> ran{0};
+    g.cancel();  // cancel before any run: all tasks are skipped
+    for (int i = 0; i < 50; ++i) g.run([&ran] { ran.fetch_add(1); });
+    g.wait();
+    EXPECT_TRUE(g.canceled());
+    EXPECT_EQ(ran.load(), 0);
+  }
+  setParallelism(0);
+}
+
+namespace teardown_probe {
+std::atomic<int> calls{0};
+void hook() { calls.fetch_add(1); }
+}  // namespace teardown_probe
+
+TEST(Parallel, ResizeRunsTeardownHooksAndRestartsPool) {
+  // setParallelism to a different size joins the old workers (each runs
+  // the registered teardown hooks) and the next parallelFor restarts the
+  // pool at the new size. Mid-process resizes must keep working.
+  registerWorkerTeardown(&teardown_probe::hook);
+  setParallelism(3);  // 2 pool threads after first use
+  std::atomic<int> sum{0};
+  parallelFor(0, 64, [&](std::size_t) { sum.fetch_add(1); });
+  EXPECT_EQ(poolStats().liveThreads, 2);
+  const int before = teardown_probe::calls.load();
+
+  setParallelism(5);  // resize: the 2 old workers tear down and join
+  EXPECT_GE(teardown_probe::calls.load(), before + 2);
+  EXPECT_EQ(poolStats().liveThreads, 0);
+  parallelFor(0, 64, [&](std::size_t) { sum.fetch_add(1); });
+  EXPECT_EQ(poolStats().liveThreads, 4);
+  EXPECT_EQ(sum.load(), 128);
+
+  const int preShutdown = teardown_probe::calls.load();
+  shutdownParallelPool();  // explicit shutdown also tears down per worker
+  EXPECT_GE(teardown_probe::calls.load(), preShutdown + 4);
+  EXPECT_EQ(poolStats().liveThreads, 0);
+  setParallelism(0);
+}
+
+TEST(Parallel, PoolStatsCountTasksAndConfiguredWorkers) {
+  setParallelism(4);
+  const PoolStats before = poolStats();
+  EXPECT_EQ(before.configuredWorkers, 4);
+  parallelFor(0, 1000, [](std::size_t) {});
+  const PoolStats after = poolStats();
+  EXPECT_GT(after.tasksExecuted, before.tasksExecuted);
+  setParallelism(0);
+  EXPECT_GE(poolStats().configuredWorkers, 1);
+}
+
+TEST(Parallel, IdleWorkersTrimThreadLocalState) {
+  // A worker idle past the trim interval runs the teardown hooks once
+  // (dropping cached scratch grids) without exiting; the next call still
+  // works. Poll the pool's trim counter with a generous deadline so the
+  // test stays robust on loaded machines.
+  setParallelism(3);
+  setPoolIdleTrimMs(50);
+  parallelFor(0, 64, [](std::size_t) {});  // make sure workers are live
+  const std::uint64_t before = poolStats().idleTrims;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (poolStats().idleTrims < before + 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GE(poolStats().idleTrims, before + 2);
+  std::atomic<int> sum{0};
+  parallelFor(0, 64, [&](std::size_t) { sum.fetch_add(1); });
+  EXPECT_EQ(sum.load(), 64);
+  setPoolIdleTrimMs(2000);
+  setParallelism(0);
 }
 
 // ------------------------------------------------------------------ hash

@@ -7,6 +7,7 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <limits>
@@ -274,6 +275,88 @@ TEST(TileScheduler, CheckpointsAreWrittenPerTile) {
   cfg.resume = true;
   const ChipResult resumed = optimizeChip(chip, cfg);
   EXPECT_TRUE(resumed.allOk());
+}
+
+TEST(TileScheduler, PoolSchedulingMatchesSpawnOracleBitForBit) {
+  // The work-stealing executor (nested tile + PV-corner parallelism) must
+  // produce exactly the mask the legacy spawn-per-call scheduler did —
+  // the optimizer is deterministic and the executor must not perturb it.
+  const Layout chip = replicateLayout(buildTestcase(1), 2, 2);
+  const ChipConfig cfg = fastChipConfig();
+
+  setParallelism(2);
+  setParallelBackend(ParallelBackend::kPool);
+  const ChipResult pool = optimizeChip(chip, cfg);
+  setParallelBackend(ParallelBackend::kSpawn);
+  const ChipResult spawn = optimizeChip(chip, cfg);
+  setParallelBackend(ParallelBackend::kPool);
+  setParallelism(0);
+
+  ASSERT_TRUE(pool.allOk());
+  ASSERT_TRUE(spawn.allOk());
+  const BitGrid& a = pool.stitched.maskBinary;
+  const BitGrid& b = spawn.stitched.maskBinary;
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (int r = 0; r < a.rows(); ++r) {
+    for (int c = 0; c < a.cols(); ++c) {
+      ASSERT_EQ(a(r, c), b(r, c)) << "mask differs at (" << r << "," << c
+                                  << ")";
+    }
+  }
+}
+
+TEST(TileScheduler, CacheAwareOrderingPastesMembersFromRepresentatives) {
+  // Cache-aware scheduling on a cold store: one representative per
+  // fingerprint class optimizes in the first wave, every other member
+  // exact-hits the representative's freshly inserted solution. A warm
+  // rerun with ordering disabled (the unordered code path) must then
+  // exact-hit everything and stitch a bit-identical chip.
+  const Layout chip = replicateLayout(buildTestcase(1), 3, 3);
+  ChipConfig cfg = fastChipConfig();
+  cfg.patternCacheDir = ::testing::TempDir() + "mosaic_tile_order";
+  std::filesystem::remove_all(cfg.patternCacheDir);  // cold means cold
+
+  cfg.cacheAwareOrder = true;
+  const ChipResult ordered = optimizeChip(chip, cfg);
+  ASSERT_TRUE(ordered.allOk());
+  EXPECT_TRUE(ordered.cacheOrdered);
+  EXPECT_GT(ordered.representatives, 0);
+  EXPECT_LT(ordered.representatives, ordered.partition.tileCount());
+  int reps = 0, pasted = 0, nonEmpty = 0;
+  for (const TileOutcome& o : ordered.outcomes) {
+    if (o.skippedEmpty) continue;
+    ++nonEmpty;
+    if (o.representative) {
+      ++reps;
+      EXPECT_FALSE(o.fromCache);  // first of its class: a genuine miss
+    } else {
+      EXPECT_TRUE(o.fromCache) << "member tile " << o.index
+                               << " did not exact-hit its representative";
+      EXPECT_EQ(o.cacheHit, CacheHitKind::kExact);
+      ++pasted;
+    }
+  }
+  EXPECT_EQ(reps, ordered.representatives);
+  EXPECT_EQ(pasted, nonEmpty - reps);
+
+  cfg.cacheAwareOrder = false;
+  const ChipResult warm = optimizeChip(chip, cfg);
+  ASSERT_TRUE(warm.allOk());
+  EXPECT_FALSE(warm.cacheOrdered);
+  for (const TileOutcome& o : warm.outcomes) {
+    if (!o.skippedEmpty) EXPECT_TRUE(o.fromCache);
+  }
+  const BitGrid& a = ordered.stitched.maskBinary;
+  const BitGrid& b = warm.stitched.maskBinary;
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (int r = 0; r < a.rows(); ++r) {
+    for (int c = 0; c < a.cols(); ++c) {
+      ASSERT_EQ(a(r, c), b(r, c)) << "mask differs at (" << r << "," << c
+                                  << ")";
+    }
+  }
 }
 
 /// Count EPE violations restricted to the seam band. A sample sits on a
